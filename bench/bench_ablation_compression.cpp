@@ -1,0 +1,65 @@
+// Compression-ratio ablation — backs the paper's Section IV-A remark:
+// SAPS-PSGD tolerates aggressive random-mask sparsification (c = 100), while
+// DCD-PSGD degrades beyond c = 4 and fails to converge at c ≈ 100+ because
+// its compression error feeds back into the public-copy dynamics.
+#include <iostream>
+
+#include "algos/qsgd_psgd.hpp"
+#include "bench/harness.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const saps::Flags flags(argc, argv);
+  auto opt = saps::bench::parse_options(flags);
+  const auto spec = saps::bench::make_workload("mnist", opt);
+
+  std::cout << "=== Ablation: compression ratio c vs final accuracy and "
+               "traffic (" << spec.name << ", " << opt.workers
+            << " workers) ===\n\n";
+
+  std::cout << "SAPS-PSGD (seeded random mask, values-only wire format):\n";
+  saps::Table saps_table({"c", "final_accuracy_pct", "traffic_mb"});
+  for (const double c : {4.0, 10.0, 100.0, 1000.0}) {
+    auto o = opt;
+    o.saps_c = c;
+    const auto run = saps::bench::run_single(spec, o, std::nullopt, "saps");
+    saps_table.add_row({saps::Table::num(c, 0),
+                        saps::Table::num(run.result.final().accuracy * 100, 2),
+                        saps::Table::num(run.traffic_mb, 4)});
+  }
+  std::cout << saps_table.to_aligned() << "\n";
+
+  std::cout << "DCD-PSGD (top-k difference compression on the ring):\n";
+  saps::Table dcd_table({"c", "final_accuracy_pct", "traffic_mb"});
+  for (const double c : {4.0, 20.0, 100.0}) {
+    auto o = opt;
+    o.dcd_c = c;
+    const auto run = saps::bench::run_single(spec, o, std::nullopt, "dcd");
+    dcd_table.add_row({saps::Table::num(c, 0),
+                       saps::Table::num(run.result.final().accuracy * 100, 2),
+                       saps::Table::num(run.traffic_mb, 4)});
+  }
+  std::cout << dcd_table.to_aligned()
+            << "\n(paper: DCD loses accuracy for c > 4 and does not converge "
+               "at c = 100/1000, while SAPS holds at c = 100)\n\n";
+
+  // Quantization family (related work): compression is capped near 32x
+  // (1-bit), versus the 100-1000x sparsification reaches above.
+  std::cout << "QSGD-PSGD (stochastic quantization, all-gather):\n";
+  saps::Table qsgd_table({"levels", "final_accuracy_pct", "traffic_mb"});
+  for (const std::uint8_t levels : {std::uint8_t{1}, std::uint8_t{4},
+                                    std::uint8_t{16}}) {
+    saps::sim::Engine engine(spec.config, spec.train, spec.test, spec.factory,
+                             std::nullopt);
+    saps::algos::QsgdPsgd algo({.levels = levels});
+    const auto result = algo.run(engine);
+    qsgd_table.add_row(
+        {saps::Table::num(static_cast<long long>(levels)),
+         saps::Table::num(result.final().accuracy * 100, 2),
+         saps::Table::num(engine.network().mean_worker_bytes() / 1e6, 4)});
+  }
+  std::cout << qsgd_table.to_aligned()
+            << "\n(even 1-level QSGD moves more bytes than SAPS at c = 100 — "
+               "the paper's case for sparsification over quantization)\n";
+  return 0;
+}

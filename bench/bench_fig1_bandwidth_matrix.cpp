@@ -1,0 +1,41 @@
+// Reproduces Fig. 1: the 14-city inter-datacenter bandwidth matrix (the
+// measured values embedded from the paper), plus a synthetic regeneration of
+// a "speed test" matrix to exercise the generator used by the 32-worker
+// environment.
+#include <iostream>
+
+#include "net/bandwidth.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const saps::Flags flags(argc, argv);
+
+  std::cout << "=== Fig. 1: measured 14-city bandwidth matrix (MB/s, "
+               "min-symmetrized) ===\n\n";
+  const auto bw = saps::net::fig1_city_bandwidth();
+  const auto& names = saps::net::fig1_city_names();
+
+  std::vector<std::string> header = {"city"};
+  for (const auto& n : names) header.push_back(n.substr(0, 9));
+  saps::Table table(header);
+  for (std::size_t i = 0; i < bw.size(); ++i) {
+    std::vector<std::string> row = {names[i]};
+    for (std::size_t j = 0; j < bw.size(); ++j) {
+      row.push_back(i == j ? "-" : saps::Table::num(bw.get(i, j), 2));
+    }
+    table.add_row(row);
+  }
+  std::cout << table.to_aligned() << "\n";
+  std::cout << "min positive link: " << bw.min_positive()
+            << " MB/s, max link: " << bw.max_value() << " MB/s\n\n";
+
+  const auto n = static_cast<std::size_t>(flags.get_int("workers", 32));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const auto rnd = saps::net::random_uniform_bandwidth(n, seed);
+  std::cout << "=== Synthetic " << n << "-worker environment (uniform (0,5] "
+            << "MB/s, seed " << seed << ") ===\n"
+            << "min link: " << rnd.min_positive()
+            << " MB/s, max link: " << rnd.max_value() << " MB/s\n";
+  return 0;
+}

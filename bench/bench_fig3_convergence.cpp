@@ -1,0 +1,42 @@
+// Reproduces Fig. 3: top-1 validation accuracy vs. epoch for the seven
+// algorithms on the three workloads (MNIST-CNN, CIFAR10-CNN, ResNet-20).
+//
+// Defaults are scaled down (16 workers, tiny models, synthetic data) so the
+// full sweep runs in minutes; pass --full for paper-scale (32 workers,
+// full-size models — slow).  Shape to reproduce: SAPS-PSGD tracks D-PSGD,
+// ends above FedAvg/S-FedAvg/DCD-PSGD, slightly below PSGD/TopK.
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const saps::Flags flags(argc, argv);
+  auto opt = saps::bench::parse_options(flags);
+
+  for (const auto& key : saps::bench::all_workload_keys()) {
+    const auto spec = saps::bench::make_workload(key, opt);
+    std::cout << "=== Fig. 3 (" << spec.name << "): accuracy [%] vs epoch, "
+              << opt.workers << " workers ===\n";
+    const auto runs = saps::bench::run_comparison(spec, opt, std::nullopt);
+
+    // Epoch-indexed series, one column per algorithm.
+    std::vector<std::string> header = {"epoch"};
+    for (const auto& r : runs) header.push_back(r.name);
+    saps::Table table(header);
+    const std::size_t points = runs.front().result.history.size();
+    for (std::size_t i = 0; i < points; ++i) {
+      std::vector<std::string> row = {
+          saps::Table::num(runs.front().result.history[i].epoch, 1)};
+      for (const auto& r : runs) {
+        const auto& h = r.result.history;
+        row.push_back(i < h.size()
+                          ? saps::Table::num(h[i].accuracy * 100.0, 2)
+                          : saps::Table::num(h.back().accuracy * 100.0, 2));
+      }
+      table.add_row(row);
+    }
+    std::cout << table.to_aligned() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// google-benchmark micro-benchmarks for the kernels on the training and
+// communication hot paths: mask generation, masked extraction/merge, top-k
+// selection, GEMM, blossom matching, and full gossip-matrix generation.
+#include <benchmark/benchmark.h>
+
+#include "compress/mask.hpp"
+#include "compress/topk.hpp"
+#include "gossip/generator.hpp"
+#include "graph/matching.hpp"
+#include "net/bandwidth.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_BernoulliMask(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(saps::compress::bernoulli_mask(seed++, n, 100.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BernoulliMask)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ExtractAndMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto mask = saps::compress::bernoulli_mask(3, n, 100.0);
+  std::vector<float> x(n, 1.0f);
+  for (auto _ : state) {
+    auto vals = saps::compress::extract_masked(x, mask);
+    saps::compress::average_masked_inplace(x, mask, vals);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ExtractAndMerge)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_TopK(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  saps::Rng rng(5);
+  std::vector<float> x(n);
+  for (auto& v : x) v = rng.next_float() - 0.5f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(saps::compress::top_k(x, 100.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TopK)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  saps::Rng rng(7);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) v = rng.next_float();
+  for (auto& v : b) v = rng.next_float();
+  for (auto _ : state) {
+    saps::ops::gemm(a, b, c, n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BlossomCompleteGraph(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  saps::graph::AdjMatrix g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) g.set(i, j);
+  }
+  saps::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(saps::graph::randomly_max_matching(g, rng));
+  }
+}
+BENCHMARK(BM_BlossomCompleteGraph)->Arg(14)->Arg(32)->Arg(64);
+
+void BM_GossipGenerate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto bw = saps::net::random_uniform_bandwidth(n, 9);
+  saps::gossip::GossipGenerator gen(bw, {.t_thres = 10, .seed = 3});
+  std::size_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.generate(t++));
+  }
+}
+BENCHMARK(BM_GossipGenerate)->Arg(14)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

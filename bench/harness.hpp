@@ -1,0 +1,89 @@
+// Shared experiment harness for the paper-reproduction benches.
+//
+// Every Fig. 3/4/6 + Table III/IV bench runs the same seven algorithms on
+// the same three workloads the paper evaluates (MNIST-CNN, CIFAR10-CNN,
+// ResNet-20) and differs only in which metric column it reports.  Bench
+// defaults are scaled down so `for b in build/bench/*; do $b; done` finishes
+// in minutes; flags restore paper-scale parameters (see --help text in each
+// bench).  The SHAPE of the results (ordering, rough ratios, crossovers) is
+// what reproduces; see EXPERIMENTS.md.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "net/bandwidth.hpp"
+#include "sim/engine.hpp"
+#include "util/flags.hpp"
+
+namespace saps::bench {
+
+struct WorkloadSpec {
+  std::string name;           // "MNIST-CNN", "CIFAR10-CNN", "ResNet-20"
+  data::Dataset train;
+  data::Dataset test;
+  sim::ModelFactory factory;
+  sim::SimConfig config;
+};
+
+struct HarnessOptions {
+  std::size_t workers = 8;
+  std::size_t epochs = 6;
+  std::size_t samples_per_worker = 150;
+  std::size_t test_samples = 400;
+  std::size_t batch_size = 10;
+  std::size_t eval_every_rounds = 0;  // 0 = per epoch
+  std::uint64_t seed = 42;
+  bool full_scale = false;  // paper-scale models and images
+  // Compression ratios.  Paper values (c = 100/1000/100/4) assume multi-
+  // million-parameter models; the scaled-down fast mode shrinks them
+  // proportionally so k = N/c stays meaningful (set in parse_options, and
+  // restored to paper values under --full).
+  double saps_c = 100.0;
+  double topk_c = 1000.0;
+  double sfedavg_c = 100.0;
+  double dcd_c = 4.0;
+  // FedAvg-family round granularity: local steps per round (0 = E=1 full
+  // local epochs per round, the paper's setting).
+  std::size_t fedavg_local_steps = 0;
+  // SAPS gossip knobs.
+  double b_thres = 0.0;   // 0 = median auto
+  std::size_t t_thres = 10;
+};
+
+/// Parses the shared flags (--workers, --epochs, --samples, --batch, --seed,
+/// --full, --saps-c, --topk-c, --sfedavg-c, --dcd-c, --tthres, --bthres).
+[[nodiscard]] HarnessOptions parse_options(const Flags& flags);
+
+/// The paper's three workloads (Table II), scaled by `opt`.
+/// which ∈ {"mnist", "cifar", "resnet"}.
+[[nodiscard]] WorkloadSpec make_workload(const std::string& which,
+                                         const HarnessOptions& opt);
+
+[[nodiscard]] std::vector<std::string> all_workload_keys();
+
+struct AlgoRun {
+  std::string name;
+  sim::RunResult result;
+  double traffic_mb = 0.0;   // mean per-worker cumulative traffic
+  double comm_seconds = 0.0; // cumulative simulated communication time
+};
+
+/// Runs the seven-algorithm comparison of Section IV on one workload.
+/// `bandwidth`: nullopt for the bandwidth-agnostic experiments (Fig. 3/4),
+/// or a worker bandwidth matrix for the timed ones (Fig. 6 / Table IV).
+[[nodiscard]] std::vector<AlgoRun> run_comparison(
+    const WorkloadSpec& spec, const HarnessOptions& opt,
+    const std::optional<net::BandwidthMatrix>& bandwidth);
+
+/// Single-algorithm helper (fresh engine per call, same seed discipline).
+[[nodiscard]] AlgoRun run_single(const WorkloadSpec& spec,
+                                 const HarnessOptions& opt,
+                                 const std::optional<net::BandwidthMatrix>& bw,
+                                 const std::string& algo_key);
+
+[[nodiscard]] std::vector<std::string> all_algorithm_keys();
+
+}  // namespace saps::bench

@@ -1,0 +1,98 @@
+// Geo-distributed federated scenario — the setting the paper's introduction
+// motivates: 14 workers in 14 cities (the measured Fig. 1 bandwidths),
+// non-IID data (label shards), and workers that drop out and rejoin
+// mid-training.  SAPS-PSGD's adaptive peer selection keeps communication on
+// fast links and the coordinator re-matches around the missing workers.
+//
+// Run:  ./build/examples/geo_federated [--epochs=8]
+#include <iostream>
+
+#include "core/saps.hpp"
+#include "data/synthetic.hpp"
+#include "net/bandwidth.hpp"
+#include "nn/models.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  const saps::Flags flags(argc, argv);
+  const auto epochs = static_cast<std::size_t>(flags.get_int("epochs", 8));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+
+  const auto bw = saps::net::fig1_city_bandwidth();
+  const std::size_t workers = bw.size();  // 14 cities
+  const auto& cities = saps::net::fig1_city_names();
+
+  const auto train = saps::data::make_mnist_like(workers * 200, seed, 12);
+  const auto test = saps::data::make_mnist_like(400, seed, 12);
+
+  saps::sim::SimConfig cfg;
+  cfg.workers = workers;
+  cfg.epochs = epochs;
+  cfg.batch_size = 10;
+  cfg.lr = 0.05;
+  cfg.seed = seed;
+  cfg.partition = saps::sim::PartitionKind::kShard;  // non-IID: 2 shards each
+  cfg.shards_per_worker = 2;
+
+  auto make_engine = [&] {
+    return saps::sim::Engine(
+        cfg, train, test,
+        [seed] { return saps::nn::make_tiny_cnn(1, 12, 10, seed); }, bw);
+  };
+
+  std::cout << "Geo-federated run: " << workers
+            << " city workers, non-IID shards, Fig. 1 bandwidths\n\n";
+
+  // Adaptive selection with mid-training churn: Mumbai (9) and SaoPaulo (13)
+  // leave for a third of the run, then rejoin.
+  saps::core::SapsConfig adaptive_cfg{.compression = 100.0};
+  const std::size_t drop_at = epochs * 20 / 3, rejoin_at = 2 * drop_at;
+  adaptive_cfg.on_round = [&](std::size_t round, saps::core::Coordinator& coord,
+                              saps::sim::Engine& eng) {
+    const bool away = round >= drop_at && round < rejoin_at;
+    for (const std::size_t w : {9u, 13u}) {
+      coord.set_active(w, !away);
+      eng.set_active(w, !away);
+    }
+  };
+  saps::core::SapsPsgd adaptive(adaptive_cfg);
+  auto engine_a = make_engine();
+  const auto result_a = adaptive.run(engine_a);
+
+  saps::core::SapsPsgd random_sel(
+      {.compression = 100.0,
+       .strategy = saps::core::SelectionStrategy::kRandomMatch});
+  auto engine_r = make_engine();
+  const auto result_r = random_sel.run(engine_r);
+
+  saps::RunningStat bw_a;
+  for (const auto v : adaptive.selection_bandwidth()) bw_a.add(v);
+
+  std::cout << "adaptive peer selection (with dropout of " << cities[9]
+            << " and " << cities[13] << " during rounds [" << drop_at << ", "
+            << rejoin_at << ")):\n"
+            << "  final accuracy:          " << result_a.final().accuracy * 100
+            << "%\n"
+            << "  per-worker traffic:      " << result_a.final().worker_mb
+            << " MB\n"
+            << "  communication time:      " << result_a.final().comm_seconds
+            << " s\n"
+            << "  mean bottleneck link:    " << bw_a.mean() << " MB/s\n"
+            << "  coordinator control:     " << adaptive.control_bytes() / 1e3
+            << " KB (vs " << result_a.final().worker_mb * 1e3
+            << " KB of model traffic per worker)\n\n";
+
+  std::cout << "random peer selection (no dropout, same budget):\n"
+            << "  final accuracy:          " << result_r.final().accuracy * 100
+            << "%\n"
+            << "  communication time:      " << result_r.final().comm_seconds
+            << " s\n\n";
+
+  std::cout << "adaptive selection spends "
+            << result_r.final().comm_seconds /
+                   std::max(1e-9, result_a.final().comm_seconds)
+            << "x less time communicating than random selection on these "
+               "links.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Common interface for the distributed-training algorithms of the paper's
+// comparison (Section IV): PSGD, TopK-PSGD, FedAvg, S-FedAvg, D-PSGD,
+// DCD-PSGD (here, in src/algos) and SAPS-PSGD (in src/core).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/engine.hpp"
+
+namespace saps::algos {
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Runs the full training schedule (engine.config().epochs) and returns
+  /// the metric history (one point per evaluation).
+  virtual sim::RunResult run(sim::Engine& engine) = 0;
+};
+
+/// Shared evaluation cadence helper: evaluates at round 0, every
+/// `eval_every_rounds` (config) or once per epoch when that is 0, and at the
+/// final round.
+class EvalSchedule {
+ public:
+  EvalSchedule(const sim::SimConfig& config, std::size_t rounds_per_epoch)
+      : interval_(config.eval_every_rounds > 0 ? config.eval_every_rounds
+                                               : rounds_per_epoch) {}
+
+  [[nodiscard]] bool due(std::size_t round) const noexcept {
+    return round % interval_ == 0;
+  }
+  [[nodiscard]] std::size_t interval() const noexcept { return interval_; }
+
+ private:
+  std::size_t interval_;
+};
+
+/// Bytes of one dense float32 parameter vector on the wire.
+[[nodiscard]] inline double dense_model_bytes(std::size_t param_count) noexcept {
+  return 4.0 * static_cast<double>(param_count);
+}
+
+}  // namespace saps::algos

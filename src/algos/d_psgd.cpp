@@ -1,0 +1,137 @@
+#include "algos/d_psgd.hpp"
+
+#include "compress/topk.hpp"
+#include "gossip/peer_selection.hpp"
+
+namespace saps::algos {
+
+sim::RunResult DPsgd::run(sim::Engine& engine) {
+  const auto& cfg = engine.config();
+  const std::size_t n = engine.workers();
+  const std::size_t steps = engine.steps_per_epoch();
+  const std::size_t dim = engine.param_count();
+  const double model_bytes = dense_model_bytes(dim);
+  const gossip::RingTopology ring(n);
+  EvalSchedule schedule(cfg, steps);
+
+  sim::RunResult result;
+  result.algorithm = name();
+  result.history.push_back(engine.eval_point(0, 0.0));
+
+  std::vector<std::vector<float>> next(n, std::vector<float>(dim));
+
+  std::size_t round = 0;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    for (std::size_t step = 0; step < steps; ++step) {
+      engine.for_each_worker([&](std::size_t w) { engine.sgd_step(w, epoch); });
+
+      // Full-model exchange with both neighbors (concurrent transfers).
+      auto& net = engine.network();
+      net.start_round();
+      for (std::size_t w = 0; w < n; ++w) {
+        net.transfer(w, ring.left(w), model_bytes);
+        net.transfer(w, ring.right(w), model_bytes);
+      }
+      net.finish_round();
+
+      // x_w ← (x_{w-1} + x_w + x_{w+1}) / 3
+      for (std::size_t w = 0; w < n; ++w) {
+        const auto self = engine.params(w);
+        const auto left = engine.params(ring.left(w));
+        const auto right = engine.params(ring.right(w));
+        auto& dst = next[w];
+        for (std::size_t j = 0; j < dim; ++j) {
+          dst[j] = (self[j] + left[j] + right[j]) / 3.0f;
+        }
+      }
+      for (std::size_t w = 0; w < n; ++w) {
+        const auto p = engine.params(w);
+        std::copy(next[w].begin(), next[w].end(), p.begin());
+      }
+
+      ++round;
+      if (schedule.due(round)) {
+        result.history.push_back(engine.eval_point(
+            round, static_cast<double>(round) / static_cast<double>(steps)));
+      }
+    }
+  }
+  if (result.history.back().round != round) {
+    result.history.push_back(engine.eval_point(
+        round, static_cast<double>(round) / static_cast<double>(steps)));
+  }
+  return result;
+}
+
+sim::RunResult DcdPsgd::run(sim::Engine& engine) {
+  const auto& cfg = engine.config();
+  const std::size_t n = engine.workers();
+  const std::size_t steps = engine.steps_per_epoch();
+  const std::size_t dim = engine.param_count();
+  const gossip::RingTopology ring(n);
+  EvalSchedule schedule(cfg, steps);
+
+  sim::RunResult result;
+  result.algorithm = name();
+  result.history.push_back(engine.eval_point(0, 0.0));
+
+  // Public copies x̂_w: identical at initialization, updated only by the
+  // compressed deltas every holder applies in lockstep.
+  std::vector<std::vector<float>> pub(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    const auto p = engine.params(w);
+    pub[w].assign(p.begin(), p.end());
+  }
+  std::vector<compress::SparseVector> deltas(n);
+
+  std::size_t round = 0;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    for (std::size_t step = 0; step < steps; ++step) {
+      engine.for_each_worker([&](std::size_t w) { engine.sgd_step(w, epoch); });
+
+      // Compress x_w − x̂_w and ship to both neighbors.
+      std::vector<float> diff(dim);
+      for (std::size_t w = 0; w < n; ++w) {
+        const auto p = engine.params(w);
+        for (std::size_t j = 0; j < dim; ++j) diff[j] = p[j] - pub[w][j];
+        deltas[w] = compress::top_k(diff, config_.compression);
+      }
+      auto& net = engine.network();
+      net.start_round();
+      for (std::size_t w = 0; w < n; ++w) {
+        net.transfer(w, ring.left(w), deltas[w].wire_bytes());
+        net.transfer(w, ring.right(w), deltas[w].wire_bytes());
+      }
+      net.finish_round();
+
+      // All holders of x̂_w apply the identical delta.
+      for (std::size_t w = 0; w < n; ++w) {
+        compress::add_sparse(pub[w], deltas[w]);
+      }
+
+      // Gossip on public copies: x_w += Σ_u W_wu (x̂_u − x̂_w), ring weights 1/3.
+      for (std::size_t w = 0; w < n; ++w) {
+        const auto p = engine.params(w);
+        const auto& self = pub[w];
+        const auto& left = pub[ring.left(w)];
+        const auto& right = pub[ring.right(w)];
+        for (std::size_t j = 0; j < dim; ++j) {
+          p[j] += (left[j] + right[j] - 2.0f * self[j]) / 3.0f;
+        }
+      }
+
+      ++round;
+      if (schedule.due(round)) {
+        result.history.push_back(engine.eval_point(
+            round, static_cast<double>(round) / static_cast<double>(steps)));
+      }
+    }
+  }
+  if (result.history.back().round != round) {
+    result.history.push_back(engine.eval_point(
+        round, static_cast<double>(round) / static_cast<double>(steps)));
+  }
+  return result;
+}
+
+}  // namespace saps::algos

@@ -1,0 +1,137 @@
+#include "algos/fedavg.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "compress/mask.hpp"
+#include "util/rng.hpp"
+
+namespace saps::algos {
+
+FedAvg::FedAvg(FedAvgConfig config) : config_(config) {
+  if (config_.fraction <= 0.0 || config_.fraction > 1.0) {
+    throw std::invalid_argument("FedAvg: fraction must be in (0, 1]");
+  }
+  if (config_.local_epochs == 0) {
+    throw std::invalid_argument("FedAvg: local_epochs must be >= 1");
+  }
+  if (config_.upload_compression < 0.0 ||
+      (config_.upload_compression > 0.0 && config_.upload_compression < 1.0)) {
+    throw std::invalid_argument("FedAvg: bad upload_compression");
+  }
+}
+
+sim::RunResult FedAvg::run(sim::Engine& engine) {
+  const auto& cfg = engine.config();
+  const std::size_t n = engine.workers();
+  const std::size_t server = engine.server_node();
+  const std::size_t dim = engine.param_count();
+  const double model_bytes = dense_model_bytes(dim);
+  const bool sparse_up = config_.upload_compression > 0.0;
+
+  const auto participants_per_round = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.fraction * static_cast<double>(n)));
+
+  sim::RunResult result;
+  result.algorithm = name();
+
+  // The global model starts as the common initialization.
+  std::vector<float> global(engine.params(0).begin(), engine.params(0).end());
+  result.history.push_back(engine.eval_point(0, 0.0, global));
+
+  Rng rng(derive_seed(cfg.seed, 0xfeda49));
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  double epoch_progress = 0.0;
+  std::size_t round = 0;
+  std::vector<float> accum(dim);
+  while (epoch_progress < static_cast<double>(cfg.epochs)) {
+    ++round;
+    // Sample participants without replacement.
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+    const std::span<const std::size_t> chosen(order.data(),
+                                              participants_per_round);
+
+    auto& net = engine.network();
+    // Download phase: server → participants, full model each.
+    net.start_round();
+    for (const auto w : chosen) net.transfer(server, w, model_bytes);
+    net.finish_round();
+    for (const auto w : chosen) {
+      const auto p = engine.params(w);
+      std::copy(global.begin(), global.end(), p.begin());
+    }
+
+    // Local training: E epochs (or a fixed step count) on each participant.
+    const auto lr_epoch = static_cast<std::size_t>(epoch_progress);
+    for (const auto w : chosen) {
+      const std::size_t local_steps =
+          config_.local_steps > 0
+              ? config_.local_steps
+              : config_.local_epochs *
+                    std::max<std::size_t>(
+                        1, (engine.shard_size(w) + cfg.batch_size - 1) /
+                               cfg.batch_size);
+      for (std::size_t s = 0; s < local_steps; ++s) {
+        engine.sgd_step(w, lr_epoch);
+      }
+    }
+
+    // Upload phase: participants → server.
+    const std::uint64_t mask_seed = derive_seed(cfg.seed, 0x5fed, round);
+    std::vector<std::uint8_t> mask;
+    if (sparse_up) {
+      mask = compress::bernoulli_mask(mask_seed, dim, config_.upload_compression);
+    }
+    net.start_round();
+    for (const auto w : chosen) {
+      const double up_bytes =
+          sparse_up ? compress::masked_wire_bytes(compress::mask_popcount(mask))
+                    : model_bytes;
+      net.transfer(w, server, up_bytes);
+    }
+    net.finish_round();
+
+    // Server aggregation.
+    if (sparse_up) {
+      // Sketched updates (Konečný et al. 2016): participants upload only the
+      // masked coordinates of their model DELTA; the server applies the
+      // inverse-probability-scaled average, which makes the sparse update an
+      // unbiased estimator of the dense one (E[c·m∘Δ] = Δ).
+      std::fill(accum.begin(), accum.end(), 0.0f);
+      for (const auto w : chosen) {
+        const auto p = engine.params(w);
+        for (std::size_t j = 0; j < dim; ++j) {
+          if (mask[j]) accum[j] += p[j] - global[j];
+        }
+      }
+      const float scale = static_cast<float>(config_.upload_compression) /
+                          static_cast<float>(chosen.size());
+      for (std::size_t j = 0; j < dim; ++j) {
+        if (mask[j]) global[j] += scale * accum[j];
+      }
+    } else {
+      std::fill(accum.begin(), accum.end(), 0.0f);
+      for (const auto w : chosen) {
+        const auto p = engine.params(w);
+        for (std::size_t j = 0; j < dim; ++j) accum[j] += p[j];
+      }
+      const float inv = 1.0f / static_cast<float>(chosen.size());
+      for (std::size_t j = 0; j < dim; ++j) global[j] = accum[j] * inv;
+    }
+
+    epoch_progress +=
+        config_.local_steps > 0
+            ? static_cast<double>(config_.local_steps) /
+                  static_cast<double>(engine.steps_per_epoch())
+            : static_cast<double>(config_.local_epochs);
+    result.history.push_back(engine.eval_point(round, epoch_progress, global));
+  }
+  return result;
+}
+
+}  // namespace saps::algos

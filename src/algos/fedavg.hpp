@@ -1,0 +1,38 @@
+// FedAvg (McMahan et al. 2017) and its sparsified variant S-FedAvg
+// (Konečný et al. 2016): a parameter server samples a fraction C of workers
+// per round; participants download the global model, train E local epochs,
+// and upload their model (S-FedAvg: upload only a seeded-random-masked
+// subset of parameters, c = 100 in the paper).
+#pragma once
+
+#include "algos/algorithm.hpp"
+
+namespace saps::algos {
+
+struct FedAvgConfig {
+  double fraction = 0.5;        // C — participant ratio (paper: 0.5)
+  std::size_t local_epochs = 1; // E — local passes per round
+  // When > 0, each round runs exactly this many local mini-batch steps
+  // instead of `local_epochs` full passes (finer round granularity; used by
+  // the scaled-down bench mode so the FedAvg family gets several
+  // communication rounds per epoch).
+  std::size_t local_steps = 0;
+  // S-FedAvg only: upload compression (values-only wire format, shared
+  // per-round seed); 0 disables sparsification (plain FedAvg).
+  double upload_compression = 0.0;
+};
+
+class FedAvg final : public Algorithm {
+ public:
+  explicit FedAvg(FedAvgConfig config = {});
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return config_.upload_compression > 0.0 ? "S-FedAvg" : "FedAvg";
+  }
+  sim::RunResult run(sim::Engine& engine) override;
+
+ private:
+  FedAvgConfig config_;
+};
+
+}  // namespace saps::algos

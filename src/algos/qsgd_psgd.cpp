@@ -1,0 +1,68 @@
+#include "algos/qsgd_psgd.hpp"
+
+#include "compress/quantize.hpp"
+#include "util/rng.hpp"
+
+namespace saps::algos {
+
+sim::RunResult QsgdPsgd::run(sim::Engine& engine) {
+  const auto& cfg = engine.config();
+  const std::size_t n = engine.workers();
+  const std::size_t steps = engine.steps_per_epoch();
+  const std::size_t dim = engine.param_count();
+  EvalSchedule schedule(cfg, steps);
+
+  sim::RunResult result;
+  result.algorithm = name();
+  result.history.push_back(engine.eval_point(0, 0.0));
+
+  Rng rng(derive_seed(cfg.seed, 0x05d9));
+  std::vector<compress::QsgdEncoded> chunks(n);
+  std::vector<float> avg(dim);
+
+  std::size_t round = 0;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    for (std::size_t step = 0; step < steps; ++step) {
+      engine.for_each_worker(
+          [&](std::size_t w) { engine.compute_gradient(w, epoch); });
+      for (std::size_t w = 0; w < n; ++w) {
+        chunks[w] =
+            compress::qsgd_encode(engine.model(w).gradients(), config_.levels,
+                                  rng);
+      }
+
+      // Ring all-gather of the quantized gradients, as for TopK-PSGD.
+      auto& net = engine.network();
+      for (std::size_t hop = 0; hop + 1 < n; ++hop) {
+        net.start_round();
+        for (std::size_t w = 0; w < n; ++w) {
+          const std::size_t origin = (w + n - hop) % n;
+          net.transfer(w, (w + 1) % n, chunks[origin].wire_bytes());
+        }
+        net.finish_round();
+      }
+
+      std::fill(avg.begin(), avg.end(), 0.0f);
+      const float inv = 1.0f / static_cast<float>(n);
+      for (std::size_t w = 0; w < n; ++w) {
+        const auto decoded = compress::qsgd_decode(chunks[w]);
+        for (std::size_t j = 0; j < dim; ++j) avg[j] += inv * decoded[j];
+      }
+      engine.for_each_worker(
+          [&](std::size_t w) { engine.apply_update(w, avg, epoch); });
+
+      ++round;
+      if (schedule.due(round)) {
+        result.history.push_back(engine.eval_point(
+            round, static_cast<double>(round) / static_cast<double>(steps)));
+      }
+    }
+  }
+  if (result.history.back().round != round) {
+    result.history.push_back(engine.eval_point(
+        round, static_cast<double>(round) / static_cast<double>(steps)));
+  }
+  return result;
+}
+
+}  // namespace saps::algos

@@ -1,0 +1,68 @@
+#include "algos/topk_psgd.hpp"
+
+#include "compress/topk.hpp"
+
+namespace saps::algos {
+
+sim::RunResult TopkPsgd::run(sim::Engine& engine) {
+  const auto& cfg = engine.config();
+  const std::size_t n = engine.workers();
+  const std::size_t steps = engine.steps_per_epoch();
+  const std::size_t dim = engine.param_count();
+  EvalSchedule schedule(cfg, steps);
+
+  std::vector<compress::ErrorFeedbackTopK> ef;
+  ef.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) ef.emplace_back(dim, config_.compression);
+
+  sim::RunResult result;
+  result.algorithm = name();
+  result.history.push_back(engine.eval_point(0, 0.0));
+
+  std::vector<compress::SparseVector> chunks(n);
+  std::vector<float> avg(dim);
+
+  std::size_t round = 0;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    for (std::size_t step = 0; step < steps; ++step) {
+      engine.for_each_worker(
+          [&](std::size_t w) { engine.compute_gradient(w, epoch); });
+      for (std::size_t w = 0; w < n; ++w) {
+        chunks[w] = ef[w].compress(engine.model(w).gradients());
+      }
+
+      // Ring all-gather: n-1 sequential hops; at hop r worker w forwards the
+      // chunk that originated at worker (w - r) mod n.
+      auto& net = engine.network();
+      for (std::size_t hop = 0; hop + 1 < n; ++hop) {
+        net.start_round();
+        for (std::size_t w = 0; w < n; ++w) {
+          const std::size_t origin = (w + n - hop) % n;
+          net.transfer(w, (w + 1) % n, chunks[origin].wire_bytes());
+        }
+        net.finish_round();
+      }
+
+      // Everyone now has all chunks; apply the identical averaged update.
+      std::fill(avg.begin(), avg.end(), 0.0f);
+      for (std::size_t w = 0; w < n; ++w) {
+        compress::add_sparse(avg, chunks[w], 1.0f / static_cast<float>(n));
+      }
+      engine.for_each_worker(
+          [&](std::size_t w) { engine.apply_update(w, avg, epoch); });
+
+      ++round;
+      if (schedule.due(round)) {
+        result.history.push_back(engine.eval_point(
+            round, static_cast<double>(round) / static_cast<double>(steps)));
+      }
+    }
+  }
+  if (result.history.back().round != round) {
+    result.history.push_back(engine.eval_point(
+        round, static_cast<double>(round) / static_cast<double>(steps)));
+  }
+  return result;
+}
+
+}  // namespace saps::algos

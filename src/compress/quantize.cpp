@@ -1,0 +1,77 @@
+#include "compress/quantize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace saps::compress {
+
+double QsgdEncoded::wire_bytes() const noexcept {
+  const double symbols = 2.0 * static_cast<double>(levels) + 1.0;
+  const double bits_per_coord = std::ceil(std::log2(symbols));
+  return 5.0 + bits_per_coord * static_cast<double>(quantized.size()) / 8.0;
+}
+
+QsgdEncoded qsgd_encode(std::span<const float> x, std::uint8_t levels,
+                        Rng& rng) {
+  if (levels == 0) throw std::invalid_argument("qsgd_encode: levels == 0");
+  if (x.empty()) throw std::invalid_argument("qsgd_encode: empty input");
+  double norm_sq = 0.0;
+  for (const float v : x) norm_sq += static_cast<double>(v) * v;
+  const double norm = std::sqrt(norm_sq);
+
+  QsgdEncoded e;
+  e.norm = static_cast<float>(norm);
+  e.levels = levels;
+  e.quantized.resize(x.size());
+  if (norm == 0.0) return e;
+
+  const double s = static_cast<double>(levels);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = std::abs(x[i]) / norm * s;  // in [0, s]
+    const double floor_r = std::floor(r);
+    // Stochastic rounding keeps the estimator unbiased.
+    const double level = floor_r + (rng.next_double() < (r - floor_r) ? 1 : 0);
+    const auto signed_level =
+        static_cast<std::int8_t>(x[i] < 0 ? -level : level);
+    e.quantized[i] = signed_level;
+  }
+  return e;
+}
+
+std::vector<float> qsgd_decode(const QsgdEncoded& e) {
+  std::vector<float> out(e.quantized.size());
+  if (e.levels == 0) throw std::invalid_argument("qsgd_decode: levels == 0");
+  const float unit = e.norm / static_cast<float>(e.levels);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = unit * static_cast<float>(e.quantized[i]);
+  }
+  return out;
+}
+
+TernEncoded terngrad_encode(std::span<const float> x, Rng& rng) {
+  if (x.empty()) throw std::invalid_argument("terngrad_encode: empty input");
+  float max_abs = 0.0f;
+  for (const float v : x) max_abs = std::max(max_abs, std::abs(v));
+
+  TernEncoded e;
+  e.scale = max_abs;
+  e.signs.resize(x.size(), 0);
+  if (max_abs == 0.0f) return e;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double p = std::abs(x[i]) / max_abs;  // keep-probability, unbiased
+    if (rng.next_double() < p) {
+      e.signs[i] = x[i] < 0 ? -1 : 1;
+    }
+  }
+  return e;
+}
+
+std::vector<float> terngrad_decode(const TernEncoded& e) {
+  std::vector<float> out(e.signs.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = e.scale * static_cast<float>(e.signs[i]);
+  }
+  return out;
+}
+
+}  // namespace saps::compress

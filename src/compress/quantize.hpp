@@ -1,0 +1,51 @@
+// Gradient quantization compressors from the paper's related-work section:
+// QSGD (Alistarh et al. 2017) stochastic uniform quantization and TernGrad
+// (Wen et al. 2017) ternary quantization.  Both achieve at most 32×
+// compression — the paper's argument for preferring sparsification (which
+// reaches 100–1000×) — and the ablation bench quantifies that trade-off.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace saps::compress {
+
+/// QSGD with s quantization levels: each coordinate is encoded as
+/// sign + level index ∈ [0, s], scaled by ‖x‖₂.  Unbiased:
+/// E[decode(encode(x))] = x.
+struct QsgdEncoded {
+  float norm = 0.0f;
+  std::uint8_t levels = 0;                // s
+  std::vector<std::int8_t> quantized;     // signed level per coordinate
+
+  /// Wire size: 4-byte norm + 1-byte levels + ceil(log2(2s+1)) bits per
+  /// coordinate (we charge the information-theoretic size, matching how the
+  /// paper counts "32x compression" for 1-bit schemes).
+  [[nodiscard]] double wire_bytes() const noexcept;
+};
+
+[[nodiscard]] QsgdEncoded qsgd_encode(std::span<const float> x,
+                                      std::uint8_t levels, Rng& rng);
+
+[[nodiscard]] std::vector<float> qsgd_decode(const QsgdEncoded& e);
+
+/// TernGrad: coordinates quantized to {-1, 0, +1} × max|x|, stochastic and
+/// unbiased.
+struct TernEncoded {
+  float scale = 0.0f;
+  std::vector<std::int8_t> signs;  // -1/0/+1
+
+  /// 4-byte scale + 2 bits per coordinate.
+  [[nodiscard]] double wire_bytes() const noexcept {
+    return 4.0 + 2.0 * static_cast<double>(signs.size()) / 8.0;
+  }
+};
+
+[[nodiscard]] TernEncoded terngrad_encode(std::span<const float> x, Rng& rng);
+
+[[nodiscard]] std::vector<float> terngrad_decode(const TernEncoded& e);
+
+}  // namespace saps::compress

@@ -1,0 +1,65 @@
+#include "compress/topk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace saps::compress {
+
+SparseVector top_k(std::span<const float> x, double c) {
+  if (c < 1.0) throw std::invalid_argument("top_k: c must be >= 1");
+  if (x.empty()) throw std::invalid_argument("top_k: empty input");
+  const std::size_t n = x.size();
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(static_cast<double>(n) / c)));
+
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                   order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     const float fa = std::fabs(x[a]), fb = std::fabs(x[b]);
+                     return fa > fb || (fa == fb && a < b);
+                   });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+
+  SparseVector s;
+  s.indices = std::move(order);
+  s.values.reserve(k);
+  for (const auto idx : s.indices) s.values.push_back(x[idx]);
+  return s;
+}
+
+void add_sparse(std::span<float> x, const SparseVector& s, float scale) {
+  for (std::size_t i = 0; i < s.indices.size(); ++i) {
+    const auto idx = s.indices[i];
+    if (idx >= x.size()) throw std::out_of_range("add_sparse: index");
+    x[idx] += scale * s.values[i];
+  }
+}
+
+ErrorFeedbackTopK::ErrorFeedbackTopK(std::size_t n, double c)
+    : c_(c), residual_(n, 0.0f), scratch_(n, 0.0f) {
+  if (n == 0) throw std::invalid_argument("ErrorFeedbackTopK: n == 0");
+  if (c < 1.0) throw std::invalid_argument("ErrorFeedbackTopK: c < 1");
+}
+
+SparseVector ErrorFeedbackTopK::compress(std::span<const float> gradient) {
+  if (gradient.size() != residual_.size()) {
+    throw std::invalid_argument("ErrorFeedbackTopK: size mismatch");
+  }
+  for (std::size_t i = 0; i < residual_.size(); ++i) {
+    scratch_[i] = residual_[i] + gradient[i];
+  }
+  SparseVector sent = top_k(scratch_, c_);
+  // residual = accumulated - sent
+  residual_ = scratch_;
+  for (std::size_t i = 0; i < sent.indices.size(); ++i) {
+    residual_[sent.indices[i]] = 0.0f;
+  }
+  return sent;
+}
+
+}  // namespace saps::compress

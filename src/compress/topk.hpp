@@ -1,0 +1,48 @@
+// Top-k magnitude sparsification with error-feedback residual — the
+// compressor used by the TopK-PSGD baseline (Lin et al. 2018; Renggli et al.
+// 2019) and, in difference form, by DCD-PSGD (Tang et al. 2018).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace saps::compress {
+
+/// Sparse (index, value) message.
+struct SparseVector {
+  std::vector<std::uint32_t> indices;  // strictly increasing
+  std::vector<float> values;
+
+  [[nodiscard]] std::size_t nnz() const noexcept { return indices.size(); }
+  /// Wire size: 4-byte index + 4-byte value per entry + 16-byte header.
+  [[nodiscard]] double wire_bytes() const noexcept {
+    return 16.0 + 8.0 * static_cast<double>(indices.size());
+  }
+};
+
+/// Selects the k largest-|x| entries (k = ceil(n / c)).  Ties broken by
+/// lower index for determinism.
+[[nodiscard]] SparseVector top_k(std::span<const float> x, double c);
+
+/// Adds a sparse vector, scaled: x[idx] += scale * value.
+void add_sparse(std::span<float> x, const SparseVector& s, float scale = 1.0f);
+
+/// Error-feedback compressor state (one per worker): compress(g) returns
+/// top-k of (g + residual) and keeps what was not sent as the new residual.
+class ErrorFeedbackTopK {
+ public:
+  ErrorFeedbackTopK(std::size_t n, double c);
+
+  [[nodiscard]] SparseVector compress(std::span<const float> gradient);
+  [[nodiscard]] std::span<const float> residual() const noexcept {
+    return residual_;
+  }
+
+ private:
+  double c_;
+  std::vector<float> residual_;
+  std::vector<float> scratch_;
+};
+
+}  // namespace saps::compress

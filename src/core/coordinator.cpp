@@ -1,0 +1,97 @@
+#include "core/coordinator.hpp"
+
+#include <stdexcept>
+
+namespace saps::core {
+
+namespace {
+// Wire-size estimates for the control plane: the (W_t, t, s) notification is
+// a peer id + round + seed per worker; ROUND_END is a tag + round.
+constexpr double kNotifyBytes = 24.0;
+constexpr double kRoundEndBytes = 12.0;
+}  // namespace
+
+Coordinator::Coordinator(std::size_t workers,
+                         const std::optional<net::BandwidthMatrix>& bandwidth,
+                         CoordinatorConfig config)
+    : workers_(workers),
+      config_(config),
+      bandwidth_(bandwidth),
+      active_(workers, 1),
+      seed_rng_(derive_seed(config.seed, 0xc002d)) {
+  if (workers < 2) throw std::invalid_argument("Coordinator: workers < 2");
+  const bool adaptive =
+      config_.strategy == SelectionStrategy::kAdaptiveBandwidth &&
+      bandwidth_.has_value();
+  if (adaptive) {
+    gossip::GeneratorConfig gen;
+    gen.bandwidth_threshold = config_.bandwidth_threshold;
+    gen.t_thres = config_.t_thres;
+    gen.seed = config_.seed;
+    generator_.emplace(*bandwidth_, gen);
+  } else {
+    random_.emplace(workers, config_.seed);
+  }
+}
+
+const char* Coordinator::strategy_name() const noexcept {
+  return generator_ ? "adaptive-bandwidth" : "random-match";
+}
+
+RoundPlan Coordinator::begin_round() {
+  RoundPlan plan;
+  plan.round = round_++;
+  plan.mask_seed = seed_rng_();
+  if (generator_) {
+    plan.gossip = generator_->generate(plan.round);
+  } else {
+    // Random matching over active workers only.
+    plan.gossip = random_->select(plan.round);
+    std::size_t active_count = 0;
+    for (const auto a : active_) active_count += a;
+    if (active_count != workers_) {
+      // Drop pairs touching inactive workers (they neither train nor talk).
+      graph::Matching match;
+      match.partner.assign(workers_, graph::Matching::kUnmatched);
+      for (const auto& [i, j] : plan.gossip.pairs()) {
+        if (active_[i] && active_[j]) {
+          match.partner[i] = j;
+          match.partner[j] = i;
+        }
+      }
+      plan.gossip = gossip::GossipMatrix(match);
+    }
+  }
+  control_bytes_ += kNotifyBytes * static_cast<double>(workers_);
+  return plan;
+}
+
+void Coordinator::worker_done(std::size_t worker) {
+  if (worker >= workers_) throw std::out_of_range("Coordinator::worker_done");
+  control_bytes_ += kRoundEndBytes;
+}
+
+void Coordinator::set_active(std::size_t worker, bool active) {
+  if (worker >= workers_) throw std::out_of_range("Coordinator::set_active");
+  active_[worker] = active ? 1 : 0;
+  if (generator_) generator_->set_active(worker, active);
+}
+
+bool Coordinator::active(std::size_t worker) const {
+  if (worker >= workers_) throw std::out_of_range("Coordinator::active");
+  return active_[worker] != 0;
+}
+
+double Coordinator::bottleneck_bandwidth(const gossip::GossipMatrix& w) const {
+  if (!bandwidth_) return 0.0;
+  double min_bw = 0.0;
+  bool any = false;
+  for (const auto& [i, j] : w.pairs()) {
+    const double bw = bandwidth_->get(i, j);
+    min_bw = any ? std::min(min_bw, bw) : bw;
+    any = true;
+  }
+  return any ? min_bw : 0.0;
+}
+
+}  // namespace saps::core

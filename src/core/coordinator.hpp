@@ -1,0 +1,86 @@
+// The SAPS-PSGD coordinator — Algorithm 1.
+//
+// A lightweight, BitTorrent-tracker-like central service.  It never touches
+// model parameters or gradients: per round it (1) generates the gossip
+// matrix W_t via adaptive peer selection, (2) draws the mask seed s that all
+// workers use to regenerate the identical sparsification mask, (3) notifies
+// workers, and (4) waits for their ROUND_END messages.  Only small control
+// messages flow through it; the final full model is collected once at the
+// end of training.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "gossip/generator.hpp"
+#include "gossip/peer_selection.hpp"
+#include "net/bandwidth.hpp"
+
+namespace saps::core {
+
+enum class SelectionStrategy {
+  kAdaptiveBandwidth,  // the paper's Algorithm 3
+  kRandomMatch,        // "RandomChoose" baseline of Fig. 5
+};
+
+struct CoordinatorConfig {
+  SelectionStrategy strategy = SelectionStrategy::kAdaptiveBandwidth;
+  double bandwidth_threshold = 0.0;  // B_thres; 0 = median auto-threshold
+  std::size_t t_thres = 10;          // RC-edge window
+  std::uint64_t seed = 1;
+};
+
+/// One round's broadcast payload (W_t, t, s) of Algorithm 1, line 6.
+struct RoundPlan {
+  std::size_t round = 0;
+  std::uint64_t mask_seed = 0;
+  gossip::GossipMatrix gossip{1};
+};
+
+class Coordinator {
+ public:
+  /// Without a bandwidth matrix the coordinator falls back to random
+  /// matching (there is nothing to adapt to), matching the paper's
+  /// bandwidth-agnostic convergence experiments (Fig. 3/4).
+  Coordinator(std::size_t workers,
+              const std::optional<net::BandwidthMatrix>& bandwidth,
+              CoordinatorConfig config);
+
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+  [[nodiscard]] const char* strategy_name() const noexcept;
+
+  /// Generates the plan for the next round and accounts the coordinator →
+  /// worker control broadcast.
+  [[nodiscard]] RoundPlan begin_round();
+
+  /// Worker bookkeeping for the ROUND_END message (Algorithm 2, line 11).
+  void worker_done(std::size_t worker);
+
+  /// Federated dynamics: workers joining/leaving mid-training.
+  void set_active(std::size_t worker, bool active);
+  [[nodiscard]] bool active(std::size_t worker) const;
+
+  /// Bottleneck bandwidth of a round's matching (Fig. 5 metric); 0 when no
+  /// bandwidth matrix is present.
+  [[nodiscard]] double bottleneck_bandwidth(const gossip::GossipMatrix& w) const;
+
+  /// Cumulative control-plane traffic in bytes (status messages only; the
+  /// paper's plots exclude it because it is negligible next to the model
+  /// traffic — we track it to show exactly that).
+  [[nodiscard]] double control_bytes() const noexcept { return control_bytes_; }
+
+  [[nodiscard]] std::size_t rounds_issued() const noexcept { return round_; }
+
+ private:
+  std::size_t workers_;
+  CoordinatorConfig config_;
+  std::optional<net::BandwidthMatrix> bandwidth_;
+  std::optional<gossip::GossipGenerator> generator_;   // adaptive path
+  std::optional<gossip::RandomMatchSelector> random_;  // random path
+  std::vector<std::uint8_t> active_;
+  Rng seed_rng_;
+  std::size_t round_ = 0;
+  double control_bytes_ = 0.0;
+};
+
+}  // namespace saps::core

@@ -1,0 +1,22 @@
+#include "core/cost_model.hpp"
+
+namespace saps::core {
+
+std::vector<AlgoCost> communication_cost_table(const CostInputs& in) {
+  const double N = in.model_size, n = in.workers, T = in.rounds;
+  const double c = in.compression, ck = in.topk_compression,
+               cd = in.dcd_compression, np = in.neighbors;
+  return {
+      {"PS-PSGD", 2 * N * n * T, 2 * N * T, false, false, false},
+      {"PSGD (all-reduce)", -1.0, 2 * N * T, false, false, false},
+      {"TopK-PSGD", -1.0, 2 * n * (N / ck) * T, true, false, false},
+      {"FedAvg", 2 * N * n * T, 2 * N * T, false, false, false},
+      {"S-FedAvg", (N + 2 * N / c) * n * T, (N + 2 * N / c) * T, true, false,
+       false},
+      {"D-PSGD", N, 4 * np * N * T, false, false, false},
+      {"DCD-PSGD", N, 4 * np * (N / cd) * T, true, false, false},
+      {"SAPS-PSGD", N, 2 * (N / c) * T, true, true, true},
+  };
+}
+
+}  // namespace saps::core

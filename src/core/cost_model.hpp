@@ -1,0 +1,35 @@
+// Analytical communication-cost model — the paper's Table I.
+//
+// For model size N, n workers, T rounds, compression ratio c, and n_p the
+// maximum neighbor count of a decentralized worker (n_p = 2 on the ring).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace saps::core {
+
+struct CostInputs {
+  double model_size = 1e6;  // N (parameters)
+  double workers = 32.0;    // n
+  double rounds = 1000.0;   // T
+  double compression = 100.0;        // c (SAPS / S-FedAvg)
+  double topk_compression = 1000.0;  // c for TopK-PSGD
+  double dcd_compression = 4.0;      // c for DCD-PSGD
+  double neighbors = 2.0;   // n_p
+};
+
+struct AlgoCost {
+  std::string algorithm;
+  double server_cost;   // parameters moved through the server; -1 = no server
+  double worker_cost;   // parameters moved per worker
+  bool sparsification;  // "SP." column
+  bool bandwidth_aware; // "C.B." column
+  bool robust;          // "R."  column
+};
+
+/// All eight rows of Table I, in the paper's order.
+[[nodiscard]] std::vector<AlgoCost> communication_cost_table(
+    const CostInputs& in);
+
+}  // namespace saps::core

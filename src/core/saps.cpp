@@ -1,0 +1,106 @@
+#include "core/saps.hpp"
+
+#include <stdexcept>
+
+#include "compress/mask.hpp"
+
+namespace saps::core {
+
+SapsPsgd::SapsPsgd(SapsConfig config) : config_(std::move(config)) {
+  if (config_.compression < 1.0) {
+    throw std::invalid_argument("SapsPsgd: compression < 1");
+  }
+}
+
+sim::RunResult SapsPsgd::run(sim::Engine& engine) {
+  const auto& cfg = engine.config();
+  const std::size_t n = engine.workers();
+  const std::size_t steps = engine.steps_per_epoch();
+  const std::size_t dim = engine.param_count();
+  algos::EvalSchedule schedule(cfg, steps);
+
+  CoordinatorConfig coord_cfg;
+  coord_cfg.strategy = config_.strategy;
+  coord_cfg.bandwidth_threshold = config_.bandwidth_threshold;
+  coord_cfg.t_thres = config_.t_thres;
+  coord_cfg.seed = cfg.seed;
+  Coordinator coordinator(n, engine.worker_bandwidth(), coord_cfg);
+
+  std::vector<SapsWorker> workers;
+  workers.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    workers.emplace_back(engine, w, config_.compression);
+  }
+
+  selection_bandwidth_.clear();
+  sim::RunResult result;
+  result.algorithm = name();
+  result.history.push_back(engine.eval_point(0, 0.0));
+
+  std::size_t round = 0;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    for (std::size_t step = 0; step < steps; ++step) {
+      if (config_.on_round) config_.on_round(round, coordinator, engine);
+
+      // Algorithm 1 lines 4-6: W_t, t, s broadcast.
+      const RoundPlan plan = coordinator.begin_round();
+      if (engine.network().has_bandwidth()) {
+        selection_bandwidth_.push_back(
+            coordinator.bottleneck_bandwidth(plan.gossip));
+      }
+
+      // Algorithm 2 line 5: local SGD on every active worker.
+      engine.for_each_worker(
+          [&](std::size_t w) { workers[w].local_train(epoch); });
+
+      // Lines 6-10: mask, exchange with peer, merge.
+      const auto mask =
+          compress::bernoulli_mask(plan.mask_seed, dim, config_.compression);
+      const double wire = SapsWorker::message_bytes(
+          compress::mask_popcount(mask));
+
+      auto& net = engine.network();
+      net.start_round();
+      for (const auto& [i, j] : plan.gossip.pairs()) {
+        net.transfer(i, j, wire);
+        net.transfer(j, i, wire);
+      }
+      net.finish_round();
+
+      for (const auto& [i, j] : plan.gossip.pairs()) {
+        auto vi = workers[i].sparsified_model(mask);
+        auto vj = workers[j].sparsified_model(mask);
+        workers[i].merge_peer(mask, vj);
+        workers[j].merge_peer(mask, vi);
+      }
+
+      // Line 11: ROUND_END notifications.
+      for (std::size_t w = 0; w < n; ++w) {
+        if (coordinator.active(w)) coordinator.worker_done(w);
+      }
+
+      ++round;
+      if (schedule.due(round)) {
+        result.history.push_back(engine.eval_point(
+            round, static_cast<double>(round) / static_cast<double>(steps)));
+      }
+    }
+  }
+  if (result.history.back().round != round) {
+    result.history.push_back(engine.eval_point(
+        round, static_cast<double>(round) / static_cast<double>(steps)));
+  }
+
+  // Algorithm 1 line 8 / Algorithm 2 line 12: the coordinator collects one
+  // full model at the end of training (Table I's server cost of N).
+  auto& net = engine.network();
+  net.start_round();
+  net.transfer(0, engine.server_node(),
+               algos::dense_model_bytes(dim));
+  net.finish_round();
+
+  control_bytes_ = coordinator.control_bytes();
+  return result;
+}
+
+}  // namespace saps::core

@@ -1,0 +1,53 @@
+// SAPS-PSGD — the paper's algorithm, orchestrating Coordinator (Algorithm 1)
+// and SapsWorkers (Algorithm 2) over the simulation engine.
+//
+// Update rule (Eq. 7):  X_{t+1} = X_t ∘ ¬M_t + (X_t ∘ M_t) W_t − γ G(X_t; ξ_t)
+// realized as: local SGD step, then pairwise averaging of the masked
+// coordinates with the matched peer.
+#pragma once
+
+#include <functional>
+
+#include "algos/algorithm.hpp"
+#include "core/coordinator.hpp"
+#include "core/worker.hpp"
+
+namespace saps::core {
+
+struct SapsConfig {
+  double compression = 100.0;  // c (paper: 100)
+  SelectionStrategy strategy = SelectionStrategy::kAdaptiveBandwidth;
+  double bandwidth_threshold = 0.0;  // B_thres; 0 = median auto
+  std::size_t t_thres = 10;          // T_thres RC window
+  // Optional federated-dynamics hook, called before every round with the
+  // round index; use engine/coordinator set_active to drop or rejoin
+  // workers (both must be kept in sync — see SapsPsgd::run).
+  std::function<void(std::size_t round, Coordinator&, sim::Engine&)> on_round;
+};
+
+class SapsPsgd final : public algos::Algorithm {
+ public:
+  explicit SapsPsgd(SapsConfig config = {});
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return config_.strategy == SelectionStrategy::kRandomMatch
+               ? "SAPS-PSGD(random)"
+               : "SAPS-PSGD";
+  }
+  sim::RunResult run(sim::Engine& engine) override;
+
+  /// Per-round bottleneck bandwidth of the selections made during the last
+  /// run (Fig. 5 series); empty if the engine had no bandwidth matrix.
+  [[nodiscard]] const std::vector<double>& selection_bandwidth() const noexcept {
+    return selection_bandwidth_;
+  }
+  /// Cumulative coordinator control-plane bytes observed in the last run.
+  [[nodiscard]] double control_bytes() const noexcept { return control_bytes_; }
+
+ private:
+  SapsConfig config_;
+  std::vector<double> selection_bandwidth_;
+  double control_bytes_ = 0.0;
+};
+
+}  // namespace saps::core

@@ -1,0 +1,30 @@
+#include "core/worker.hpp"
+
+#include <stdexcept>
+
+namespace saps::core {
+
+SapsWorker::SapsWorker(sim::Engine& engine, std::size_t rank,
+                       double compression)
+    : engine_(&engine), rank_(rank), compression_(compression) {
+  if (rank >= engine.workers()) throw std::out_of_range("SapsWorker: rank");
+  if (compression < 1.0) {
+    throw std::invalid_argument("SapsWorker: compression < 1");
+  }
+}
+
+double SapsWorker::local_train(std::size_t epoch) {
+  return engine_->sgd_step(rank_, epoch);
+}
+
+std::vector<float> SapsWorker::sparsified_model(
+    std::span<const std::uint8_t> mask) const {
+  return compress::extract_masked(engine_->params(rank_), mask);
+}
+
+void SapsWorker::merge_peer(std::span<const std::uint8_t> mask,
+                            std::span<const float> peer_values) {
+  compress::average_masked_inplace(engine_->params(rank_), mask, peer_values);
+}
+
+}  // namespace saps::core

@@ -1,0 +1,47 @@
+// The SAPS-PSGD worker — Algorithm 2.
+//
+// Per round, a worker: runs local mini-batch SGD (line 5), regenerates the
+// shared mask from the coordinator's seed (line 6), extracts its sparsified
+// model x̃ = x ∘ m_t (line 7), exchanges it with the peer named by W_t
+// (lines 8–9) and merges per Eq. (7): the masked coordinates become the
+// pairwise average, the rest keep the local value (line 10).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/mask.hpp"
+#include "sim/engine.hpp"
+
+namespace saps::core {
+
+class SapsWorker {
+ public:
+  SapsWorker(sim::Engine& engine, std::size_t rank, double compression);
+
+  [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+
+  /// Algorithm 2 line 5: one local mini-batch SGD step.  Returns the loss.
+  double local_train(std::size_t epoch);
+
+  /// Lines 6–7: the sparsified model for this round's mask.
+  [[nodiscard]] std::vector<float> sparsified_model(
+      std::span<const std::uint8_t> mask) const;
+
+  /// Line 10: merge the peer's sparsified model (Eq. (7) update).
+  void merge_peer(std::span<const std::uint8_t> mask,
+                  std::span<const float> peer_values);
+
+  /// Wire bytes of one sparsified-model message under this round's mask.
+  [[nodiscard]] static double message_bytes(std::size_t mask_ones) noexcept {
+    return compress::masked_wire_bytes(mask_ones);
+  }
+
+ private:
+  sim::Engine* engine_;
+  std::size_t rank_;
+  double compression_;
+};
+
+}  // namespace saps::core

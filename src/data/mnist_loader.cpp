@@ -1,0 +1,84 @@
+#include "data/mnist_loader.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace saps::data {
+
+namespace {
+
+std::uint32_t read_be32(std::istream& in) {
+  unsigned char bytes[4];
+  in.read(reinterpret_cast<char*>(bytes), 4);
+  if (!in) throw std::runtime_error("mnist: truncated header");
+  return (static_cast<std::uint32_t>(bytes[0]) << 24) |
+         (static_cast<std::uint32_t>(bytes[1]) << 16) |
+         (static_cast<std::uint32_t>(bytes[2]) << 8) |
+         static_cast<std::uint32_t>(bytes[3]);
+}
+
+}  // namespace
+
+std::optional<Dataset> load_mnist_idx(const std::string& images_path,
+                                      const std::string& labels_path) {
+  namespace fs = std::filesystem;
+  if (!fs::exists(images_path) || !fs::exists(labels_path)) {
+    return std::nullopt;
+  }
+
+  std::ifstream img(images_path, std::ios::binary);
+  std::ifstream lab(labels_path, std::ios::binary);
+  if (!img || !lab) throw std::runtime_error("mnist: cannot open files");
+
+  constexpr std::uint32_t kImageMagic = 0x00000803;  // idx3-ubyte
+  constexpr std::uint32_t kLabelMagic = 0x00000801;  // idx1-ubyte
+  if (read_be32(img) != kImageMagic) {
+    throw std::runtime_error("mnist: bad image magic");
+  }
+  if (read_be32(lab) != kLabelMagic) {
+    throw std::runtime_error("mnist: bad label magic");
+  }
+  const std::uint32_t n_images = read_be32(img);
+  const std::uint32_t rows = read_be32(img);
+  const std::uint32_t cols = read_be32(img);
+  const std::uint32_t n_labels = read_be32(lab);
+  if (n_images != n_labels) {
+    throw std::runtime_error("mnist: image/label count mismatch");
+  }
+  if (rows == 0 || cols == 0 || rows > 1024 || cols > 1024) {
+    throw std::runtime_error("mnist: implausible image dimensions");
+  }
+
+  const std::size_t dim = static_cast<std::size_t>(rows) * cols;
+  std::vector<float> features(static_cast<std::size_t>(n_images) * dim);
+  std::vector<std::int32_t> labels(n_images);
+  std::vector<unsigned char> row(dim);
+  for (std::uint32_t i = 0; i < n_images; ++i) {
+    img.read(reinterpret_cast<char*>(row.data()),
+             static_cast<std::streamsize>(dim));
+    if (!img) throw std::runtime_error("mnist: truncated image data");
+    for (std::size_t j = 0; j < dim; ++j) {
+      features[static_cast<std::size_t>(i) * dim + j] =
+          static_cast<float>(row[j]) / 255.0f;
+    }
+    char label_byte;
+    lab.read(&label_byte, 1);
+    if (!lab) throw std::runtime_error("mnist: truncated label data");
+    labels[i] = static_cast<std::int32_t>(static_cast<unsigned char>(label_byte));
+  }
+  return Dataset({1, rows, cols}, std::move(features), std::move(labels), 10);
+}
+
+std::optional<Dataset> load_mnist_train(const std::string& dir) {
+  return load_mnist_idx(dir + "/train-images-idx3-ubyte",
+                        dir + "/train-labels-idx1-ubyte");
+}
+
+std::optional<Dataset> load_mnist_test(const std::string& dir) {
+  return load_mnist_idx(dir + "/t10k-images-idx3-ubyte",
+                        dir + "/t10k-labels-idx1-ubyte");
+}
+
+}  // namespace saps::data

@@ -1,0 +1,154 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace saps::data {
+
+namespace {
+void check_args(const Dataset& dataset, std::size_t workers) {
+  if (workers == 0) throw std::invalid_argument("partition: zero workers");
+  if (dataset.size() < workers) {
+    throw std::invalid_argument("partition: fewer samples than workers");
+  }
+}
+
+std::vector<std::size_t> shuffled_indices(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(idx[i - 1], idx[rng.next_below(i)]);
+  }
+  return idx;
+}
+}  // namespace
+
+std::vector<std::vector<std::size_t>> iid_partition(const Dataset& dataset,
+                                                    std::size_t workers,
+                                                    std::uint64_t seed) {
+  check_args(dataset, workers);
+  Rng rng(derive_seed(seed, 0x11d));
+  const auto idx = shuffled_indices(dataset.size(), rng);
+  std::vector<std::vector<std::size_t>> parts(workers);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    parts[i % workers].push_back(idx[i]);
+  }
+  return parts;
+}
+
+std::vector<std::vector<std::size_t>> shard_partition(
+    const Dataset& dataset, std::size_t workers, std::size_t shards_per_worker,
+    std::uint64_t seed) {
+  check_args(dataset, workers);
+  if (shards_per_worker == 0) {
+    throw std::invalid_argument("shard_partition: zero shards per worker");
+  }
+  const std::size_t num_shards = workers * shards_per_worker;
+  if (dataset.size() < num_shards) {
+    throw std::invalid_argument("shard_partition: fewer samples than shards");
+  }
+
+  // Sort indices by label (stable for determinism).
+  std::vector<std::size_t> idx(dataset.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return dataset.label(a) < dataset.label(b);
+  });
+
+  Rng rng(derive_seed(seed, 0x54a2d));
+  auto shard_order = shuffled_indices(num_shards, rng);
+  const std::size_t shard_size = dataset.size() / num_shards;
+
+  std::vector<std::vector<std::size_t>> parts(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    for (std::size_t s = 0; s < shards_per_worker; ++s) {
+      const std::size_t shard = shard_order[w * shards_per_worker + s];
+      const std::size_t begin = shard * shard_size;
+      const std::size_t end =
+          (shard == num_shards - 1) ? dataset.size() : begin + shard_size;
+      for (std::size_t i = begin; i < end; ++i) parts[w].push_back(idx[i]);
+    }
+  }
+  return parts;
+}
+
+std::vector<std::vector<std::size_t>> dirichlet_partition(
+    const Dataset& dataset, std::size_t workers, double alpha,
+    std::uint64_t seed) {
+  check_args(dataset, workers);
+  if (alpha <= 0.0) throw std::invalid_argument("dirichlet_partition: alpha<=0");
+
+  Rng rng(derive_seed(seed, 0xd114c));
+  // Group sample indices by class.
+  std::vector<std::vector<std::size_t>> by_class(dataset.num_classes());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    by_class[static_cast<std::size_t>(dataset.label(i))].push_back(i);
+  }
+
+  // Gamma(alpha, 1) sampler via Marsaglia–Tsang (with boost for alpha < 1).
+  auto gamma_sample = [&rng](double a) {
+    double boost = 1.0;
+    if (a < 1.0) {
+      boost = std::pow(rng.next_double() + 1e-12, 1.0 / a);
+      a += 1.0;
+    }
+    const double d = a - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x, v;
+      do {
+        x = rng.next_normal();
+        v = 1.0 + c * x;
+      } while (v <= 0.0);
+      v = v * v * v;
+      const double u = rng.next_double();
+      if (u < 1.0 - 0.0331 * x * x * x * x) return boost * d * v;
+      if (std::log(u + 1e-300) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+        return boost * d * v;
+      }
+    }
+  };
+
+  std::vector<std::vector<std::size_t>> parts(workers);
+  for (auto& cls_indices : by_class) {
+    if (cls_indices.empty()) continue;
+    // Shuffle within class, then split by Dirichlet proportions.
+    for (std::size_t i = cls_indices.size(); i > 1; --i) {
+      std::swap(cls_indices[i - 1], cls_indices[rng.next_below(i)]);
+    }
+    std::vector<double> props(workers);
+    double total = 0.0;
+    for (auto& p : props) {
+      p = gamma_sample(alpha);
+      total += p;
+    }
+    std::size_t cursor = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const auto take = (w == workers - 1)
+                            ? cls_indices.size() - cursor
+                            : static_cast<std::size_t>(std::round(
+                                  props[w] / total *
+                                  static_cast<double>(cls_indices.size())));
+      const std::size_t end = std::min(cursor + take, cls_indices.size());
+      for (std::size_t i = cursor; i < end; ++i) {
+        parts[w].push_back(cls_indices[i]);
+      }
+      cursor = end;
+    }
+  }
+
+  // Guarantee non-empty shards: steal one sample from the largest part.
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (!parts[w].empty()) continue;
+    auto largest = std::max_element(
+        parts.begin(), parts.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    parts[w].push_back(largest->back());
+    largest->pop_back();
+  }
+  return parts;
+}
+
+}  // namespace saps::data

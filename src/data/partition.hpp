@@ -1,0 +1,32 @@
+// Data partitioning across workers: IID and the two standard non-IID schemes
+// used in federated-learning evaluations (label shards à la McMahan et al.,
+// and Dirichlet label skew).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace saps::data {
+
+/// Returns per-worker index lists; shuffled round-robin, sizes differ by ≤1.
+std::vector<std::vector<std::size_t>> iid_partition(const Dataset& dataset,
+                                                    std::size_t workers,
+                                                    std::uint64_t seed);
+
+/// McMahan-style pathological non-IID: sort by label, cut into
+/// `shards_per_worker * workers` contiguous shards, deal each worker
+/// `shards_per_worker` shards — so each worker sees few classes.
+std::vector<std::vector<std::size_t>> shard_partition(
+    const Dataset& dataset, std::size_t workers, std::size_t shards_per_worker,
+    std::uint64_t seed);
+
+/// Dirichlet(alpha) label-skew: for each class, split its samples across
+/// workers with proportions drawn from Dirichlet(alpha).  Smaller alpha →
+/// more skew.  Every worker is guaranteed at least one sample.
+std::vector<std::vector<std::size_t>> dirichlet_partition(
+    const Dataset& dataset, std::size_t workers, double alpha,
+    std::uint64_t seed);
+
+}  // namespace saps::data

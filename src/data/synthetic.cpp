@@ -1,0 +1,181 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace saps::data {
+
+Dataset make_blobs(std::size_t samples, std::size_t dim, std::size_t classes,
+                   double spread, std::uint64_t seed) {
+  if (samples == 0 || dim == 0 || classes == 0) {
+    throw std::invalid_argument("make_blobs: zero argument");
+  }
+  Rng rng(derive_seed(seed, 0x610b5));
+  std::vector<float> centers(classes * dim);
+  for (auto& c : centers) c = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  std::vector<float> feats(samples * dim);
+  std::vector<std::int32_t> labels(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto cls = static_cast<std::int32_t>(i % classes);
+    labels[i] = cls;
+    const float* center = centers.data() + static_cast<std::size_t>(cls) * dim;
+    float* dst = feats.data() + i * dim;
+    for (std::size_t d = 0; d < dim; ++d) {
+      dst[d] = center[d] + static_cast<float>(rng.next_normal() * spread);
+    }
+  }
+  return Dataset({dim}, std::move(feats), std::move(labels), classes);
+}
+
+namespace {
+
+/// Renders a class template: a few random-walk strokes on an img×img canvas,
+/// then one box-blur pass so gradients are informative.
+std::vector<float> stroke_template(std::size_t img, Rng& rng) {
+  std::vector<float> canvas(img * img, 0.0f);
+  const std::size_t strokes = 3;
+  const std::size_t steps = img * 2;
+  for (std::size_t s = 0; s < strokes; ++s) {
+    double y = rng.uniform(0.2, 0.8) * static_cast<double>(img);
+    double x = rng.uniform(0.2, 0.8) * static_cast<double>(img);
+    double dy = rng.uniform(-1.0, 1.0), dx = rng.uniform(-1.0, 1.0);
+    for (std::size_t t = 0; t < steps; ++t) {
+      const auto yi = static_cast<std::ptrdiff_t>(y);
+      const auto xi = static_cast<std::ptrdiff_t>(x);
+      if (yi >= 0 && yi < static_cast<std::ptrdiff_t>(img) && xi >= 0 &&
+          xi < static_cast<std::ptrdiff_t>(img)) {
+        canvas[static_cast<std::size_t>(yi) * img +
+               static_cast<std::size_t>(xi)] = 1.0f;
+      }
+      dy += rng.uniform(-0.4, 0.4);
+      dx += rng.uniform(-0.4, 0.4);
+      const double norm = std::max(1.0, std::sqrt(dy * dy + dx * dx));
+      y += dy / norm;
+      x += dx / norm;
+      if (y < 1 || y > static_cast<double>(img - 2)) dy = -dy;
+      if (x < 1 || x > static_cast<double>(img - 2)) dx = -dx;
+    }
+  }
+  // 3×3 box blur.
+  std::vector<float> blurred(img * img, 0.0f);
+  for (std::size_t yy = 0; yy < img; ++yy) {
+    for (std::size_t xx = 0; xx < img; ++xx) {
+      float acc = 0.0f;
+      int cnt = 0;
+      for (int dy2 = -1; dy2 <= 1; ++dy2) {
+        for (int dx2 = -1; dx2 <= 1; ++dx2) {
+          const auto ny = static_cast<std::ptrdiff_t>(yy) + dy2;
+          const auto nx = static_cast<std::ptrdiff_t>(xx) + dx2;
+          if (ny >= 0 && ny < static_cast<std::ptrdiff_t>(img) && nx >= 0 &&
+              nx < static_cast<std::ptrdiff_t>(img)) {
+            acc += canvas[static_cast<std::size_t>(ny) * img +
+                          static_cast<std::size_t>(nx)];
+            ++cnt;
+          }
+        }
+      }
+      blurred[yy * img + xx] = acc / static_cast<float>(cnt);
+    }
+  }
+  return blurred;
+}
+
+}  // namespace
+
+Dataset make_mnist_like(std::size_t samples, std::uint64_t seed,
+                        std::size_t img, std::size_t classes) {
+  if (samples == 0 || img < 8) {
+    throw std::invalid_argument("make_mnist_like: bad arguments");
+  }
+  std::vector<std::vector<float>> templates(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    Rng trng(derive_seed(seed, 0x7e4421, c));
+    templates[c] = stroke_template(img, trng);
+  }
+
+  Rng rng(derive_seed(seed, 0x54421e5));
+  const std::size_t dim = img * img;
+  std::vector<float> feats(samples * dim);
+  std::vector<std::int32_t> labels(samples);
+  const int max_shift = static_cast<int>(img / 14 + 1);  // ±2 at img=28
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto cls = static_cast<std::int32_t>(i % classes);
+    labels[i] = cls;
+    const auto& tpl = templates[static_cast<std::size_t>(cls)];
+    const int sy = static_cast<int>(rng.next_below(
+                       static_cast<std::uint64_t>(2 * max_shift + 1))) -
+                   max_shift;
+    const int sx = static_cast<int>(rng.next_below(
+                       static_cast<std::uint64_t>(2 * max_shift + 1))) -
+                   max_shift;
+    const auto amp = static_cast<float>(rng.uniform(0.8, 1.2));
+    float* dst = feats.data() + i * dim;
+    for (std::size_t y = 0; y < img; ++y) {
+      for (std::size_t x = 0; x < img; ++x) {
+        const auto ty = static_cast<std::ptrdiff_t>(y) - sy;
+        const auto tx = static_cast<std::ptrdiff_t>(x) - sx;
+        float v = 0.0f;
+        if (ty >= 0 && ty < static_cast<std::ptrdiff_t>(img) && tx >= 0 &&
+            tx < static_cast<std::ptrdiff_t>(img)) {
+          v = tpl[static_cast<std::size_t>(ty) * img +
+                  static_cast<std::size_t>(tx)];
+        }
+        dst[y * img + x] =
+            amp * v + static_cast<float>(rng.next_normal() * 0.1);
+      }
+    }
+  }
+  return Dataset({1, img, img}, std::move(feats), std::move(labels), classes);
+}
+
+Dataset make_cifar_like(std::size_t samples, std::uint64_t seed,
+                        std::size_t img, std::size_t classes) {
+  if (samples == 0 || img < 8) {
+    throw std::invalid_argument("make_cifar_like: bad arguments");
+  }
+  struct ClassStyle {
+    double freq, angle;
+    float tint[3];
+  };
+  std::vector<ClassStyle> styles(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    Rng srng(derive_seed(seed, 0xc1fa4, c));
+    styles[c].freq = srng.uniform(1.5, 5.0);
+    styles[c].angle = srng.uniform(0.0, std::numbers::pi);
+    for (auto& t : styles[c].tint) {
+      t = static_cast<float>(srng.uniform(-0.5, 0.5));
+    }
+  }
+
+  Rng rng(derive_seed(seed, 0xc1fa4da7a));
+  const std::size_t dim = 3 * img * img;
+  std::vector<float> feats(samples * dim);
+  std::vector<std::int32_t> labels(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto cls = static_cast<std::int32_t>(i % classes);
+    labels[i] = cls;
+    const auto& st = styles[static_cast<std::size_t>(cls)];
+    const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double ca = std::cos(st.angle), sa = std::sin(st.angle);
+    float* dst = feats.data() + i * dim;
+    for (std::size_t y = 0; y < img; ++y) {
+      for (std::size_t x = 0; x < img; ++x) {
+        const double u =
+            (ca * static_cast<double>(x) + sa * static_cast<double>(y)) /
+            static_cast<double>(img);
+        const auto wave = static_cast<float>(
+            std::sin(2.0 * std::numbers::pi * st.freq * u + phase));
+        for (std::size_t ch = 0; ch < 3; ++ch) {
+          dst[(ch * img + y) * img + x] =
+              wave * (0.5f + st.tint[ch]) +
+              static_cast<float>(rng.next_normal() * 0.15);
+        }
+      }
+    }
+  }
+  return Dataset({3, img, img}, std::move(feats), std::move(labels), classes);
+}
+
+}  // namespace saps::data

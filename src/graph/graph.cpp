@@ -1,0 +1,40 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace saps::graph {
+
+bool is_connected(const AdjMatrix& g) {
+  const std::size_t n = g.size();
+  UnionFind uf(n);
+  std::size_t merges = 0;
+  for (std::size_t i = 0; i < n && merges + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (g.get(i, j) && uf.unite(i, j)) ++merges;
+    }
+  }
+  return merges + 1 == n;
+}
+
+std::vector<std::vector<std::size_t>> connected_components(const AdjMatrix& g) {
+  const std::size_t n = g.size();
+  UnionFind uf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (g.get(i, j)) uf.unite(i, j);
+    }
+  }
+  std::vector<std::vector<std::size_t>> comps;
+  std::vector<std::ptrdiff_t> comp_of_root(n, -1);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t root = uf.find(v);
+    if (comp_of_root[root] < 0) {
+      comp_of_root[root] = static_cast<std::ptrdiff_t>(comps.size());
+      comps.emplace_back();
+    }
+    comps[static_cast<std::size_t>(comp_of_root[root])].push_back(v);
+  }
+  return comps;
+}
+
+}  // namespace saps::graph

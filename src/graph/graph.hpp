@@ -1,0 +1,112 @@
+// Small dense-graph utilities shared by the gossip-matrix machinery.
+// Graphs here are tiny (n = #workers, tens), so adjacency matrices are the
+// right representation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace saps::graph {
+
+/// Symmetric boolean adjacency matrix over n vertices, no self-loops.
+class AdjMatrix {
+ public:
+  explicit AdjMatrix(std::size_t n) : n_(n), bits_(n * n, 0) {
+    if (n == 0) throw std::invalid_argument("AdjMatrix: zero vertices");
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  void set(std::size_t i, std::size_t j, bool value = true) {
+    check(i, j);
+    if (i == j) return;  // no self-loops
+    bits_[i * n_ + j] = value ? 1 : 0;
+    bits_[j * n_ + i] = value ? 1 : 0;
+  }
+
+  [[nodiscard]] bool get(std::size_t i, std::size_t j) const {
+    check(i, j);
+    return bits_[i * n_ + j] != 0;
+  }
+
+  [[nodiscard]] std::size_t degree(std::size_t v) const {
+    check(v, v);
+    std::size_t d = 0;
+    for (std::size_t j = 0; j < n_; ++j) d += bits_[v * n_ + j];
+    return d;
+  }
+
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    std::size_t e = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = i + 1; j < n_; ++j) e += bits_[i * n_ + j];
+    }
+    return e;
+  }
+
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> edges() const {
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = i + 1; j < n_; ++j) {
+        if (bits_[i * n_ + j]) out.emplace_back(i, j);
+      }
+    }
+    return out;
+  }
+
+ private:
+  void check(std::size_t i, std::size_t j) const {
+    if (i >= n_ || j >= n_) throw std::out_of_range("AdjMatrix: vertex index");
+  }
+
+  std::size_t n_;
+  std::vector<std::uint8_t> bits_;
+};
+
+/// Union–find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if the union merged two distinct components.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  [[nodiscard]] bool same(std::size_t a, std::size_t b) {
+    return find(a) == find(b);
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+/// True iff the graph is connected (n=1 graphs are connected).
+[[nodiscard]] bool is_connected(const AdjMatrix& g);
+
+/// Partition of vertices into connected components (each sorted ascending,
+/// components ordered by smallest member).
+[[nodiscard]] std::vector<std::vector<std::size_t>> connected_components(
+    const AdjMatrix& g);
+
+}  // namespace saps::graph

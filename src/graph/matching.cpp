@@ -1,0 +1,196 @@
+#include "graph/matching.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace saps::graph {
+
+bool Matching::valid_for(const AdjMatrix& g) const {
+  if (partner.size() != g.size()) return false;
+  for (std::size_t v = 0; v < partner.size(); ++v) {
+    const std::size_t u = partner[v];
+    if (u == kUnmatched) continue;
+    if (u >= partner.size() || partner[u] != v || u == v) return false;
+    if (!g.get(v, u)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Edmonds blossom maximum matching over an adjacency-list view.
+/// Classic O(V^3) formulation with base[] contraction.
+class Blossom {
+ public:
+  explicit Blossom(const AdjMatrix& g) : n_(g.size()), adj_(n_) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (i != j && g.get(i, j)) adj_[i].push_back(j);
+      }
+    }
+  }
+
+  /// Runs augmentation attempts from vertices in `order`; returns partners.
+  std::vector<std::size_t> solve(const std::vector<std::size_t>& order) {
+    match_.assign(n_, kNone);
+    for (const auto v : order) {
+      if (match_[v] == kNone) {
+        const std::size_t u = find_augmenting_path(v);
+        if (u != kNone) augment(u);
+      }
+    }
+    return match_;
+  }
+
+  /// Shuffles each adjacency list (affects which matching is found).
+  void shuffle_adjacency(Rng& rng) {
+    for (auto& nbrs : adj_) {
+      for (std::size_t i = nbrs.size(); i > 1; --i) {
+        std::swap(nbrs[i - 1], nbrs[rng.next_below(i)]);
+      }
+    }
+  }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  std::size_t lca(std::size_t a, std::size_t b) {
+    std::vector<bool> seen(n_, false);
+    for (;;) {
+      a = base_[a];
+      seen[a] = true;
+      if (match_[a] == kNone) break;
+      a = parent_[match_[a]];
+    }
+    for (;;) {
+      b = base_[b];
+      if (seen[b]) return b;
+      b = parent_[match_[b]];
+    }
+  }
+
+  void mark_path(std::size_t v, std::size_t b, std::size_t child) {
+    while (base_[v] != b) {
+      in_blossom_[base_[v]] = true;
+      in_blossom_[base_[match_[v]]] = true;
+      parent_[v] = child;
+      child = match_[v];
+      v = parent_[match_[v]];
+    }
+  }
+
+  /// BFS for an augmenting path from `root`; returns the exposed endpoint
+  /// (kNone if none).  parent_ encodes the alternating path.
+  std::size_t find_augmenting_path(std::size_t root) {
+    used_.assign(n_, false);
+    parent_.assign(n_, kNone);
+    base_.resize(n_);
+    std::iota(base_.begin(), base_.end(), std::size_t{0});
+
+    used_[root] = true;
+    std::queue<std::size_t> q;
+    q.push(root);
+    while (!q.empty()) {
+      const std::size_t v = q.front();
+      q.pop();
+      for (const auto to : adj_[v]) {
+        if (base_[v] == base_[to] || match_[v] == to) continue;
+        if (to == root || (match_[to] != kNone && parent_[match_[to]] != kNone)) {
+          // Odd cycle: contract the blossom.
+          const std::size_t cur_base = lca(v, to);
+          in_blossom_.assign(n_, false);
+          mark_path(v, cur_base, to);
+          mark_path(to, cur_base, v);
+          for (std::size_t i = 0; i < n_; ++i) {
+            if (in_blossom_[base_[i]]) {
+              base_[i] = cur_base;
+              if (!used_[i]) {
+                used_[i] = true;
+                q.push(i);
+              }
+            }
+          }
+        } else if (parent_[to] == kNone) {
+          parent_[to] = v;
+          if (match_[to] == kNone) return to;  // exposed: augmenting path found
+          used_[match_[to]] = true;
+          q.push(match_[to]);
+        }
+      }
+    }
+    return kNone;
+  }
+
+  /// Flips matched/unmatched edges along the alternating path ending at `v`.
+  void augment(std::size_t v) {
+    while (v != kNone) {
+      const std::size_t pv = parent_[v];
+      const std::size_t ppv = match_[pv];
+      match_[v] = pv;
+      match_[pv] = v;
+      v = ppv;
+    }
+  }
+
+  std::size_t n_;
+  std::vector<std::vector<std::size_t>> adj_;
+  std::vector<std::size_t> match_, parent_, base_;
+  std::vector<bool> used_;
+  std::vector<bool> in_blossom_;
+};
+
+Matching to_matching(std::vector<std::size_t> partners) {
+  Matching m;
+  m.partner = std::move(partners);
+  for (auto& p : m.partner) {
+    if (p == static_cast<std::size_t>(-1)) p = Matching::kUnmatched;
+  }
+  return m;
+}
+
+}  // namespace
+
+Matching max_matching(const AdjMatrix& g) {
+  Blossom blossom(g);
+  std::vector<std::size_t> order(g.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return to_matching(blossom.solve(order));
+}
+
+Matching randomly_max_matching(const AdjMatrix& g, Rng& rng) {
+  Blossom blossom(g);
+  blossom.shuffle_adjacency(rng);
+  std::vector<std::size_t> order(g.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  return to_matching(blossom.solve(order));
+}
+
+Matching greedy_weight_matching(const AdjMatrix& g,
+                                const std::vector<double>& weight) {
+  const std::size_t n = g.size();
+  if (weight.size() != n * n) {
+    throw std::invalid_argument("greedy_weight_matching: weight size");
+  }
+  auto edges = g.edges();
+  std::stable_sort(edges.begin(), edges.end(),
+                   [&](const auto& a, const auto& b) {
+                     return weight[a.first * n + a.second] >
+                            weight[b.first * n + b.second];
+                   });
+  Matching m;
+  m.partner.assign(n, Matching::kUnmatched);
+  for (const auto& [i, j] : edges) {
+    if (m.partner[i] == Matching::kUnmatched &&
+        m.partner[j] == Matching::kUnmatched) {
+      m.partner[i] = j;
+      m.partner[j] = i;
+    }
+  }
+  return m;
+}
+
+}  // namespace saps::graph

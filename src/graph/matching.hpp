@@ -1,0 +1,59 @@
+// Maximum-cardinality matching in general graphs.
+//
+// The paper's Algorithm 3 calls RANDOMLYMAXMATCH, implemented with the
+// Edmonds blossom algorithm ("Paths, trees, and flowers", 1965) and a
+// randomized vertex visiting order — randomizing which maximum matching is
+// found is what keeps the possible-communication edge set rich enough to
+// form a connected graph over time (Assumption 3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace saps::graph {
+
+/// A matching as a partner table: match[v] == u and match[u] == v for a
+/// matched pair; match[v] == kUnmatched for exposed vertices.
+struct Matching {
+  static constexpr std::size_t kUnmatched = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> partner;
+
+  [[nodiscard]] std::size_t pair_count() const noexcept {
+    std::size_t c = 0;
+    for (std::size_t v = 0; v < partner.size(); ++v) {
+      if (partner[v] != kUnmatched && partner[v] > v) ++c;
+    }
+    return c;
+  }
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> pairs() const {
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    for (std::size_t v = 0; v < partner.size(); ++v) {
+      if (partner[v] != kUnmatched && partner[v] > v) {
+        out.emplace_back(v, partner[v]);
+      }
+    }
+    return out;
+  }
+  /// Validates that the table is a matching over edges of `g`.
+  [[nodiscard]] bool valid_for(const AdjMatrix& g) const;
+};
+
+/// Deterministic Edmonds blossom maximum matching (vertex order 0..n-1).
+[[nodiscard]] Matching max_matching(const AdjMatrix& g);
+
+/// The paper's RandomlyMaxMatch: identical cardinality guarantee, but the
+/// vertex visiting order (and hence which maximum matching is returned) is
+/// drawn from `rng`.
+[[nodiscard]] Matching randomly_max_matching(const AdjMatrix& g, Rng& rng);
+
+/// Greedy maximum-WEIGHT matching (sort edges by weight descending, take
+/// greedily).  Used as an ablation baseline against the paper's
+/// cardinality-first scheme.  `weight[i*n+j]` is the edge weight.
+[[nodiscard]] Matching greedy_weight_matching(const AdjMatrix& g,
+                                              const std::vector<double>& weight);
+
+}  // namespace saps::graph

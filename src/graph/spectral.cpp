@@ -1,0 +1,69 @@
+#include "graph/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace saps::graph {
+
+std::vector<double> symmetric_eigenvalues(std::vector<double> a, std::size_t n,
+                                          double tol, std::size_t max_sweeps) {
+  if (a.size() != n * n) {
+    throw std::invalid_argument("symmetric_eigenvalues: size mismatch");
+  }
+  // Verify symmetry within tolerance (guards accidental misuse), then force.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (std::abs(a[i * n + j] - a[j * n + i]) > 1e-9) {
+        throw std::invalid_argument("symmetric_eigenvalues: not symmetric");
+      }
+      const double avg = 0.5 * (a[i * n + j] + a[j * n + i]);
+      a[i * n + j] = a[j * n + i] = avg;
+    }
+  }
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) off += a[i * n + j] * a[i * n + j];
+    }
+    if (off < tol * tol) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a[p * n + p], aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p], akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k], aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+
+  std::vector<double> eig(n);
+  for (std::size_t i = 0; i < n; ++i) eig[i] = a[i * n + i];
+  std::sort(eig.begin(), eig.end(), std::greater<>());
+  return eig;
+}
+
+double second_largest_eigenvalue(std::vector<double> matrix, std::size_t n) {
+  if (n < 2) throw std::invalid_argument("second_largest_eigenvalue: n < 2");
+  const auto eig = symmetric_eigenvalues(std::move(matrix), n);
+  return eig[1];
+}
+
+}  // namespace saps::graph

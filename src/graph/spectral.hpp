@@ -1,0 +1,23 @@
+// Dense symmetric eigen-solver (cyclic Jacobi) and the spectral quantity the
+// paper's convergence analysis rests on: ρ, the second-largest eigenvalue of
+// E[WᵀW] (Assumption 3 requires ρ < 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace saps::graph {
+
+/// Eigenvalues of a dense symmetric n×n matrix (row-major), sorted
+/// descending.  Cyclic Jacobi: plenty for n ≤ a few hundred.
+[[nodiscard]] std::vector<double> symmetric_eigenvalues(
+    std::vector<double> matrix, std::size_t n, double tol = 1e-12,
+    std::size_t max_sweeps = 100);
+
+/// Second-largest eigenvalue of a symmetric matrix whose largest eigenvalue
+/// is expected to be 1 (E[WᵀW] for doubly-stochastic W always has eigenvalue
+/// 1 with eigenvector 1ₙ).
+[[nodiscard]] double second_largest_eigenvalue(std::vector<double> matrix,
+                                               std::size_t n);
+
+}  // namespace saps::graph

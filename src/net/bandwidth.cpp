@@ -1,0 +1,118 @@
+#include "net/bandwidth.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace saps::net {
+
+BandwidthMatrix::BandwidthMatrix(std::size_t n) : n_(n), mbps_(n * n, 0.0) {
+  if (n < 2) throw std::invalid_argument("BandwidthMatrix: need >= 2 workers");
+}
+
+void BandwidthMatrix::check(std::size_t i, std::size_t j) const {
+  if (i >= n_ || j >= n_) throw std::out_of_range("BandwidthMatrix: index");
+}
+
+void BandwidthMatrix::set(std::size_t i, std::size_t j, double mbps) {
+  check(i, j);
+  if (mbps < 0.0) throw std::invalid_argument("BandwidthMatrix: negative speed");
+  if (i == j) return;
+  mbps_[i * n_ + j] = mbps;
+}
+
+double BandwidthMatrix::get(std::size_t i, std::size_t j) const {
+  check(i, j);
+  return mbps_[i * n_ + j];
+}
+
+void BandwidthMatrix::symmetrize_min() {
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      const double m = std::min(mbps_[i * n_ + j], mbps_[j * n_ + i]);
+      mbps_[i * n_ + j] = mbps_[j * n_ + i] = m;
+    }
+  }
+}
+
+double BandwidthMatrix::min_positive() const {
+  double best = -1.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      const double v = mbps_[i * n_ + j];
+      if (i != j && v > 0.0 && (best < 0.0 || v < best)) best = v;
+    }
+  }
+  return best;
+}
+
+double BandwidthMatrix::max_value() const {
+  return *std::max_element(mbps_.begin(), mbps_.end());
+}
+
+namespace {
+constexpr std::size_t kCities = 14;
+// Fig. 1 of the paper, Mbit/s, row = source, col = destination; -1 = n/a.
+constexpr std::array<double, kCities * kCities> kFig1Mbits = {
+    //  Bei   Sha   She   Zha   Col   Dub   Fra   Lon   Mon   Mum   Par   Por   SF    SP
+    -1,   1.3,  1.5,  1.2,  1.6,  1.6,  1.5,  1.6,  1.7,  1.4,  1.7,  1.5,  1.6,  1.5,
+    1.3,  -1,   1.5,  1.2,  1.5,  1.5,  1.5,  1.6,  1.5,  1.2,  1.5,  1.5,  1.4,  1.6,
+    1.4,  1.3,  -1,   1.3,  1.5,  1.6,  1.4,  1.7,  1.3,  1.6,  1.7,  1.4,  1.6,  1.4,
+    1.2,  1.3,  1.4,  -1,   1.5,  1.4,  1.5,  1.5,  1.5,  1.2,  1.5,  1.6,  1.6,  1.6,
+    11.0, 2.2,  27.7, 6.8,  -1,   82.5, 73.1, 82.2, 132.5,49.1, 69.5, 84.8, 98.0, 57.4,
+    6.8,  1.1,  20.2, 4.7,  82.6, -1,   129.2,269.2,78.3, 73.3, 147.1,50.3, 54.4, 37.0,
+    27.3, 1.1,  15.1, 21.8, 83.2, 184.8,-1,   331.2,86.4, 76.8, 261.1,62.4, 70.6, 42.3,
+    0.2,  13.9, 27.6, 14.8, 60.8, 195.3,276.2,-1,   63.3, 75.4, 323.1,50.3, 62.6, 39.8,
+    0.2,  16.9, 5.7,  1.1,  166.8,83.9, 64.0, 61.6, -1,   40.7, 54.0, 80.4, 65.9, 39.1,
+    36.2, 27.4, 1.7,  22.0, 37.5, 48.6, 54.7, 50.0, 35.8, -1,   45.0, 33.5, 39.0, 22.5,
+    36.0, 0.6,  16.8, 21.1, 27.9, 115.1,247.8,317.4,51.6, 47.5, -1,   48.1, 36.8, 24.4,
+    15.6, 28.6, 10.6, 8.1,  94.8, 45.4, 43.8, 46.3, 70.4, 27.0, 45.8, -1,   172.9,39.4,
+    2.3,  3.9,  22.5, 5.7,  78.3, 45.6, 32.7, 34.5, 47.3, 23.2, 23.7, 134.5,-1,   31.2,
+    0.1,  15.1, 8.2,  15.4, 41.8, 32.7, 39.9, 37.9, 59.6, 25.0, 38.4, 38.2, 39.9, -1,
+};
+}  // namespace
+
+BandwidthMatrix fig1_city_bandwidth() {
+  BandwidthMatrix b(kCities);
+  for (std::size_t i = 0; i < kCities; ++i) {
+    for (std::size_t j = 0; j < kCities; ++j) {
+      if (i == j) continue;
+      const double mbits = kFig1Mbits[i * kCities + j];
+      // The measurement matrix has a couple of ~0 readings (e.g. 0.1 Mbit/s);
+      // keep them — the adaptive scheme is exactly about avoiding such links.
+      b.set(i, j, mbits / 8.0);  // Mbit/s → MB/s
+    }
+  }
+  b.symmetrize_min();
+  return b;
+}
+
+const std::vector<std::string>& fig1_city_names() {
+  static const std::vector<std::string> names = {
+      "AliBeijing",     "AliShanghai",  "AliShenzhen",
+      "AliZhangjiakou", "AmaColumbus",  "AmaDublin",
+      "AmaFrankfurt",   "AmaLondon",    "AmaMontreal",
+      "AmaMumbai",      "AmaParis",     "AmaPortland",
+      "AmaSanFrancisco","AmaSaoPaulo"};
+  return names;
+}
+
+BandwidthMatrix random_uniform_bandwidth(std::size_t n, std::uint64_t seed,
+                                         double lo, double hi) {
+  if (hi <= lo) throw std::invalid_argument("random_uniform_bandwidth: hi<=lo");
+  BandwidthMatrix b(n);
+  Rng rng(derive_seed(seed, 0xba2d));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      // Uniform over (lo, hi]: draw in [lo, hi) and flip to (lo, hi].
+      const double v = hi - (rng.next_double() * (hi - lo));
+      b.set(i, j, v);
+      b.set(j, i, v);
+    }
+  }
+  b.symmetrize_min();
+  return b;
+}
+
+}  // namespace saps::net

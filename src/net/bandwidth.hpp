@@ -1,0 +1,58 @@
+// Bandwidth matrices: the network substrate of the paper's evaluation.
+//
+// The paper's coordinator keeps a matrix B of pairwise link speeds and
+// symmetrizes it with B_ij = B_ji = min(B_ij, B_ji) since a transfer is
+// bottlenecked by the slower direction (Section II-C).  Two environments are
+// evaluated: 14 workers with the measured inter-city speeds of Fig. 1, and
+// 32 workers with speeds drawn uniformly from (0, 5] MB/s.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace saps::net {
+
+/// Symmetric matrix of pairwise link speeds, in MB/s.  Diagonal is 0 (a
+/// worker never talks to itself over the network).
+class BandwidthMatrix {
+ public:
+  explicit BandwidthMatrix(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Sets both directions to min-symmetrized value later via symmetrize();
+  /// raw set keeps the asymmetric measurement.
+  void set(std::size_t i, std::size_t j, double mbps);
+  [[nodiscard]] double get(std::size_t i, std::size_t j) const;
+
+  /// B_ij = B_ji = min(B_ij, B_ji), as the paper prescribes.
+  void symmetrize_min();
+
+  [[nodiscard]] double min_positive() const;
+  [[nodiscard]] double max_value() const;
+
+ private:
+  void check(std::size_t i, std::size_t j) const;
+
+  std::size_t n_;
+  std::vector<double> mbps_;
+};
+
+/// The measured 14-city matrix from the paper's Fig. 1 (Mbit/s, converted to
+/// MB/s by the loader).  Rows/cols follow the figure's city order.
+[[nodiscard]] BandwidthMatrix fig1_city_bandwidth();
+
+/// City labels for fig1_city_bandwidth(), in matrix order.
+[[nodiscard]] const std::vector<std::string>& fig1_city_names();
+
+/// The paper's 32-worker environment: every pair gets an independent
+/// Uniform(lo, hi] speed in MB/s (defaults match the paper's (0, 5]).
+[[nodiscard]] BandwidthMatrix random_uniform_bandwidth(std::size_t n,
+                                                       std::uint64_t seed,
+                                                       double lo = 0.0,
+                                                       double hi = 5.0);
+
+}  // namespace saps::net

@@ -1,0 +1,157 @@
+#include "net/netsim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace saps::net {
+
+NetworkSim::NetworkSim(std::size_t workers)
+    : workers_(workers), up_(workers, 0.0), down_(workers, 0.0) {
+  if (workers < 2) throw std::invalid_argument("NetworkSim: need >= 2 workers");
+}
+
+NetworkSim::NetworkSim(BandwidthMatrix bandwidth)
+    : workers_(bandwidth.size()),
+      bandwidth_(std::move(bandwidth)),
+      up_(workers_, 0.0),
+      down_(workers_, 0.0) {}
+
+const BandwidthMatrix& NetworkSim::bandwidth() const {
+  if (!bandwidth_) throw std::logic_error("NetworkSim: no bandwidth matrix");
+  return *bandwidth_;
+}
+
+void NetworkSim::start_round() {
+  if (in_round_) throw std::logic_error("NetworkSim: round already open");
+  in_round_ = true;
+  pending_.clear();
+}
+
+void NetworkSim::transfer(std::size_t src, std::size_t dst, double bytes) {
+  if (!in_round_) throw std::logic_error("NetworkSim: transfer outside round");
+  if (src >= workers_ || dst >= workers_ || src == dst) {
+    throw std::invalid_argument("NetworkSim: bad endpoints");
+  }
+  if (bytes < 0.0) throw std::invalid_argument("NetworkSim: negative bytes");
+  if (bytes == 0.0) return;
+  up_[src] += bytes;
+  down_[dst] += bytes;
+  pending_.push_back({src, dst, bytes});
+}
+
+double NetworkSim::finish_round() {
+  if (!in_round_) throw std::logic_error("NetworkSim: no open round");
+  in_round_ = false;
+  ++rounds_;
+
+  if (!bandwidth_ || pending_.empty()) {
+    round_bottleneck_.push_back(0.0);
+    round_mean_.push_back(0.0);
+    return 0.0;
+  }
+
+  double round_seconds = 0.0;
+  double min_bw = std::numeric_limits<double>::infinity();
+  double sum_bw = 0.0;
+  std::set<std::pair<std::size_t, std::size_t>> links;
+  for (const auto& tr : pending_) {
+    const double bw = bandwidth_->get(tr.src, tr.dst);  // MB/s
+    if (bw <= 0.0) {
+      throw std::logic_error("NetworkSim: transfer over a zero-bandwidth link");
+    }
+    const double seconds = tr.bytes / (bw * 1e6);
+    round_seconds = std::max(round_seconds, seconds);
+    const auto link = std::minmax(tr.src, tr.dst);
+    if (links.insert({link.first, link.second}).second) {
+      min_bw = std::min(min_bw, bw);
+      sum_bw += bw;
+    }
+  }
+  total_seconds_ += round_seconds;
+  round_bottleneck_.push_back(min_bw);
+  round_mean_.push_back(sum_bw / static_cast<double>(links.size()));
+  return round_seconds;
+}
+
+double NetworkSim::up_bytes(std::size_t worker) const {
+  if (worker >= workers_) throw std::out_of_range("NetworkSim::up_bytes");
+  return up_[worker];
+}
+
+double NetworkSim::down_bytes(std::size_t worker) const {
+  if (worker >= workers_) throw std::out_of_range("NetworkSim::down_bytes");
+  return down_[worker];
+}
+
+double NetworkSim::worker_bytes(std::size_t worker) const {
+  return up_bytes(worker) + down_bytes(worker);
+}
+
+void NetworkSim::set_stat_worker_count(std::size_t count) {
+  if (count == 0 || count > workers_) {
+    throw std::invalid_argument("NetworkSim::set_stat_worker_count");
+  }
+  stat_workers_ = count;
+}
+
+double NetworkSim::max_worker_bytes() const {
+  const std::size_t k = stat_workers_ == 0 ? workers_ : stat_workers_;
+  double best = 0.0;
+  for (std::size_t w = 0; w < k; ++w) {
+    best = std::max(best, worker_bytes(w));
+  }
+  return best;
+}
+
+double NetworkSim::mean_worker_bytes() const {
+  const std::size_t k = stat_workers_ == 0 ? workers_ : stat_workers_;
+  double sum = 0.0;
+  for (std::size_t w = 0; w < k; ++w) sum += worker_bytes(w);
+  return sum / static_cast<double>(k);
+}
+
+BandwidthMatrix with_virtual_server(const BandwidthMatrix& bw) {
+  const std::size_t n = bw.size();
+  const std::size_t best = best_server_node(bw);
+  BandwidthMatrix out(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      out.set(i, j, bw.get(i, j));
+      out.set(j, i, bw.get(j, i));
+    }
+  }
+  double best_link = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == best) continue;
+    best_link = std::max(best_link, bw.get(best, j));
+    out.set(n, j, bw.get(best, j));
+    out.set(j, n, bw.get(best, j));
+  }
+  // The best worker itself talks to the co-located server at its fastest
+  // external link speed.
+  out.set(n, best, best_link);
+  out.set(best, n, best_link);
+  return out;
+}
+
+std::size_t best_server_node(const BandwidthMatrix& bw) {
+  const std::size_t n = bw.size();
+  std::size_t best = 0;
+  double best_mean = -1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) sum += bw.get(i, j);
+    }
+    const double mean = sum / static_cast<double>(n - 1);
+    if (mean > best_mean) {
+      best_mean = mean;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace saps::net

@@ -1,0 +1,101 @@
+// Communication accounting: per-worker traffic, simulated transfer time and
+// per-round bottleneck bandwidth.
+//
+// The paper reports three network-level quantities, all reproduced from this
+// accounting layer:
+//  - Fig. 4 / Table IV "traffic": cumulative bytes sent+received per worker;
+//  - Fig. 5 "bandwidth utilization": per-round bottleneck (minimum) bandwidth
+//    over the links active in that round;
+//  - Fig. 6 / Table IV "communication time": rounds are synchronous, so the
+//    round's elapsed time is the maximum over its concurrent transfers of
+//    bytes / link bandwidth (full-duplex links).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "net/bandwidth.hpp"
+
+namespace saps::net {
+
+class NetworkSim {
+ public:
+  /// Without a bandwidth matrix only traffic is tracked (time/bandwidth
+  /// queries throw).
+  explicit NetworkSim(std::size_t workers);
+  explicit NetworkSim(BandwidthMatrix bandwidth);
+
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+  [[nodiscard]] bool has_bandwidth() const noexcept {
+    return bandwidth_.has_value();
+  }
+
+  /// Restricts the per-worker statistics (mean/max worker bytes) to the
+  /// first `count` nodes — used when the node set includes a virtual
+  /// parameter server whose traffic must not pollute worker-side numbers.
+  void set_stat_worker_count(std::size_t count);
+  [[nodiscard]] const BandwidthMatrix& bandwidth() const;
+
+  /// Begins a communication round; transfers recorded until finish_round()
+  /// are considered concurrent.
+  void start_round();
+
+  /// Records a directional transfer src → dst of `bytes` within the current
+  /// round.  src == dst is invalid.
+  void transfer(std::size_t src, std::size_t dst, double bytes);
+
+  /// Ends the round.  Returns the round's elapsed seconds (0 without a
+  /// bandwidth matrix or when nothing was sent).
+  double finish_round();
+
+  // --- cumulative statistics -----------------------------------------------
+  [[nodiscard]] double up_bytes(std::size_t worker) const;
+  [[nodiscard]] double down_bytes(std::size_t worker) const;
+  /// sent + received for one worker.
+  [[nodiscard]] double worker_bytes(std::size_t worker) const;
+  /// Maximum over workers of worker_bytes (the paper's "on a training
+  /// worker" is the per-worker traffic; max = worst case).
+  [[nodiscard]] double max_worker_bytes() const;
+  [[nodiscard]] double mean_worker_bytes() const;
+  [[nodiscard]] double total_seconds() const noexcept { return total_seconds_; }
+  [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
+
+  /// Bottleneck (minimum) bandwidth among links active in round r, MB/s.
+  [[nodiscard]] const std::vector<double>& round_bottleneck_mbps() const noexcept {
+    return round_bottleneck_;
+  }
+  /// Mean bandwidth among links active in round r, MB/s.
+  [[nodiscard]] const std::vector<double>& round_mean_mbps() const noexcept {
+    return round_mean_;
+  }
+
+ private:
+  struct Transfer {
+    std::size_t src, dst;
+    double bytes;
+  };
+
+  std::size_t workers_;
+  std::size_t stat_workers_ = 0;  // 0 = all
+  std::optional<BandwidthMatrix> bandwidth_;
+  std::vector<double> up_, down_;
+  std::vector<Transfer> pending_;
+  bool in_round_ = false;
+  double total_seconds_ = 0.0;
+  std::size_t rounds_ = 0;
+  std::vector<double> round_bottleneck_;
+  std::vector<double> round_mean_;
+};
+
+/// Index of the node with the highest mean link bandwidth to all others —
+/// the paper's server choice for FedAvg/S-FedAvg in the Fig. 6 comparison
+/// ("choosing the server that has the maximum bandwidth").
+[[nodiscard]] std::size_t best_server_node(const BandwidthMatrix& bw);
+
+/// Extends an n-worker bandwidth matrix to n+1 nodes where node n is a
+/// virtual parameter server whose links mirror the best-connected worker's
+/// links (paper's FedAvg server placement for the Fig. 6 comparison).
+[[nodiscard]] BandwidthMatrix with_virtual_server(const BandwidthMatrix& bw);
+
+}  // namespace saps::net

@@ -1,0 +1,212 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+namespace saps::net {
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  u32(bits);
+}
+
+void ByteWriter::f32_span(std::span<const float> values) {
+  buf_.reserve(buf_.size() + 4 * values.size());
+  for (const float v : values) f32(v);
+}
+
+void ByteWriter::u32_span(std::span<const std::uint32_t> values) {
+  buf_.reserve(buf_.size() + 4 * values.size());
+  for (const auto v : values) u32(v);
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (remaining() < n) throw std::out_of_range("ByteReader: truncated message");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+float ByteReader::f32() {
+  const std::uint32_t bits = u32();
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+
+void ByteReader::f32_span(std::span<float> out) {
+  for (auto& v : out) v = f32();
+}
+
+void ByteReader::u32_span(std::span<std::uint32_t> out) {
+  for (auto& v : out) v = u32();
+}
+
+MsgType peek_type(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) throw std::out_of_range("peek_type: empty message");
+  return static_cast<MsgType>(bytes[0]);
+}
+
+namespace {
+void expect_type(ByteReader& r, MsgType want) {
+  const auto got = static_cast<MsgType>(r.u8());
+  if (got != want) throw std::invalid_argument("wire: unexpected message type");
+}
+}  // namespace
+
+std::vector<std::uint8_t> NotifyMsg::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kNotify));
+  w.u32(round);
+  w.u64(mask_seed);
+  w.u32(peer);
+  return w.take();
+}
+
+NotifyMsg NotifyMsg::decode(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  expect_type(r, MsgType::kNotify);
+  NotifyMsg m;
+  m.round = r.u32();
+  m.mask_seed = r.u64();
+  m.peer = r.u32();
+  return m;
+}
+
+std::vector<std::uint8_t> RoundEndMsg::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kRoundEnd));
+  w.u32(round);
+  w.u32(rank);
+  return w.take();
+}
+
+RoundEndMsg RoundEndMsg::decode(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  expect_type(r, MsgType::kRoundEnd);
+  RoundEndMsg m;
+  m.round = r.u32();
+  m.rank = r.u32();
+  return m;
+}
+
+std::vector<std::uint8_t> MaskedModelMsg::encode() const {
+  // Header is exactly 16 bytes (type+count packed with round/seed) so the
+  // encoded size equals compress::masked_wire_bytes(values.size()).
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kMaskedModel));
+  w.u8(0);  // reserved
+  w.u8(0);
+  w.u8(0);
+  w.u32(round);
+  w.u64(mask_seed);
+  // Count is implied by the remaining length (receiver knows 4-byte floats).
+  w.f32_span(values);
+  return w.take();
+}
+
+MaskedModelMsg MaskedModelMsg::decode(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  expect_type(r, MsgType::kMaskedModel);
+  (void)r.u8();
+  (void)r.u8();
+  (void)r.u8();
+  MaskedModelMsg m;
+  m.round = r.u32();
+  m.mask_seed = r.u64();
+  if (r.remaining() % 4 != 0) {
+    throw std::invalid_argument("MaskedModelMsg: bad payload length");
+  }
+  m.values.resize(r.remaining() / 4);
+  r.f32_span(m.values);
+  return m;
+}
+
+std::vector<std::uint8_t> SparseDeltaMsg::encode() const {
+  if (indices.size() != values.size()) {
+    throw std::invalid_argument("SparseDeltaMsg: index/value size mismatch");
+  }
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kSparseDelta));
+  w.u8(0);
+  w.u8(0);
+  w.u8(0);
+  w.u32(round);
+  w.u32(origin);
+  w.u32(static_cast<std::uint32_t>(indices.size()));
+  w.u32_span(indices);
+  w.f32_span(values);
+  return w.take();
+}
+
+SparseDeltaMsg SparseDeltaMsg::decode(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  expect_type(r, MsgType::kSparseDelta);
+  (void)r.u8();
+  (void)r.u8();
+  (void)r.u8();
+  SparseDeltaMsg m;
+  m.round = r.u32();
+  m.origin = r.u32();
+  const std::uint32_t nnz = r.u32();
+  m.indices.resize(nnz);
+  r.u32_span(m.indices);
+  m.values.resize(nnz);
+  r.f32_span(m.values);
+  return m;
+}
+
+std::vector<std::uint8_t> FullModelMsg::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kFullModel));
+  w.u8(0);
+  w.u8(0);
+  w.u8(0);
+  w.u32(rank);
+  w.u32(static_cast<std::uint32_t>(params.size()));
+  w.f32_span(params);
+  return w.take();
+}
+
+FullModelMsg FullModelMsg::decode(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  expect_type(r, MsgType::kFullModel);
+  (void)r.u8();
+  (void)r.u8();
+  (void)r.u8();
+  FullModelMsg m;
+  m.rank = r.u32();
+  m.params.resize(r.u32());
+  r.f32_span(m.params);
+  return m;
+}
+
+}  // namespace saps::net

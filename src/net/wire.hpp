@@ -1,0 +1,128 @@
+// Byte-level wire format for every message class in the SAPS-PSGD protocol.
+//
+// The traffic accounting elsewhere in the repo (compress::masked_wire_bytes,
+// SparseVector::wire_bytes, control-plane constants in core/coordinator.cpp)
+// quotes exact byte counts; this module is the encoding that realizes them,
+// and the round-trip tests in tests/wire_test.cpp pin the two layers
+// together.  All integers are little-endian; floats are IEEE-754 binary32.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace saps::net {
+
+/// Append-only little-endian encoder.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f32(float v);
+  void f32_span(std::span<const float> values);
+  void u32_span(std::span<const std::uint32_t> values);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(buf_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian decoder; throws std::out_of_range on
+/// truncated input.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] float f32();
+  void f32_span(std::span<float> out);
+  void u32_span(std::span<std::uint32_t> out);
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool done() const noexcept { return remaining() == 0; }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// --- protocol messages ------------------------------------------------------
+
+enum class MsgType : std::uint8_t {
+  kNotify = 1,      // coordinator → worker: (W_t row, t, s)  [Alg. 1 line 6]
+  kRoundEnd = 2,    // worker → coordinator                   [Alg. 2 line 11]
+  kMaskedModel = 3, // worker ↔ worker: sparsified model x̃    [Alg. 2 line 9]
+  kSparseDelta = 4, // DCD/TopK: (index, value) compressed payload
+  kFullModel = 5,   // final model collection                 [Alg. 1 line 8]
+};
+
+/// (W_t, t, s) for one worker: its peer for the round plus the shared seed.
+struct NotifyMsg {
+  std::uint32_t round = 0;
+  std::uint64_t mask_seed = 0;
+  std::uint32_t peer = 0;  // == own rank when unmatched this round
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static NotifyMsg decode(std::span<const std::uint8_t> bytes);
+};
+
+struct RoundEndMsg {
+  std::uint32_t round = 0;
+  std::uint32_t rank = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static RoundEndMsg decode(std::span<const std::uint8_t> bytes);
+};
+
+/// The SAPS sparsified model: seed + round + surviving values, NO indices —
+/// the receiver regenerates the mask from the seed.  Encoded size is exactly
+/// compress::masked_wire_bytes(values.size()) = 16 + 4·|values|.
+struct MaskedModelMsg {
+  std::uint64_t mask_seed = 0;
+  std::uint32_t round = 0;
+  std::vector<float> values;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static MaskedModelMsg decode(std::span<const std::uint8_t> bytes);
+};
+
+/// (index, value) sparse payload; encoded size = 16 + 8·nnz, matching
+/// compress::SparseVector::wire_bytes().
+struct SparseDeltaMsg {
+  std::uint32_t round = 0;
+  std::uint32_t origin = 0;
+  std::vector<std::uint32_t> indices;
+  std::vector<float> values;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static SparseDeltaMsg decode(std::span<const std::uint8_t> bytes);
+};
+
+struct FullModelMsg {
+  std::uint32_t rank = 0;
+  std::vector<float> params;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static FullModelMsg decode(std::span<const std::uint8_t> bytes);
+};
+
+/// First byte of every encoded message.
+[[nodiscard]] MsgType peek_type(std::span<const std::uint8_t> bytes);
+
+}  // namespace saps::net

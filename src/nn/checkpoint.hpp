@@ -1,0 +1,21 @@
+// Flat-parameter checkpointing: save/load the model vector x to disk.
+// Used by the coordinator's final model collection (Algorithm 1 line 8) when
+// persisting the trained model, and by examples that resume training.
+//
+// File format: magic "SAPSCKPT", u32 version, u32 param count, f32 payload
+// (little-endian).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace saps::nn {
+
+/// Writes `params` to `path`; throws std::runtime_error on I/O failure.
+void save_checkpoint(const std::string& path, std::span<const float> params);
+
+/// Reads a checkpoint; throws std::runtime_error on missing/corrupt file.
+[[nodiscard]] std::vector<float> load_checkpoint(const std::string& path);
+
+}  // namespace saps::nn

@@ -1,0 +1,87 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace saps::nn {
+
+namespace {
+void check(const Tensor& logits, std::span<const std::int32_t> labels) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax_xent: logits must be (B,K)");
+  }
+  if (logits.dim(0) != labels.size()) {
+    throw std::invalid_argument("softmax_xent: batch/labels size mismatch");
+  }
+}
+
+/// Writes softmax probabilities of one row into `probs` and returns the
+/// row's cross-entropy given `label`.
+double row_xent(const float* row, std::size_t k, std::int32_t label,
+                float* probs) {
+  if (label < 0 || static_cast<std::size_t>(label) >= k) {
+    throw std::invalid_argument("softmax_xent: label out of range");
+  }
+  float maxv = row[0];
+  for (std::size_t j = 1; j < k; ++j) maxv = std::max(maxv, row[j]);
+  double denom = 0.0;
+  for (std::size_t j = 0; j < k; ++j) denom += std::exp(static_cast<double>(row[j] - maxv));
+  const double log_denom = std::log(denom);
+  if (probs != nullptr) {
+    for (std::size_t j = 0; j < k; ++j) {
+      probs[j] = static_cast<float>(
+          std::exp(static_cast<double>(row[j] - maxv)) / denom);
+    }
+  }
+  return -(static_cast<double>(row[static_cast<std::size_t>(label)] - maxv) -
+           log_denom);
+}
+}  // namespace
+
+double softmax_cross_entropy(const Tensor& logits,
+                             std::span<const std::int32_t> labels,
+                             Tensor& dlogits) {
+  check(logits, labels);
+  if (dlogits.shape() != logits.shape()) {
+    throw std::invalid_argument("softmax_xent: dlogits shape mismatch");
+  }
+  const std::size_t batch = logits.dim(0), k = logits.dim(1);
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    float* dp = dlogits.data() + i * k;
+    loss += row_xent(logits.data() + i * k, k, labels[i], dp);
+    dp[static_cast<std::size_t>(labels[i])] -= 1.0f;
+    for (std::size_t j = 0; j < k; ++j) dp[j] *= inv_batch;
+  }
+  return loss / static_cast<double>(batch);
+}
+
+double softmax_cross_entropy_loss(const Tensor& logits,
+                                  std::span<const std::int32_t> labels) {
+  check(logits, labels);
+  const std::size_t batch = logits.dim(0), k = logits.dim(1);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    loss += row_xent(logits.data() + i * k, k, labels[i], nullptr);
+  }
+  return loss / static_cast<double>(batch);
+}
+
+std::size_t correct_count(const Tensor& logits,
+                          std::span<const std::int32_t> labels) {
+  check(logits, labels);
+  const std::size_t batch = logits.dim(0), k = logits.dim(1);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const float* row = logits.data() + i * k;
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < k; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == static_cast<std::size_t>(labels[i])) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace saps::nn

@@ -1,0 +1,26 @@
+// Softmax cross-entropy loss and classification metrics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace saps::nn {
+
+/// Computes mean softmax cross-entropy over the batch and writes
+/// d(loss)/d(logits) into dlogits (same shape as logits, (B, K)).
+/// Labels are class indices in [0, K).
+[[nodiscard]] double softmax_cross_entropy(const Tensor& logits,
+                                           std::span<const std::int32_t> labels,
+                                           Tensor& dlogits);
+
+/// Mean softmax cross-entropy without gradients (evaluation).
+[[nodiscard]] double softmax_cross_entropy_loss(
+    const Tensor& logits, std::span<const std::int32_t> labels);
+
+/// Number of rows whose argmax equals the label.
+[[nodiscard]] std::size_t correct_count(const Tensor& logits,
+                                        std::span<const std::int32_t> labels);
+
+}  // namespace saps::nn

@@ -1,0 +1,133 @@
+#include "nn/model.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+
+namespace saps::nn {
+
+void Model::add(std::unique_ptr<Layer> layer) {
+  if (built_) throw std::logic_error("Model::add after build");
+  if (!layer) throw std::invalid_argument("Model::add: null layer");
+  layers_.push_back(std::move(layer));
+}
+
+void Model::build(std::vector<std::size_t> input_shape, std::uint64_t seed) {
+  if (built_) throw std::logic_error("Model::build called twice");
+  if (layers_.empty()) throw std::logic_error("Model::build: no layers");
+  input_shape_ = std::move(input_shape);
+
+  std::size_t total = 0;
+  for (const auto& layer : layers_) total += layer->param_count();
+  params_.assign(total, 0.0f);
+  grads_.assign(total, 0.0f);
+
+  std::size_t off = 0;
+  for (const auto& layer : layers_) {
+    const std::size_t n = layer->param_count();
+    layer->bind(std::span<float>(params_).subspan(off, n),
+                std::span<float>(grads_).subspan(off, n));
+    off += n;
+  }
+
+  Rng rng(seed);
+  for (const auto& layer : layers_) layer->init(rng);
+
+  // Validate that shapes chain correctly (throws early on a bad stack).
+  std::vector<std::size_t> shape = input_shape_;
+  shape.insert(shape.begin(), 1);  // batch=1 probe
+  for (const auto& layer : layers_) shape = layer->output_shape(shape);
+  if (shape.size() != 2) {
+    throw std::logic_error("Model: final layer must produce (B, classes)");
+  }
+  built_ = true;
+}
+
+void Model::zero_grad() noexcept {
+  for (auto& g : grads_) g = 0.0f;
+}
+
+std::size_t Model::num_classes() const {
+  if (!built_) throw std::logic_error("Model::num_classes before build");
+  std::vector<std::size_t> shape = input_shape_;
+  shape.insert(shape.begin(), 1);
+  for (const auto& layer : layers_) shape = layer->output_shape(shape);
+  return shape[1];
+}
+
+void Model::ensure_activations(const std::vector<std::size_t>& batch_input_shape) {
+  const std::size_t batch = batch_input_shape[0];
+  if (cached_batch_ == batch && !acts_.empty()) return;
+  acts_.clear();
+  dacts_.clear();
+  std::vector<std::size_t> shape = batch_input_shape;
+  acts_.reserve(layers_.size());
+  dacts_.reserve(layers_.size());
+  for (const auto& layer : layers_) {
+    shape = layer->output_shape(shape);
+    acts_.emplace_back(shape);
+    dacts_.emplace_back(shape);
+  }
+  cached_batch_ = batch;
+}
+
+const Tensor& Model::forward(const Tensor& x, bool train) {
+  if (!built_) throw std::logic_error("Model::forward before build");
+  if (x.rank() != input_shape_.size() + 1) {
+    throw std::invalid_argument("Model::forward: input rank mismatch, got " +
+                                x.shape_str());
+  }
+  ensure_activations(x.shape());
+  const Tensor* cur = &x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->forward(*cur, acts_[i], train);
+    cur = &acts_[i];
+  }
+  return acts_.back();
+}
+
+double Model::train_batch(const Tensor& x, std::span<const std::int32_t> labels) {
+  const Tensor& logits = forward(x, /*train=*/true);
+  if (dlogits_.shape() != logits.shape()) dlogits_ = Tensor(logits.shape());
+  const double loss = softmax_cross_entropy(logits, labels, dlogits_);
+
+  // Backward through the stack.  Layer i reads its input: acts_[i-1] (or x).
+  const Tensor* dout = &dlogits_;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const Tensor& in = (i == 0) ? x : acts_[i - 1];
+    // Layer i's input gradient has the shape of layer i-1's output, so it is
+    // written into dacts_[i-1]; the first layer's input gradient is discarded.
+    if (i == 0) {
+      Tensor din0(x.shape());
+      layers_[0]->backward(in, *dout, din0);
+      break;
+    }
+    Tensor& din_prev = dacts_[i - 1];
+    layers_[i]->backward(in, *dout, din_prev);
+    dout = &din_prev;
+  }
+  return loss;
+}
+
+Model::EvalResult Model::evaluate_batch(const Tensor& x,
+                                        std::span<const std::int32_t> labels) {
+  const Tensor& logits = forward(x, /*train=*/false);
+  return {softmax_cross_entropy_loss(logits, labels),
+          correct_count(logits, labels)};
+}
+
+const Tensor& Model::predict(const Tensor& x) { return forward(x, false); }
+
+std::string Model::summary() const {
+  std::ostringstream oss;
+  std::size_t total = 0;
+  for (const auto& layer : layers_) {
+    oss << layer->name() << ": " << layer->param_count() << " params\n";
+    total += layer->param_count();
+  }
+  oss << "total: " << total << " params\n";
+  return oss.str();
+}
+
+}  // namespace saps::nn

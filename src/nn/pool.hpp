@@ -1,0 +1,42 @@
+// Pooling layers for NCHW activations.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace saps::nn {
+
+/// Max pooling with square window and stride == window (the common CNN case).
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::size_t window);
+
+  [[nodiscard]] std::size_t param_count() const noexcept override { return 0; }
+  void bind(std::span<float>, std::span<float>) override {}
+  void init(Rng&) override {}
+  [[nodiscard]] std::vector<std::size_t> output_shape(
+      const std::vector<std::size_t>& in_shape) const override;
+  void forward(const Tensor& in, Tensor& out, bool train) override;
+  void backward(const Tensor& in, const Tensor& dout, Tensor& din) override;
+  [[nodiscard]] const char* name() const noexcept override { return "MaxPool2d"; }
+
+ private:
+  std::size_t window_;
+  std::vector<std::size_t> argmax_;  // flat input index of each output max
+};
+
+/// Global average pooling: (B, C, H, W) → (B, C).
+class GlobalAvgPool final : public Layer {
+ public:
+  [[nodiscard]] std::size_t param_count() const noexcept override { return 0; }
+  void bind(std::span<float>, std::span<float>) override {}
+  void init(Rng&) override {}
+  [[nodiscard]] std::vector<std::size_t> output_shape(
+      const std::vector<std::size_t>& in_shape) const override;
+  void forward(const Tensor& in, Tensor& out, bool train) override;
+  void backward(const Tensor& in, const Tensor& dout, Tensor& din) override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "GlobalAvgPool";
+  }
+};
+
+}  // namespace saps::nn

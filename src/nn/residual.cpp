@@ -1,0 +1,139 @@
+#include "nn/residual.hpp"
+
+#include <stdexcept>
+
+namespace saps::nn {
+
+ResidualBlock::ResidualBlock(std::size_t in_channels, std::size_t out_channels,
+                             std::size_t stride)
+    : conv1_(in_channels, out_channels, 3, stride, 1, /*bias=*/false),
+      bn1_(out_channels),
+      conv2_(out_channels, out_channels, 3, 1, 1, /*bias=*/false),
+      bn2_(out_channels) {
+  if (stride != 1 || in_channels != out_channels) {
+    proj_ = std::make_unique<Conv2d>(in_channels, out_channels, 1, stride, 0,
+                                     /*bias=*/false);
+    bn_proj_ = std::make_unique<BatchNorm2d>(out_channels);
+  }
+}
+
+std::size_t ResidualBlock::param_count() const noexcept {
+  std::size_t n = conv1_.param_count() + bn1_.param_count() +
+                  conv2_.param_count() + bn2_.param_count();
+  if (has_projection()) n += proj_->param_count() + bn_proj_->param_count();
+  return n;
+}
+
+void ResidualBlock::bind(std::span<float> params, std::span<float> grads) {
+  if (params.size() != param_count() || grads.size() != param_count()) {
+    throw std::invalid_argument("ResidualBlock::bind: span size mismatch");
+  }
+  std::size_t off = 0;
+  auto take = [&](Layer& layer) {
+    const std::size_t n = layer.param_count();
+    layer.bind(params.subspan(off, n), grads.subspan(off, n));
+    off += n;
+  };
+  take(conv1_);
+  take(bn1_);
+  take(conv2_);
+  take(bn2_);
+  if (has_projection()) {
+    take(*proj_);
+    take(*bn_proj_);
+  }
+}
+
+void ResidualBlock::init(Rng& rng) {
+  conv1_.init(rng);
+  bn1_.init(rng);
+  conv2_.init(rng);
+  bn2_.init(rng);
+  if (has_projection()) {
+    proj_->init(rng);
+    bn_proj_->init(rng);
+  }
+}
+
+std::vector<std::size_t> ResidualBlock::output_shape(
+    const std::vector<std::size_t>& in_shape) const {
+  auto s = conv1_.output_shape(in_shape);
+  return conv2_.output_shape(s);
+}
+
+void ResidualBlock::forward(const Tensor& in, Tensor& out, bool train) {
+  const auto mid_shape = conv1_.output_shape(in.shape());
+  if (a_conv1_.shape() != mid_shape) {
+    a_conv1_ = Tensor(mid_shape);
+    a_bn1_ = Tensor(mid_shape);
+    a_relu1_ = Tensor(mid_shape);
+    a_conv2_ = Tensor(mid_shape);
+    a_bn2_ = Tensor(mid_shape);
+    a_skip_ = Tensor(mid_shape);
+    if (has_projection()) a_skip_conv_ = Tensor(mid_shape);
+  }
+
+  conv1_.forward(in, a_conv1_, train);
+  bn1_.forward(a_conv1_, a_bn1_, train);
+  const std::size_t n = a_bn1_.numel();
+  relu1_mask_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool pos = a_bn1_[i] > 0.0f;
+    relu1_mask_[i] = pos ? 1 : 0;
+    a_relu1_[i] = pos ? a_bn1_[i] : 0.0f;
+  }
+  conv2_.forward(a_relu1_, a_conv2_, train);
+  bn2_.forward(a_conv2_, a_bn2_, train);
+
+  if (has_projection()) {
+    proj_->forward(in, a_skip_conv_, train);
+    bn_proj_->forward(a_skip_conv_, a_skip_, train);
+  } else {
+    std::copy(in.data(), in.data() + in.numel(), a_skip_.data());
+  }
+
+  relu_out_mask_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float sum = a_bn2_[i] + a_skip_[i];
+    const bool pos = sum > 0.0f;
+    relu_out_mask_[i] = pos ? 1 : 0;
+    out[i] = pos ? sum : 0.0f;
+  }
+}
+
+void ResidualBlock::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
+  const std::size_t n = dout.numel();
+  if (relu_out_mask_.size() != n) {
+    throw std::logic_error("ResidualBlock::backward before forward");
+  }
+  // d(sum) through the output ReLU.
+  Tensor dsum(a_bn2_.shape());
+  for (std::size_t i = 0; i < n; ++i) {
+    dsum[i] = relu_out_mask_[i] ? dout[i] : 0.0f;
+  }
+
+  // Main path: dsum → bn2 → conv2 → relu1 → bn1 → conv1 → din (partial).
+  Tensor d_conv2(a_conv2_.shape());
+  bn2_.backward(a_conv2_, dsum, d_conv2);
+  Tensor d_relu1(a_relu1_.shape());
+  conv2_.backward(a_relu1_, d_conv2, d_relu1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!relu1_mask_[i]) d_relu1[i] = 0.0f;
+  }
+  Tensor d_conv1(a_conv1_.shape());
+  bn1_.backward(a_conv1_, d_relu1, d_conv1);
+  conv1_.backward(in, d_conv1, din);
+
+  // Skip path adds into din.
+  if (has_projection()) {
+    Tensor d_skip_conv(a_skip_conv_.shape());
+    bn_proj_->backward(a_skip_conv_, dsum, d_skip_conv);
+    Tensor d_in_skip(in.shape());
+    proj_->backward(in, d_skip_conv, d_in_skip);
+    for (std::size_t i = 0; i < din.numel(); ++i) din[i] += d_in_skip[i];
+  } else {
+    for (std::size_t i = 0; i < din.numel(); ++i) din[i] += dsum[i];
+  }
+}
+
+}  // namespace saps::nn

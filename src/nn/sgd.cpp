@@ -1,0 +1,29 @@
+#include "nn/sgd.hpp"
+
+namespace saps::nn {
+
+void Sgd::step(std::span<float> params, std::span<const float> grads,
+               std::size_t epoch) {
+  if (params.size() != grads.size()) {
+    throw std::invalid_argument("Sgd::step: size mismatch");
+  }
+  const auto lr = static_cast<float>(lr_at_epoch(epoch));
+  const auto wd = static_cast<float>(config_.weight_decay);
+  const auto mu = static_cast<float>(config_.momentum);
+  const std::size_t n = params.size();
+
+  if (mu == 0.0f) {
+    for (std::size_t i = 0; i < n; ++i) {
+      params[i] -= lr * (grads[i] + wd * params[i]);
+    }
+    return;
+  }
+  if (velocity_.size() != n) velocity_.assign(n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float g = grads[i] + wd * params[i];
+    velocity_[i] = mu * velocity_[i] + g;
+    params[i] -= lr * velocity_[i];
+  }
+}
+
+}  // namespace saps::nn

@@ -1,0 +1,51 @@
+// Mini-batch SGD with optional momentum and weight decay, plus step-decay
+// learning-rate schedules, operating on the model's flat parameter vector.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace saps::nn {
+
+struct SgdConfig {
+  double lr = 0.1;
+  double momentum = 0.0;     // 0 disables the velocity buffer
+  double weight_decay = 0.0; // L2 coefficient added to gradients
+  // Step decay: lr is multiplied by `decay_factor` after each epoch listed in
+  // `decay_epochs` (paper-style milestone schedule, e.g. ResNet {80, 120}).
+  std::vector<std::size_t> decay_epochs;
+  double decay_factor = 0.1;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(SgdConfig config) : config_(std::move(config)) {
+    if (config_.lr <= 0.0) throw std::invalid_argument("Sgd: lr must be > 0");
+    if (config_.momentum < 0.0 || config_.momentum >= 1.0) {
+      throw std::invalid_argument("Sgd: momentum must be in [0,1)");
+    }
+  }
+
+  /// Learning rate effective at `epoch` under the milestone schedule.
+  [[nodiscard]] double lr_at_epoch(std::size_t epoch) const noexcept {
+    double lr = config_.lr;
+    for (const auto milestone : config_.decay_epochs) {
+      if (epoch >= milestone) lr *= config_.decay_factor;
+    }
+    return lr;
+  }
+
+  /// params -= lr * (grads + weight_decay * params), with momentum if set.
+  void step(std::span<float> params, std::span<const float> grads,
+            std::size_t epoch = 0);
+
+  [[nodiscard]] const SgdConfig& config() const noexcept { return config_; }
+
+ private:
+  SgdConfig config_;
+  std::vector<float> velocity_;
+};
+
+}  // namespace saps::nn

@@ -1,0 +1,225 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "data/partition.hpp"
+
+namespace saps::sim {
+
+const MetricPoint* RunResult::first_reaching(double accuracy) const {
+  for (const auto& p : history) {
+    if (p.accuracy >= accuracy) return &p;
+  }
+  return nullptr;
+}
+
+Engine::Engine(SimConfig config, const data::Dataset& train,
+               const data::Dataset& test, const ModelFactory& factory,
+               std::optional<net::BandwidthMatrix> bandwidth)
+    : config_(std::move(config)),
+      test_(&test),
+      active_(config_.workers, 1),
+      net_(bandwidth ? net::NetworkSim(net::with_virtual_server(*bandwidth))
+                     : net::NetworkSim(config_.workers + 1)) {
+  if (config_.workers < 2) throw std::invalid_argument("Engine: workers < 2");
+  if (net_.workers() != config_.workers + 1) {
+    throw std::invalid_argument("Engine: bandwidth matrix size != workers");
+  }
+  net_.set_stat_worker_count(config_.workers);
+
+  // Partition the training data.
+  std::vector<std::vector<std::size_t>> parts;
+  switch (config_.partition) {
+    case PartitionKind::kIid:
+      parts = data::iid_partition(train, config_.workers, config_.seed);
+      break;
+    case PartitionKind::kShard:
+      parts = data::shard_partition(train, config_.workers,
+                                    config_.shards_per_worker, config_.seed);
+      break;
+    case PartitionKind::kDirichlet:
+      parts = data::dirichlet_partition(train, config_.workers,
+                                        config_.dirichlet_alpha, config_.seed);
+      break;
+  }
+
+  shards_.reserve(config_.workers);
+  samplers_.reserve(config_.workers);
+  models_.reserve(config_.workers);
+  optimizers_.reserve(config_.workers);
+  batch_x_.resize(config_.workers);
+  batch_y_.resize(config_.workers);
+
+  nn::SgdConfig sgd_config;
+  sgd_config.lr = config_.lr;
+  sgd_config.momentum = config_.momentum;
+  sgd_config.weight_decay = config_.weight_decay;
+  sgd_config.decay_epochs = config_.decay_epochs;
+  sgd_config.decay_factor = config_.decay_factor;
+
+  std::size_t max_batches = 0;
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    shards_.push_back(train.subset(parts[w]));
+    samplers_.push_back(std::make_unique<data::BatchSampler>(
+        shards_.back(), config_.batch_size,
+        derive_seed(config_.seed, 0xda7a, w)));
+    max_batches = std::max(max_batches, samplers_.back()->batches_per_epoch());
+    models_.push_back(std::make_unique<nn::Model>(factory()));
+    optimizers_.push_back(std::make_unique<nn::Sgd>(sgd_config));
+  }
+  steps_per_epoch_ = max_batches;
+
+  // All replicas must start identical (‖X₀ − X̄₀1ᵀ‖² = 0, Section III-C).
+  const auto ref = models_.front()->parameters();
+  for (std::size_t w = 1; w < config_.workers; ++w) {
+    const auto p = models_[w]->parameters();
+    if (p.size() != ref.size()) {
+      throw std::invalid_argument("Engine: model factory is not deterministic");
+    }
+    std::copy(ref.begin(), ref.end(), p.begin());
+  }
+
+  if (config_.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.threads);
+  }
+}
+
+std::size_t Engine::shard_size(std::size_t w) const {
+  return shards_.at(w).size();
+}
+
+std::optional<net::BandwidthMatrix> Engine::worker_bandwidth() const {
+  if (!net_.has_bandwidth()) return std::nullopt;
+  const auto& full = net_.bandwidth();
+  net::BandwidthMatrix out(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    for (std::size_t j = 0; j < config_.workers; ++j) {
+      if (i != j) out.set(i, j, full.get(i, j));
+    }
+  }
+  return out;
+}
+
+double Engine::sgd_step(std::size_t w, std::size_t epoch) {
+  const double loss = compute_gradient(w, epoch);
+  optimizers_.at(w)->step(models_[w]->parameters(), models_[w]->gradients(),
+                          epoch);
+  return loss;
+}
+
+double Engine::compute_gradient(std::size_t w, std::size_t epoch) {
+  (void)epoch;
+  auto& model = *models_.at(w);
+  samplers_.at(w)->next(batch_x_[w], batch_y_[w]);
+  model.zero_grad();
+  return model.train_batch(batch_x_[w], batch_y_[w]);
+}
+
+void Engine::apply_update(std::size_t w, std::span<const float> gradient,
+                          std::size_t epoch) {
+  optimizers_.at(w)->step(models_.at(w)->parameters(), gradient, epoch);
+}
+
+void Engine::for_each_worker(const std::function<void(std::size_t)>& fn) {
+  if (pool_) {
+    pool_->parallel_for(config_.workers, [&](std::size_t w) {
+      if (active_[w]) fn(w);
+    });
+    return;
+  }
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    if (active_[w]) fn(w);
+  }
+}
+
+void Engine::set_active(std::size_t w, bool active) {
+  active_.at(w) = active ? 1 : 0;
+}
+
+std::vector<float> Engine::average_params() const {
+  const std::size_t n = models_.front()->param_count();
+  std::vector<float> avg(n, 0.0f);
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    if (!active_[w]) continue;
+    const auto p = models_[w]->parameters();
+    for (std::size_t j = 0; j < n; ++j) avg[j] += p[j];
+    ++count;
+  }
+  if (count == 0) throw std::logic_error("Engine: no active workers");
+  const float inv = 1.0f / static_cast<float>(count);
+  for (auto& v : avg) v *= inv;
+  return avg;
+}
+
+void Engine::allreduce_average() {
+  const auto avg = average_params();
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    const auto p = models_[w]->parameters();
+    std::copy(avg.begin(), avg.end(), p.begin());
+  }
+}
+
+MetricPoint Engine::eval_point(std::size_t round, double epoch,
+                               std::span<const float> params) {
+  std::vector<float> avg;
+  if (params.empty()) {
+    avg = average_params();
+    params = avg;
+  }
+  // Evaluate through worker 0's model (its batch-norm running statistics are
+  // locally trained; parameters are swapped in and restored).
+  auto& model = *models_.front();
+  const auto live = model.parameters();
+  std::vector<float> saved(live.begin(), live.end());
+  std::copy(params.begin(), params.end(), live.begin());
+
+  double loss_sum = 0.0;
+  std::size_t correct = 0, seen = 0, batches = 0;
+  Tensor x;
+  std::vector<std::int32_t> y;
+  std::vector<std::size_t> idx;
+  for (std::size_t start = 0; start < test_->size();
+       start += config_.eval_batch) {
+    const std::size_t end = std::min(start + config_.eval_batch, test_->size());
+    idx.resize(end - start);
+    for (std::size_t i = start; i < end; ++i) idx[i - start] = i;
+    test_->gather(idx, x, y);
+    const auto r = model.evaluate_batch(x, y);
+    loss_sum += r.loss;
+    correct += r.correct;
+    seen += idx.size();
+    ++batches;
+  }
+  std::copy(saved.begin(), saved.end(), live.begin());
+
+  MetricPoint p;
+  p.round = round;
+  p.epoch = epoch;
+  p.loss = loss_sum / static_cast<double>(std::max<std::size_t>(1, batches));
+  p.accuracy = static_cast<double>(correct) / static_cast<double>(seen);
+  p.worker_mb = net_.mean_worker_bytes() / 1e6;
+  p.comm_seconds = net_.total_seconds();
+  return p;
+}
+
+double Engine::consensus_distance() const {
+  const auto avg = average_params();
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    if (!active_[w]) continue;
+    const auto p = models_[w]->parameters();
+    double d = 0.0;
+    for (std::size_t j = 0; j < avg.size(); ++j) {
+      const double diff = static_cast<double>(p[j]) - avg[j];
+      d += diff * diff;
+    }
+    total += d;
+    ++count;
+  }
+  return total / static_cast<double>(count);
+}
+
+}  // namespace saps::sim

@@ -1,0 +1,162 @@
+// Deterministic round-based distributed-training engine.
+//
+// The engine owns what every algorithm in the paper's comparison needs:
+// per-worker model replicas (identical initialization, as the analysis
+// assumes), per-worker data shards and samplers, per-worker SGD state, the
+// test set, and a NetworkSim for traffic/time accounting.  Algorithms
+// (src/algos, src/core) drive it round by round.
+//
+// Substitution note (DESIGN.md §1): this replaces the paper's 32 TCP-connected
+// machines.  All reported quantities are functions of round-level state, which
+// the engine reproduces exactly; an optional thread pool parallelizes the
+// independent per-worker local steps without changing results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "net/netsim.hpp"
+#include "nn/model.hpp"
+#include "nn/sgd.hpp"
+#include "util/threadpool.hpp"
+
+namespace saps::sim {
+
+enum class PartitionKind { kIid, kShard, kDirichlet };
+
+struct SimConfig {
+  std::size_t workers = 16;
+  std::size_t batch_size = 32;
+  std::size_t epochs = 10;
+  double lr = 0.05;
+  double momentum = 0.0;
+  double weight_decay = 0.0;
+  std::vector<std::size_t> decay_epochs;
+  double decay_factor = 0.1;
+  std::uint64_t seed = 42;
+  PartitionKind partition = PartitionKind::kIid;
+  std::size_t shards_per_worker = 2;   // for kShard
+  double dirichlet_alpha = 0.5;        // for kDirichlet
+  std::size_t eval_batch = 256;
+  std::size_t eval_every_rounds = 0;   // 0 = once per epoch
+  std::size_t threads = 0;             // >0 enables the worker thread pool
+};
+
+/// One point of a training curve — the row format behind Figs. 3, 4, 6 and
+/// Tables III/IV.
+struct MetricPoint {
+  std::size_t round = 0;    // communication rounds completed
+  double epoch = 0.0;       // local-data passes completed per worker
+  double loss = 0.0;        // test loss
+  double accuracy = 0.0;    // test top-1 accuracy in [0, 1]
+  double worker_mb = 0.0;   // mean per-worker cumulative traffic, MB
+  double comm_seconds = 0.0;// cumulative simulated communication time
+};
+
+struct RunResult {
+  std::string algorithm;
+  std::vector<MetricPoint> history;
+
+  [[nodiscard]] const MetricPoint& final() const { return history.back(); }
+  /// First point reaching `accuracy`, if any.
+  [[nodiscard]] const MetricPoint* first_reaching(double accuracy) const;
+};
+
+/// Builds a fresh model; must produce identical weights on every call (seed
+/// captured inside), so all workers start from the same x_0.
+using ModelFactory = std::function<nn::Model()>;
+
+class Engine {
+ public:
+  Engine(SimConfig config, const data::Dataset& train,
+         const data::Dataset& test, const ModelFactory& factory,
+         std::optional<net::BandwidthMatrix> bandwidth);
+
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t workers() const noexcept { return config_.workers; }
+  [[nodiscard]] std::size_t param_count() const noexcept {
+    return models_.front()->param_count();
+  }
+
+  [[nodiscard]] nn::Model& model(std::size_t w) { return *models_.at(w); }
+  [[nodiscard]] std::span<float> params(std::size_t w) {
+    return models_.at(w)->parameters();
+  }
+  [[nodiscard]] net::NetworkSim& network() noexcept { return net_; }
+
+  /// Node index of the virtual parameter server (= workers()); used by the
+  /// centralized baselines for traffic/time accounting.
+  [[nodiscard]] std::size_t server_node() const noexcept {
+    return config_.workers;
+  }
+
+  /// The worker-to-worker bandwidth matrix (without the virtual server), or
+  /// nullopt when the engine tracks traffic only.
+  [[nodiscard]] std::optional<net::BandwidthMatrix> worker_bandwidth() const;
+
+  /// Size of worker w's local shard.
+  [[nodiscard]] std::size_t shard_size(std::size_t w) const;
+  /// Rounds that constitute one "epoch" (max shard batches over workers).
+  [[nodiscard]] std::size_t steps_per_epoch() const noexcept {
+    return steps_per_epoch_;
+  }
+
+  /// One local mini-batch SGD step on worker w; `epoch` drives the LR
+  /// schedule.  Returns the training loss of the batch.
+  double sgd_step(std::size_t w, std::size_t epoch);
+
+  /// Computes the mini-batch gradient into model(w).gradients() WITHOUT
+  /// updating parameters (for gradient-exchange algorithms).  Returns loss.
+  double compute_gradient(std::size_t w, std::size_t epoch);
+
+  /// Applies an SGD update with an externally supplied gradient.
+  void apply_update(std::size_t w, std::span<const float> gradient,
+                    std::size_t epoch);
+
+  /// Runs fn(w) for every ACTIVE worker, optionally on the thread pool.
+  void for_each_worker(const std::function<void(std::size_t)>& fn);
+
+  /// Active flags (failure injection).  Inactive workers neither train nor
+  /// communicate; algorithms that support dynamics consult these.
+  void set_active(std::size_t w, bool active);
+  [[nodiscard]] bool active(std::size_t w) const { return active_.at(w) != 0; }
+
+  /// Mean of all ACTIVE workers' parameter vectors.
+  [[nodiscard]] std::vector<float> average_params() const;
+
+  /// Sets every worker's parameters to the global average (ideal all-reduce;
+  /// accounting is the caller's job).
+  void allreduce_average();
+
+  /// Evaluates `params` (default: average_params()) on the test set and
+  /// returns a MetricPoint stamped with the engine's traffic/time counters.
+  MetricPoint eval_point(std::size_t round, double epoch,
+                         std::span<const float> params = {});
+
+  /// Consensus distance (1/n)Σ‖x_i − x̄‖² — Theorem 1's left-hand side.
+  [[nodiscard]] double consensus_distance() const;
+
+ private:
+  SimConfig config_;
+  const data::Dataset* test_;
+  std::vector<data::Dataset> shards_;
+  std::vector<std::unique_ptr<data::BatchSampler>> samplers_;
+  std::vector<std::unique_ptr<nn::Model>> models_;
+  std::vector<std::unique_ptr<nn::Sgd>> optimizers_;
+  std::vector<std::uint8_t> active_;
+  net::NetworkSim net_;
+  std::size_t steps_per_epoch_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
+
+  // Per-worker batch scratch (needed for thread-parallel local steps).
+  std::vector<Tensor> batch_x_;
+  std::vector<std::vector<std::int32_t>> batch_y_;
+};
+
+}  // namespace saps::sim

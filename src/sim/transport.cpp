@@ -1,0 +1,69 @@
+#include "sim/transport.hpp"
+
+#include <stdexcept>
+
+namespace saps::sim {
+
+Transport::Transport(std::size_t endpoints) {
+  if (endpoints < 2) throw std::invalid_argument("Transport: endpoints < 2");
+  boxes_.reserve(endpoints);
+  for (std::size_t i = 0; i < endpoints; ++i) {
+    boxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Transport::Mailbox& Transport::box(std::size_t id) {
+  if (id >= boxes_.size()) throw std::out_of_range("Transport: endpoint id");
+  return *boxes_[id];
+}
+
+void Transport::send(std::size_t from, std::size_t to,
+                     std::vector<std::uint8_t> payload) {
+  if (from >= boxes_.size()) throw std::out_of_range("Transport: sender id");
+  if (down_.load(std::memory_order_acquire)) {
+    throw std::logic_error("Transport: send after shutdown");
+  }
+  auto& mailbox = box(to);
+  {
+    std::lock_guard stats_lock(stats_mutex_);
+    total_bytes_ += static_cast<double>(payload.size());
+  }
+  {
+    std::lock_guard lock(mailbox.mutex);
+    mailbox.queue.push(Envelope{from, std::move(payload)});
+  }
+  mailbox.cv.notify_one();
+}
+
+std::optional<Envelope> Transport::recv(std::size_t to) {
+  auto& mailbox = box(to);
+  std::unique_lock lock(mailbox.mutex);
+  mailbox.cv.wait(lock, [&] {
+    return !mailbox.queue.empty() || down_.load(std::memory_order_acquire);
+  });
+  if (mailbox.queue.empty()) return std::nullopt;
+  Envelope env = std::move(mailbox.queue.front());
+  mailbox.queue.pop();
+  return env;
+}
+
+std::optional<Envelope> Transport::try_recv(std::size_t to) {
+  auto& mailbox = box(to);
+  std::lock_guard lock(mailbox.mutex);
+  if (mailbox.queue.empty()) return std::nullopt;
+  Envelope env = std::move(mailbox.queue.front());
+  mailbox.queue.pop();
+  return env;
+}
+
+void Transport::shutdown() {
+  down_.store(true, std::memory_order_release);
+  for (const auto& mailbox : boxes_) mailbox->cv.notify_all();
+}
+
+double Transport::total_bytes() const {
+  std::lock_guard lock(stats_mutex_);
+  return total_bytes_;
+}
+
+}  // namespace saps::sim

@@ -1,0 +1,64 @@
+// In-process message transport: per-endpoint mailboxes with blocking
+// receive.  This is the "real threads exchanging real bytes" execution path
+// that complements the deterministic round-based engine — the integration
+// test in tests/transport_test.cpp runs one full SAPS round over it with a
+// coordinator thread and n worker threads and checks bit-equality with the
+// sequential path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+namespace saps::sim {
+
+struct Envelope {
+  std::size_t from = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+class Transport {
+ public:
+  /// `endpoints` mailboxes, addressed 0..endpoints-1.
+  explicit Transport(std::size_t endpoints);
+
+  [[nodiscard]] std::size_t endpoints() const noexcept { return boxes_.size(); }
+
+  /// Copies `payload` into `to`'s mailbox.  Thread-safe.  Throws on a bad
+  /// address or if the transport is shut down.
+  void send(std::size_t from, std::size_t to, std::vector<std::uint8_t> payload);
+
+  /// Blocks until a message for `to` arrives (FIFO) or shutdown; returns
+  /// nullopt on shutdown with an empty mailbox.
+  [[nodiscard]] std::optional<Envelope> recv(std::size_t to);
+
+  /// Non-blocking receive.
+  [[nodiscard]] std::optional<Envelope> try_recv(std::size_t to);
+
+  /// Wakes all blocked receivers; subsequent sends throw.
+  void shutdown();
+
+  /// Total payload bytes moved endpoint-to-endpoint so far.
+  [[nodiscard]] double total_bytes() const;
+
+ private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::queue<Envelope> queue;
+  };
+
+  [[nodiscard]] Mailbox& box(std::size_t id);
+
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  mutable std::mutex stats_mutex_;
+  double total_bytes_ = 0.0;
+  std::atomic<bool> down_{false};
+};
+
+}  // namespace saps::sim

@@ -1,0 +1,213 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace saps::ops {
+
+namespace {
+void require_same(std::size_t a, std::size_t b, const char* what) {
+  if (a != b) throw std::invalid_argument(std::string(what) + ": size mismatch");
+}
+}  // namespace
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  require_same(x.size(), y.size(), "axpy");
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<float> x, float alpha) noexcept {
+  for (auto& v : x) v *= alpha;
+}
+
+void add(std::span<const float> a, std::span<const float> b,
+         std::span<float> out) {
+  require_same(a.size(), b.size(), "add");
+  require_same(a.size(), out.size(), "add");
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void sub(std::span<const float> a, std::span<const float> b,
+         std::span<float> out) {
+  require_same(a.size(), b.size(), "sub");
+  require_same(a.size(), out.size(), "sub");
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void hadamard(std::span<const float> a, std::span<const float> b,
+              std::span<float> out) {
+  require_same(a.size(), b.size(), "hadamard");
+  require_same(a.size(), out.size(), "hadamard");
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  require_same(a.size(), b.size(), "dot");
+  double acc = 0.0;
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double norm2_sq(std::span<const float> x) noexcept {
+  double acc = 0.0;
+  for (float v : x) acc += static_cast<double>(v) * static_cast<double>(v);
+  return acc;
+}
+
+double norm2(std::span<const float> x) noexcept { return std::sqrt(norm2_sq(x)); }
+
+namespace {
+
+// Straightforward i-k-j loop order with the inner loop vectorizable by the
+// compiler; block over k to keep B rows hot.  Good enough for the model sizes
+// in this repo (N up to a few million, GEMM tiles up to a few hundred).
+void gemm_impl(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t k0 = 0; k0 < k; k0 += kBlock) {
+    const std::size_t k1 = std::min(k0 + kBlock, k);
+    for (std::size_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        const float aik = a[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* brow = b + kk * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c,
+          std::size_t m, std::size_t k, std::size_t n) {
+  require_same(a.size(), m * k, "gemm A");
+  require_same(b.size(), k * n, "gemm B");
+  require_same(c.size(), m * n, "gemm C");
+  gemm_impl(a.data(), b.data(), c.data(), m, k, n, /*accumulate=*/false);
+}
+
+void gemm_acc(std::span<const float> a, std::span<const float> b,
+              std::span<float> c, std::size_t m, std::size_t k, std::size_t n) {
+  require_same(a.size(), m * k, "gemm_acc A");
+  require_same(b.size(), k * n, "gemm_acc B");
+  require_same(c.size(), m * n, "gemm_acc C");
+  gemm_impl(a.data(), b.data(), c.data(), m, k, n, /*accumulate=*/true);
+}
+
+void gemm_at_b_acc(std::span<const float> a, std::span<const float> b,
+                   std::span<float> c, std::size_t m, std::size_t k,
+                   std::size_t n) {
+  require_same(a.size(), k * m, "gemm_at_b A");
+  require_same(b.size(), k * n, "gemm_at_b B");
+  require_same(c.size(), m * n, "gemm_at_b C");
+  // C[i][j] += sum_kk A[kk][i] * B[kk][j]
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.data() + kk * m;
+    const float* brow = b.data() + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+void gemm_a_bt_acc(std::span<const float> a, std::span<const float> b,
+                   std::span<float> c, std::size_t m, std::size_t k,
+                   std::size_t n) {
+  require_same(a.size(), m * k, "gemm_a_bt A");
+  require_same(b.size(), n * k, "gemm_a_bt B");
+  require_same(c.size(), m * n, "gemm_a_bt C");
+  // C[i][j] += dot(A row i, B row j)
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] += acc;
+    }
+  }
+}
+
+void im2col(std::span<const float> img, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel_h, std::size_t kernel_w,
+            std::size_t stride, std::size_t pad, std::span<float> cols) {
+  const std::size_t out_h = (height + 2 * pad - kernel_h) / stride + 1;
+  const std::size_t out_w = (width + 2 * pad - kernel_w) / stride + 1;
+  require_same(img.size(), channels * height * width, "im2col img");
+  require_same(cols.size(), channels * kernel_h * kernel_w * out_h * out_w,
+               "im2col cols");
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t kh = 0; kh < kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < kernel_w; ++kw, ++row) {
+        float* dst = cols.data() + row * out_h * out_w;
+        for (std::size_t oh = 0; oh < out_h; ++oh) {
+          const std::ptrdiff_t ih =
+              static_cast<std::ptrdiff_t>(oh * stride + kh) -
+              static_cast<std::ptrdiff_t>(pad);
+          for (std::size_t ow = 0; ow < out_w; ++ow) {
+            const std::ptrdiff_t iw =
+                static_cast<std::ptrdiff_t>(ow * stride + kw) -
+                static_cast<std::ptrdiff_t>(pad);
+            const bool inside = ih >= 0 && ih < static_cast<std::ptrdiff_t>(height) &&
+                                iw >= 0 && iw < static_cast<std::ptrdiff_t>(width);
+            dst[oh * out_w + ow] =
+                inside ? img[(c * height + static_cast<std::size_t>(ih)) * width +
+                             static_cast<std::size_t>(iw)]
+                       : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(std::span<const float> cols, std::size_t channels,
+            std::size_t height, std::size_t width, std::size_t kernel_h,
+            std::size_t kernel_w, std::size_t stride, std::size_t pad,
+            std::span<float> img_grad) {
+  const std::size_t out_h = (height + 2 * pad - kernel_h) / stride + 1;
+  const std::size_t out_w = (width + 2 * pad - kernel_w) / stride + 1;
+  require_same(img_grad.size(), channels * height * width, "col2im img_grad");
+  require_same(cols.size(), channels * kernel_h * kernel_w * out_h * out_w,
+               "col2im cols");
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t kh = 0; kh < kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < kernel_w; ++kw, ++row) {
+        const float* src = cols.data() + row * out_h * out_w;
+        for (std::size_t oh = 0; oh < out_h; ++oh) {
+          const std::ptrdiff_t ih =
+              static_cast<std::ptrdiff_t>(oh * stride + kh) -
+              static_cast<std::ptrdiff_t>(pad);
+          if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(height)) continue;
+          for (std::size_t ow = 0; ow < out_w; ++ow) {
+            const std::ptrdiff_t iw =
+                static_cast<std::ptrdiff_t>(ow * stride + kw) -
+                static_cast<std::ptrdiff_t>(pad);
+            if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(width)) continue;
+            img_grad[(c * height + static_cast<std::size_t>(ih)) * width +
+                     static_cast<std::size_t>(iw)] += src[oh * out_w + ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace saps::ops

@@ -1,0 +1,68 @@
+// Vector and matrix kernels over raw float spans.
+//
+// The distributed algorithms treat a model as one flat parameter vector
+// (paper notation x ∈ R^N), so all compression / averaging / SGD arithmetic
+// happens through these span kernels.  GEMM and im2col serve src/nn.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace saps::ops {
+
+/// y += alpha * x
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha
+void scale(std::span<float> x, float alpha) noexcept;
+
+/// out = a + b (element-wise); aliasing with either input is allowed.
+void add(std::span<const float> a, std::span<const float> b, std::span<float> out);
+
+/// out = a - b
+void sub(std::span<const float> a, std::span<const float> b, std::span<float> out);
+
+/// out = a ∘ b (Hadamard)
+void hadamard(std::span<const float> a, std::span<const float> b,
+              std::span<float> out);
+
+[[nodiscard]] double dot(std::span<const float> a, std::span<const float> b);
+
+/// squared l2 norm
+[[nodiscard]] double norm2_sq(std::span<const float> x) noexcept;
+
+/// l2 norm
+[[nodiscard]] double norm2(std::span<const float> x) noexcept;
+
+/// C(m×n) = A(m×k) · B(k×n), row-major, C overwritten.  Cache-blocked.
+void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c,
+          std::size_t m, std::size_t k, std::size_t n);
+
+/// C(m×n) += A(m×k) · B(k×n)
+void gemm_acc(std::span<const float> a, std::span<const float> b,
+              std::span<float> c, std::size_t m, std::size_t k, std::size_t n);
+
+/// C(m×n) += Aᵀ · B where A is (k×m), B is (k×n).
+void gemm_at_b_acc(std::span<const float> a, std::span<const float> b,
+                   std::span<float> c, std::size_t m, std::size_t k,
+                   std::size_t n);
+
+/// C(m×n) += A · Bᵀ where A is (m×k), B is (n×k).
+void gemm_a_bt_acc(std::span<const float> a, std::span<const float> b,
+                   std::span<float> c, std::size_t m, std::size_t k,
+                   std::size_t n);
+
+/// im2col for NCHW single image: input (C,H,W) → columns
+/// (C*kh*kw, out_h*out_w).  Padding is zero-filled.
+void im2col(std::span<const float> img, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel_h, std::size_t kernel_w,
+            std::size_t stride, std::size_t pad, std::span<float> cols);
+
+/// Transpose of im2col: scatters column gradients back into an image gradient.
+/// `img_grad` is accumulated into (callers zero it first).
+void col2im(std::span<const float> cols, std::size_t channels,
+            std::size_t height, std::size_t width, std::size_t kernel_h,
+            std::size_t kernel_w, std::size_t stride, std::size_t pad,
+            std::span<float> img_grad);
+
+}  // namespace saps::ops

@@ -1,0 +1,51 @@
+#include "util/flags.hpp"
+
+#include <stdexcept>
+#include <string_view>
+
+namespace saps {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view token(argv[i]);
+    if (!token.starts_with("--")) {
+      throw std::invalid_argument("Flags: expected --key[=value], got '" +
+                                  std::string(token) + "'");
+    }
+    token.remove_prefix(2);
+    const auto eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      values_[std::string(token)] = "true";
+    } else {
+      values_[std::string(token.substr(0, eq))] = std::string(token.substr(eq + 1));
+    }
+  }
+}
+
+bool Flags::has(const std::string& key) const { return values_.contains(key); }
+
+std::string Flags::get_string(const std::string& key,
+                              const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double Flags::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool Flags::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace saps

@@ -1,0 +1,31 @@
+// Tiny --key=value command-line parser shared by benches and examples.
+//
+// We deliberately avoid a dependency: benches need ~5 flags each, all of the
+// form --name=value with typed defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace saps {
+
+class Flags {
+ public:
+  /// Parses argv; throws std::invalid_argument on a malformed token.
+  /// Accepts "--key=value" and bare "--key" (stored as "true").
+  Flags(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace saps

@@ -1,0 +1,64 @@
+// Minimal leveled logger.  Single header, no allocation on the disabled path.
+//
+// Usage:
+//   SAPS_LOG_INFO("round " << t << " loss=" << loss);
+// Level is a process-wide atomic; benches set it from --log-level.
+#pragma once
+
+#include <atomic>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace saps {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace detail {
+inline std::atomic<int>& log_level_storage() noexcept {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
+  return level;
+}
+}  // namespace detail
+
+inline void set_log_level(LogLevel level) noexcept {
+  detail::log_level_storage().store(static_cast<int>(level),
+                                    std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(
+      detail::log_level_storage().load(std::memory_order_relaxed));
+}
+
+[[nodiscard]] inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+[[nodiscard]] constexpr std::string_view log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace saps
+
+#define SAPS_LOG_AT(level, expr)                                          \
+  do {                                                                    \
+    if (::saps::log_enabled(level)) {                                     \
+      std::ostringstream saps_log_oss;                                    \
+      saps_log_oss << "[" << ::saps::log_level_name(level) << "] " << expr \
+                   << "\n";                                               \
+      std::cerr << saps_log_oss.str();                                    \
+    }                                                                     \
+  } while (false)
+
+#define SAPS_LOG_DEBUG(expr) SAPS_LOG_AT(::saps::LogLevel::kDebug, expr)
+#define SAPS_LOG_INFO(expr) SAPS_LOG_AT(::saps::LogLevel::kInfo, expr)
+#define SAPS_LOG_WARN(expr) SAPS_LOG_AT(::saps::LogLevel::kWarn, expr)
+#define SAPS_LOG_ERROR(expr) SAPS_LOG_AT(::saps::LogLevel::kError, expr)

@@ -1,0 +1,34 @@
+// Console table / CSV writer used by the benchmark harnesses to print the
+// paper's tables and figure series in a uniform format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace saps {
+
+/// Accumulates rows of strings and renders them either as an aligned console
+/// table (paper-table style) or as CSV (for plotting figure series).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; the row must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic cells with fixed precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(long long v);
+
+  [[nodiscard]] std::string to_aligned() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace saps

@@ -1,0 +1,74 @@
+#include "util/threadpool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace saps {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::atomic<std::size_t> remaining{n};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::condition_variable done_cv;
+  std::mutex done_mutex;
+
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < n; ++i) {
+      tasks_.emplace([&, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard elock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard dlock(done_mutex);
+          done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock dlock(done_mutex);
+  done_cv.wait(dlock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace saps

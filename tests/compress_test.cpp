@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "compress/mask.hpp"
+#include "compress/topk.hpp"
+#include "util/rng.hpp"
+
+namespace saps::compress {
+namespace {
+
+TEST(Mask, IdenticalAcrossWorkersForSameSeed) {
+  // The protocol's core property: every worker regenerates the same mask
+  // from the coordinator's broadcast seed (Section II-B).
+  const auto a = bernoulli_mask(12345, 10000, 100.0);
+  const auto b = bernoulli_mask(12345, 10000, 100.0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Mask, DifferentSeedsDiffer) {
+  const auto a = bernoulli_mask(1, 10000, 10.0);
+  const auto b = bernoulli_mask(2, 10000, 10.0);
+  EXPECT_NE(a, b);
+}
+
+TEST(Mask, RejectsBadArguments) {
+  EXPECT_THROW(bernoulli_mask(1, 0, 10.0), std::invalid_argument);
+  EXPECT_THROW(bernoulli_mask(1, 10, 0.5), std::invalid_argument);
+}
+
+class MaskRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MaskRatioTest, DensityMatchesOneOverC) {
+  const double c = GetParam();
+  const std::size_t n = 200000;
+  const auto mask = bernoulli_mask(derive_seed(7, static_cast<uint64_t>(c)), n, c);
+  const double density = static_cast<double>(mask_popcount(mask)) / n;
+  EXPECT_NEAR(density, 1.0 / c, 3.0 * std::sqrt((1.0 / c) / n) + 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, MaskRatioTest,
+                         ::testing::Values(1.0, 2.0, 4.0, 10.0, 100.0, 1000.0));
+
+TEST(Mask, ExtractThenAverageRoundTrip) {
+  std::vector<float> x = {1, 2, 3, 4, 5, 6};
+  const std::vector<std::uint8_t> mask = {1, 0, 1, 0, 0, 1};
+  const auto vals = extract_masked(x, mask);
+  EXPECT_EQ(vals, (std::vector<float>{1, 3, 6}));
+
+  std::vector<float> peer_vals = {3, 5, 10};
+  average_masked_inplace(x, mask, peer_vals);
+  EXPECT_FLOAT_EQ(x[0], 2.0f);   // (1+3)/2
+  EXPECT_FLOAT_EQ(x[1], 2.0f);   // untouched
+  EXPECT_FLOAT_EQ(x[2], 4.0f);   // (3+5)/2
+  EXPECT_FLOAT_EQ(x[5], 8.0f);   // (6+10)/2
+}
+
+TEST(Mask, PairwiseAverageIsSymmetric) {
+  // Both ends of an exchange must land on the same masked values (Eq. 7).
+  Rng rng(3);
+  std::vector<float> xi(500), xj(500);
+  for (auto& v : xi) v = rng.next_float();
+  for (auto& v : xj) v = rng.next_float();
+  const auto mask = bernoulli_mask(55, 500, 5.0);
+  const auto vi = extract_masked(xi, mask);
+  const auto vj = extract_masked(xj, mask);
+  average_masked_inplace(xi, mask, vj);
+  average_masked_inplace(xj, mask, vi);
+  for (std::size_t k = 0; k < 500; ++k) {
+    if (mask[k]) {
+      EXPECT_FLOAT_EQ(xi[k], xj[k]);
+    }
+  }
+}
+
+TEST(Mask, AverageRejectsWrongValueCount) {
+  std::vector<float> x = {1, 2};
+  const std::vector<std::uint8_t> mask = {1, 1};
+  std::vector<float> vals = {1};
+  EXPECT_THROW(average_masked_inplace(x, mask, vals), std::invalid_argument);
+  std::vector<float> too_many = {1, 2, 3};
+  EXPECT_THROW(average_masked_inplace(x, mask, too_many), std::invalid_argument);
+}
+
+TEST(Mask, ScatterOverwrites) {
+  std::vector<float> x = {1, 2, 3};
+  const std::vector<std::uint8_t> mask = {0, 1, 1};
+  std::vector<float> vals = {10, 20};
+  scatter_masked_inplace(x, mask, vals);
+  EXPECT_FLOAT_EQ(x[0], 1.0f);
+  EXPECT_FLOAT_EQ(x[1], 10.0f);
+  EXPECT_FLOAT_EQ(x[2], 20.0f);
+}
+
+TEST(Mask, WireBytesFormula) {
+  EXPECT_DOUBLE_EQ(masked_wire_bytes(0), 16.0);
+  EXPECT_DOUBLE_EQ(masked_wire_bytes(100), 416.0);
+}
+
+TEST(TopK, SelectsLargestMagnitudes) {
+  const std::vector<float> x = {0.1f, -5.0f, 3.0f, 0.2f, -0.3f, 4.0f};
+  const auto s = top_k(x, 2.0);  // k = ceil(6/2) = 3
+  EXPECT_EQ(s.nnz(), 3u);
+  EXPECT_EQ(s.indices, (std::vector<std::uint32_t>{1, 2, 5}));
+  EXPECT_FLOAT_EQ(s.values[0], -5.0f);
+}
+
+TEST(TopK, AlwaysKeepsAtLeastOne) {
+  const std::vector<float> x = {1.0f, 2.0f};
+  const auto s = top_k(x, 1000.0);
+  EXPECT_EQ(s.nnz(), 1u);
+  EXPECT_EQ(s.indices[0], 1u);
+}
+
+TEST(TopK, WireBytes) {
+  const std::vector<float> x = {1, 2, 3, 4};
+  const auto s = top_k(x, 2.0);
+  EXPECT_DOUBLE_EQ(s.wire_bytes(), 16.0 + 8.0 * 2);
+}
+
+TEST(AddSparse, AccumulatesWithScale) {
+  std::vector<float> x(5, 1.0f);
+  SparseVector s;
+  s.indices = {0, 4};
+  s.values = {2.0f, 3.0f};
+  add_sparse(x, s, 0.5f);
+  EXPECT_FLOAT_EQ(x[0], 2.0f);
+  EXPECT_FLOAT_EQ(x[4], 2.5f);
+  EXPECT_FLOAT_EQ(x[2], 1.0f);
+}
+
+TEST(AddSparse, RejectsOutOfRange) {
+  std::vector<float> x(2);
+  SparseVector s;
+  s.indices = {5};
+  s.values = {1.0f};
+  EXPECT_THROW(add_sparse(x, s), std::out_of_range);
+}
+
+TEST(ErrorFeedback, SentPlusResidualEqualsAccumulated) {
+  // EF invariant: compress(g) + residual' == g + residual (nothing lost).
+  Rng rng(5);
+  const std::size_t n = 1000;
+  ErrorFeedbackTopK ef(n, 10.0);
+  std::vector<float> g(n);
+  for (int round = 0; round < 5; ++round) {
+    for (auto& v : g) v = rng.next_float() - 0.5f;
+    std::vector<float> before(ef.residual().begin(), ef.residual().end());
+    for (std::size_t i = 0; i < n; ++i) before[i] += g[i];
+
+    const auto sent = ef.compress(g);
+    std::vector<float> after(ef.residual().begin(), ef.residual().end());
+    add_sparse(after, sent);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_FLOAT_EQ(after[i], before[i]);
+  }
+}
+
+TEST(ErrorFeedback, ResidualDrainsEventually) {
+  // With zero new gradient, repeated compression flushes the residual.
+  const std::size_t n = 100;
+  ErrorFeedbackTopK ef(n, 10.0);
+  std::vector<float> g(n, 1.0f);
+  (void)ef.compress(g);
+  std::vector<float> zero(n, 0.0f);
+  for (int i = 0; i < 20; ++i) (void)ef.compress(zero);
+  double norm = 0.0;
+  for (const auto v : ef.residual()) norm += std::abs(v);
+  EXPECT_NEAR(norm, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace saps::compress

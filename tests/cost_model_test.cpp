@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+
+namespace saps::core {
+namespace {
+
+TEST(CostModel, TableOneFormulas) {
+  CostInputs in;
+  in.model_size = 1e6;
+  in.workers = 32;
+  in.rounds = 100;
+  in.compression = 100;
+  in.topk_compression = 1000;
+  in.dcd_compression = 4;
+  in.neighbors = 2;
+  const auto rows = communication_cost_table(in);
+  ASSERT_EQ(rows.size(), 8u);
+
+  auto find = [&](const std::string& name) -> const AlgoCost& {
+    for (const auto& r : rows) {
+      if (r.algorithm == name) return r;
+    }
+    throw std::runtime_error("missing row " + name);
+  };
+
+  EXPECT_DOUBLE_EQ(find("PS-PSGD").server_cost, 2 * 1e6 * 32 * 100);
+  EXPECT_DOUBLE_EQ(find("PS-PSGD").worker_cost, 2 * 1e6 * 100);
+  EXPECT_DOUBLE_EQ(find("PSGD (all-reduce)").server_cost, -1.0);
+  EXPECT_DOUBLE_EQ(find("TopK-PSGD").worker_cost, 2 * 32 * (1e6 / 1000) * 100);
+  EXPECT_DOUBLE_EQ(find("S-FedAvg").worker_cost, (1e6 + 2 * 1e6 / 100) * 100);
+  EXPECT_DOUBLE_EQ(find("D-PSGD").server_cost, 1e6);
+  EXPECT_DOUBLE_EQ(find("D-PSGD").worker_cost, 4 * 2 * 1e6 * 100);
+  EXPECT_DOUBLE_EQ(find("DCD-PSGD").worker_cost, 4 * 2 * (1e6 / 4) * 100);
+  EXPECT_DOUBLE_EQ(find("SAPS-PSGD").worker_cost, 2 * (1e6 / 100) * 100);
+  EXPECT_DOUBLE_EQ(find("SAPS-PSGD").server_cost, 1e6);
+}
+
+TEST(CostModel, FeatureFlagsMatchPaper) {
+  const auto rows = communication_cost_table({});
+  for (const auto& r : rows) {
+    if (r.algorithm == "SAPS-PSGD") {
+      EXPECT_TRUE(r.sparsification);
+      EXPECT_TRUE(r.bandwidth_aware);
+      EXPECT_TRUE(r.robust);
+    } else {
+      EXPECT_FALSE(r.bandwidth_aware) << r.algorithm;
+      EXPECT_FALSE(r.robust) << r.algorithm;
+    }
+  }
+  // Sparsification column: TopK, S-FedAvg, DCD and SAPS only.
+  std::size_t sparse = 0;
+  for (const auto& r : rows) sparse += r.sparsification ? 1 : 0;
+  EXPECT_EQ(sparse, 4u);
+}
+
+TEST(CostModel, SapsHasLowestWorkerCost) {
+  const auto rows = communication_cost_table({});
+  double saps = 0.0, others_min = 1e300;
+  for (const auto& r : rows) {
+    if (r.algorithm == "SAPS-PSGD") {
+      saps = r.worker_cost;
+    } else {
+      others_min = std::min(others_min, r.worker_cost);
+    }
+  }
+  EXPECT_LT(saps, others_min);
+}
+
+}  // namespace
+}  // namespace saps::core

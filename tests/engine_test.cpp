@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+#include "sim/engine.hpp"
+
+namespace saps::sim {
+namespace {
+
+Engine make_engine(SimConfig cfg, std::size_t samples = 256,
+                   std::optional<net::BandwidthMatrix> bw = std::nullopt) {
+  static const auto train = data::make_blobs(512, 8, 4, 0.3, 100);
+  static const auto test = data::make_blobs(128, 8, 4, 0.3, 100);
+  (void)samples;
+  const std::uint64_t seed = cfg.seed;
+  return Engine(cfg, train, test,
+                [seed] { return nn::make_mlp({8}, {16}, 4, seed); },
+                std::move(bw));
+}
+
+TEST(Engine, IdenticalInitialModels) {
+  SimConfig cfg;
+  cfg.workers = 4;
+  auto engine = make_engine(cfg);
+  const auto ref = engine.params(0);
+  for (std::size_t w = 1; w < 4; ++w) {
+    const auto p = engine.params(w);
+    for (std::size_t j = 0; j < p.size(); ++j) EXPECT_EQ(p[j], ref[j]);
+  }
+  EXPECT_NEAR(engine.consensus_distance(), 0.0, 1e-12);
+}
+
+TEST(Engine, SgdStepChangesOnlyThatWorker) {
+  SimConfig cfg;
+  cfg.workers = 3;
+  auto engine = make_engine(cfg);
+  const std::vector<float> before(engine.params(1).begin(),
+                                  engine.params(1).end());
+  engine.sgd_step(0, 0);
+  double moved = 0.0;
+  for (std::size_t j = 0; j < before.size(); ++j) {
+    moved += std::abs(engine.params(0)[j] - before[j]);
+  }
+  EXPECT_GT(moved, 0.0);
+  for (std::size_t j = 0; j < before.size(); ++j) {
+    EXPECT_EQ(engine.params(1)[j], before[j]);
+  }
+  EXPECT_GT(engine.consensus_distance(), 0.0);
+}
+
+TEST(Engine, AllreduceRestoresConsensus) {
+  SimConfig cfg;
+  cfg.workers = 4;
+  auto engine = make_engine(cfg);
+  for (std::size_t w = 0; w < 4; ++w) engine.sgd_step(w, 0);
+  EXPECT_GT(engine.consensus_distance(), 0.0);
+  engine.allreduce_average();
+  EXPECT_NEAR(engine.consensus_distance(), 0.0, 1e-10);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  SimConfig cfg;
+  cfg.workers = 4;
+  auto a = make_engine(cfg);
+  auto b = make_engine(cfg);
+  for (std::size_t w = 0; w < 4; ++w) {
+    EXPECT_DOUBLE_EQ(a.sgd_step(w, 0), b.sgd_step(w, 0));
+  }
+  for (std::size_t w = 0; w < 4; ++w) {
+    const auto pa = a.params(w), pb = b.params(w);
+    for (std::size_t j = 0; j < pa.size(); ++j) EXPECT_EQ(pa[j], pb[j]);
+  }
+}
+
+TEST(Engine, ThreadedStepMatchesSequential) {
+  SimConfig cfg;
+  cfg.workers = 4;
+  auto seq = make_engine(cfg);
+  SimConfig cfg_mt = cfg;
+  cfg_mt.threads = 4;
+  auto par = make_engine(cfg_mt);
+  seq.for_each_worker([&](std::size_t w) { seq.sgd_step(w, 0); });
+  par.for_each_worker([&](std::size_t w) { par.sgd_step(w, 0); });
+  for (std::size_t w = 0; w < 4; ++w) {
+    const auto ps = seq.params(w), pp = par.params(w);
+    for (std::size_t j = 0; j < ps.size(); ++j) EXPECT_EQ(ps[j], pp[j]);
+  }
+}
+
+TEST(Engine, EvalPointTracksNetworkCounters) {
+  SimConfig cfg;
+  cfg.workers = 3;
+  auto engine = make_engine(cfg);
+  auto& net = engine.network();
+  net.start_round();
+  net.transfer(0, 1, 3e6);
+  net.finish_round();
+  const auto p = engine.eval_point(1, 0.5);
+  EXPECT_EQ(p.round, 1u);
+  EXPECT_DOUBLE_EQ(p.epoch, 0.5);
+  EXPECT_NEAR(p.worker_mb, 6.0 / 3.0, 1e-9);  // 3 MB up + 3 MB down over 3
+  EXPECT_GT(p.accuracy, 0.0);
+}
+
+TEST(Engine, InactiveWorkersExcludedFromAverage) {
+  SimConfig cfg;
+  cfg.workers = 3;
+  auto engine = make_engine(cfg);
+  engine.sgd_step(2, 0);
+  engine.set_active(2, false);
+  const auto avg = engine.average_params();
+  // With worker 2 inactive, the average equals workers 0/1 (still at init).
+  const auto p0 = engine.params(0);
+  for (std::size_t j = 0; j < avg.size(); ++j) EXPECT_EQ(avg[j], p0[j]);
+}
+
+TEST(Engine, ForEachSkipsInactive) {
+  SimConfig cfg;
+  cfg.workers = 3;
+  auto engine = make_engine(cfg);
+  engine.set_active(1, false);
+  std::vector<int> hits(3, 0);
+  engine.for_each_worker([&](std::size_t w) { hits[w] = 1; });
+  EXPECT_EQ(hits[0], 1);
+  EXPECT_EQ(hits[1], 0);
+  EXPECT_EQ(hits[2], 1);
+}
+
+TEST(Engine, WorkerBandwidthRoundTrip) {
+  SimConfig cfg;
+  cfg.workers = 5;
+  auto bw = net::random_uniform_bandwidth(5, 3);
+  const double expect01 = bw.get(0, 1);
+  auto engine = make_engine(cfg, 256, std::move(bw));
+  const auto back = engine.worker_bandwidth();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), 5u);
+  EXPECT_DOUBLE_EQ(back->get(0, 1), expect01);
+  EXPECT_EQ(engine.server_node(), 5u);
+}
+
+TEST(Engine, NoBandwidthMeansNoWorkerBandwidth) {
+  SimConfig cfg;
+  cfg.workers = 3;
+  auto engine = make_engine(cfg);
+  EXPECT_FALSE(engine.worker_bandwidth().has_value());
+}
+
+TEST(Engine, RejectsMismatchedBandwidth) {
+  SimConfig cfg;
+  cfg.workers = 4;
+  EXPECT_THROW(make_engine(cfg, 256, net::random_uniform_bandwidth(6, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saps::sim

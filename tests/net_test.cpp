@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "net/bandwidth.hpp"
+#include "net/netsim.hpp"
+
+namespace saps::net {
+namespace {
+
+TEST(BandwidthMatrix, SymmetrizeMin) {
+  BandwidthMatrix b(3);
+  b.set(0, 1, 10.0);
+  b.set(1, 0, 4.0);
+  b.symmetrize_min();
+  EXPECT_DOUBLE_EQ(b.get(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(b.get(1, 0), 4.0);
+}
+
+TEST(BandwidthMatrix, Rejects) {
+  EXPECT_THROW(BandwidthMatrix(1), std::invalid_argument);
+  BandwidthMatrix b(2);
+  EXPECT_THROW(b.set(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)b.get(0, 5), std::out_of_range);
+}
+
+TEST(Fig1, MatrixMatchesPaperValues) {
+  const auto b = fig1_city_bandwidth();
+  EXPECT_EQ(b.size(), 14u);
+  // AliBeijing ↔ AliShanghai: min(1.3, 1.3)/8 MB/s.
+  EXPECT_NEAR(b.get(0, 1), 1.3 / 8.0, 1e-9);
+  // Frankfurt ↔ London: min(331.2, 276.2)/8.
+  EXPECT_NEAR(b.get(6, 7), 276.2 / 8.0, 1e-9);
+  // London ↔ Beijing is the paper's pathological 0.2/8 (min of 0.2, 1.6).
+  EXPECT_NEAR(b.get(7, 0), 0.2 / 8.0, 1e-9);
+  // Symmetry everywhere.
+  for (std::size_t i = 0; i < 14; ++i) {
+    for (std::size_t j = 0; j < 14; ++j) {
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(b.get(i, j), b.get(j, i));
+      }
+    }
+  }
+  EXPECT_EQ(fig1_city_names().size(), 14u);
+}
+
+TEST(RandomBandwidth, InRangeAndSymmetric) {
+  const auto b = random_uniform_bandwidth(32, 9, 0.0, 5.0);
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = i + 1; j < 32; ++j) {
+      EXPECT_GT(b.get(i, j), 0.0);
+      EXPECT_LE(b.get(i, j), 5.0);
+      EXPECT_DOUBLE_EQ(b.get(i, j), b.get(j, i));
+    }
+  }
+}
+
+TEST(RandomBandwidth, Deterministic) {
+  const auto a = random_uniform_bandwidth(8, 4);
+  const auto b = random_uniform_bandwidth(8, 4);
+  EXPECT_DOUBLE_EQ(a.get(2, 5), b.get(2, 5));
+}
+
+TEST(NetworkSim, TrafficAccounting) {
+  NetworkSim sim(4);
+  sim.start_round();
+  sim.transfer(0, 1, 100.0);
+  sim.transfer(1, 0, 50.0);
+  sim.finish_round();
+  EXPECT_DOUBLE_EQ(sim.up_bytes(0), 100.0);
+  EXPECT_DOUBLE_EQ(sim.down_bytes(0), 50.0);
+  EXPECT_DOUBLE_EQ(sim.worker_bytes(0), 150.0);
+  EXPECT_DOUBLE_EQ(sim.worker_bytes(1), 150.0);
+  EXPECT_DOUBLE_EQ(sim.max_worker_bytes(), 150.0);
+  EXPECT_DOUBLE_EQ(sim.mean_worker_bytes(), 75.0);
+  EXPECT_EQ(sim.rounds(), 1u);
+}
+
+TEST(NetworkSim, RoundTimeIsMaxTransfer) {
+  BandwidthMatrix b(3);
+  b.set(0, 1, 1.0);  // 1 MB/s
+  b.set(1, 0, 1.0);
+  b.set(0, 2, 10.0);
+  b.set(2, 0, 10.0);
+  b.set(1, 2, 10.0);
+  b.set(2, 1, 10.0);
+  NetworkSim sim(std::move(b));
+  sim.start_round();
+  sim.transfer(0, 1, 1e6);  // 1 s on the slow link
+  sim.transfer(0, 2, 1e6);  // 0.1 s
+  const double t = sim.finish_round();
+  EXPECT_NEAR(t, 1.0, 1e-12);
+  EXPECT_NEAR(sim.total_seconds(), 1.0, 1e-12);
+  EXPECT_NEAR(sim.round_bottleneck_mbps().back(), 1.0, 1e-12);
+  EXPECT_NEAR(sim.round_mean_mbps().back(), 5.5, 1e-12);
+}
+
+TEST(NetworkSim, ProtocolErrors) {
+  NetworkSim sim(3);
+  EXPECT_THROW(sim.transfer(0, 1, 1.0), std::logic_error);  // outside round
+  sim.start_round();
+  EXPECT_THROW(sim.start_round(), std::logic_error);  // double open
+  EXPECT_THROW(sim.transfer(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(sim.transfer(0, 9, 1.0), std::invalid_argument);
+  EXPECT_THROW(sim.transfer(0, 1, -5.0), std::invalid_argument);
+  sim.finish_round();
+  EXPECT_THROW(sim.finish_round(), std::logic_error);
+}
+
+TEST(NetworkSim, StatWorkerCountExcludesServer) {
+  NetworkSim sim(3);
+  sim.set_stat_worker_count(2);
+  sim.start_round();
+  sim.transfer(0, 2, 100.0);  // node 2 plays "server"
+  sim.finish_round();
+  EXPECT_DOUBLE_EQ(sim.mean_worker_bytes(), 50.0);  // only nodes 0,1 counted
+  EXPECT_DOUBLE_EQ(sim.max_worker_bytes(), 100.0);
+}
+
+TEST(BestServer, PicksHighestMeanBandwidthNode) {
+  BandwidthMatrix b(3);
+  b.set(0, 1, 1.0);
+  b.set(1, 0, 1.0);
+  b.set(0, 2, 1.0);
+  b.set(2, 0, 1.0);
+  b.set(1, 2, 10.0);
+  b.set(2, 1, 10.0);
+  // Node 0 mean = 1; node 1 mean = 5.5; node 2 mean = 5.5 → picks 1 (first).
+  EXPECT_EQ(best_server_node(b), 1u);
+}
+
+TEST(VirtualServer, MirrorsBestNodeLinks) {
+  BandwidthMatrix b(3);
+  b.set(0, 1, 2.0);
+  b.set(1, 0, 2.0);
+  b.set(0, 2, 3.0);
+  b.set(2, 0, 3.0);
+  b.set(1, 2, 8.0);
+  b.set(2, 1, 8.0);
+  const auto ext = with_virtual_server(b);
+  EXPECT_EQ(ext.size(), 4u);
+  const auto best = best_server_node(b);
+  for (std::size_t j = 0; j < 3; ++j) {
+    if (j == best) continue;
+    EXPECT_DOUBLE_EQ(ext.get(3, j), b.get(best, j));
+  }
+  EXPECT_GT(ext.get(3, best), 0.0);
+}
+
+}  // namespace
+}  // namespace saps::net

@@ -1,0 +1,268 @@
+// Finite-difference gradient checks for every layer — the ground truth that
+// the training substrate computes correct derivatives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "nn/residual.hpp"
+#include "util/rng.hpp"
+
+namespace saps::nn {
+namespace {
+
+/// Scalar objective over the layer output: f = Σ w_i · out_i with fixed
+/// random weights; its analytic input/parameter gradients are checked
+/// against central differences.
+struct GradCheck {
+  explicit GradCheck(Layer& layer, std::vector<std::size_t> in_shape,
+                     std::uint64_t seed = 1234)
+      : layer_(layer), in_shape_(std::move(in_shape)) {
+    params_.assign(layer.param_count(), 0.0f);
+    grads_.assign(layer.param_count(), 0.0f);
+    layer.bind(params_, grads_);
+    Rng rng(seed);
+    layer.init(rng);
+    // Perturb params away from symmetric init values.
+    for (auto& p : params_) {
+      p += static_cast<float>(rng.next_normal() * 0.05);
+    }
+
+    in_ = Tensor(in_shape_);
+    for (std::size_t i = 0; i < in_.numel(); ++i) {
+      in_[i] = static_cast<float>(rng.next_normal());
+    }
+    const auto out_shape = layer.output_shape(in_shape_);
+    out_ = Tensor(out_shape);
+    dout_ = Tensor(out_shape);
+    for (std::size_t i = 0; i < dout_.numel(); ++i) {
+      dout_[i] = static_cast<float>(rng.next_normal());
+    }
+  }
+
+  double objective() {
+    layer_.forward(in_, out_, /*train=*/true);
+    double f = 0.0;
+    for (std::size_t i = 0; i < out_.numel(); ++i) {
+      f += static_cast<double>(out_[i]) * dout_[i];
+    }
+    return f;
+  }
+
+  /// Returns max relative error between analytic and numeric gradients.
+  double check_input_grad(double eps = 1e-3) {
+    objective();
+    Tensor din(in_.shape());
+    std::fill(grads_.begin(), grads_.end(), 0.0f);
+    layer_.backward(in_, dout_, din);
+
+    double worst = 0.0;
+    for (std::size_t i = 0; i < in_.numel(); ++i) {
+      const float saved = in_[i];
+      in_[i] = saved + static_cast<float>(eps);
+      const double fp = objective();
+      in_[i] = saved - static_cast<float>(eps);
+      const double fm = objective();
+      in_[i] = saved;
+      const double numeric = (fp - fm) / (2 * eps);
+      const double denom = std::max(1.0, std::abs(numeric));
+      worst = std::max(worst, std::abs(numeric - din[i]) / denom);
+    }
+    return worst;
+  }
+
+  double check_param_grad(double eps = 1e-3) {
+    objective();
+    Tensor din(in_.shape());
+    std::fill(grads_.begin(), grads_.end(), 0.0f);
+    layer_.backward(in_, dout_, din);
+
+    double worst = 0.0;
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      const float saved = params_[i];
+      params_[i] = saved + static_cast<float>(eps);
+      const double fp = objective();
+      params_[i] = saved - static_cast<float>(eps);
+      const double fm = objective();
+      params_[i] = saved;
+      const double numeric = (fp - fm) / (2 * eps);
+      const double denom = std::max(1.0, std::abs(numeric));
+      worst = std::max(worst, std::abs(numeric - grads_[i]) / denom);
+    }
+    return worst;
+  }
+
+  Layer& layer_;
+  std::vector<std::size_t> in_shape_;
+  std::vector<float> params_, grads_;
+  Tensor in_, out_, dout_;
+};
+
+TEST(Linear, GradCheck) {
+  Linear layer(5, 4);
+  GradCheck gc(layer, {3, 5});
+  EXPECT_LT(gc.check_input_grad(), 2e-2);
+  EXPECT_LT(gc.check_param_grad(), 2e-2);
+}
+
+TEST(Linear, RejectsBadShapes) {
+  Linear layer(5, 4);
+  EXPECT_THROW(layer.output_shape({3, 6}), std::invalid_argument);
+  EXPECT_THROW(Linear(0, 4), std::invalid_argument);
+}
+
+TEST(Conv2d, GradCheckNoPad) {
+  Conv2d layer(2, 3, 3, 1, 0);
+  GradCheck gc(layer, {2, 2, 5, 5});
+  EXPECT_LT(gc.check_input_grad(), 2e-2);
+  EXPECT_LT(gc.check_param_grad(), 2e-2);
+}
+
+TEST(Conv2d, GradCheckPadStride) {
+  Conv2d layer(1, 2, 3, 2, 1);
+  GradCheck gc(layer, {2, 1, 6, 6});
+  EXPECT_LT(gc.check_input_grad(), 2e-2);
+  EXPECT_LT(gc.check_param_grad(), 2e-2);
+}
+
+TEST(Conv2d, OutputShape) {
+  Conv2d layer(3, 16, 3, 1, 1);
+  const auto s = layer.output_shape({4, 3, 32, 32});
+  EXPECT_EQ(s, (std::vector<std::size_t>{4, 16, 32, 32}));
+  Conv2d strided(3, 16, 3, 2, 1);
+  const auto s2 = strided.output_shape({4, 3, 32, 32});
+  EXPECT_EQ(s2, (std::vector<std::size_t>{4, 16, 16, 16}));
+}
+
+TEST(Conv2d, RejectsWrongChannels) {
+  Conv2d layer(3, 8, 3);
+  EXPECT_THROW(layer.output_shape({1, 4, 8, 8}), std::invalid_argument);
+}
+
+TEST(ReLU, GradCheck) {
+  ReLU layer;
+  GradCheck gc(layer, {4, 10});
+  EXPECT_LT(gc.check_input_grad(), 2e-2);
+}
+
+TEST(ReLU, ZeroesNegatives) {
+  ReLU layer;
+  Tensor in({1, 4}, {-1.0f, 2.0f, -3.0f, 4.0f});
+  Tensor out({1, 4});
+  layer.forward(in, out, true);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 2.0f);
+  EXPECT_FLOAT_EQ(out[2], 0.0f);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten layer;
+  EXPECT_EQ(layer.output_shape({2, 3, 4, 5}),
+            (std::vector<std::size_t>{2, 60}));
+  Tensor in({1, 2, 2, 1}, {1, 2, 3, 4});
+  Tensor out({1, 4});
+  layer.forward(in, out, true);
+  EXPECT_FLOAT_EQ(out[3], 4.0f);
+}
+
+TEST(MaxPool2d, GradCheck) {
+  MaxPool2d layer(2);
+  GradCheck gc(layer, {2, 2, 4, 4});
+  EXPECT_LT(gc.check_input_grad(), 2e-2);
+}
+
+TEST(MaxPool2d, SelectsMaximum) {
+  MaxPool2d layer(2);
+  Tensor in({1, 1, 2, 2}, {1, 5, 2, 3});
+  Tensor out({1, 1, 1, 1});
+  layer.forward(in, out, true);
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+}
+
+TEST(GlobalAvgPool, GradCheck) {
+  GlobalAvgPool layer;
+  GradCheck gc(layer, {2, 3, 4, 4});
+  EXPECT_LT(gc.check_input_grad(), 2e-2);
+}
+
+TEST(GlobalAvgPool, Averages) {
+  GlobalAvgPool layer;
+  Tensor in({1, 1, 2, 2}, {1, 2, 3, 6});
+  Tensor out({1, 1});
+  layer.forward(in, out, true);
+  EXPECT_FLOAT_EQ(out[0], 3.0f);
+}
+
+TEST(BatchNorm2d, GradCheck) {
+  BatchNorm2d layer(3);
+  GradCheck gc(layer, {4, 3, 3, 3});
+  EXPECT_LT(gc.check_input_grad(), 3e-2);
+  EXPECT_LT(gc.check_param_grad(), 3e-2);
+}
+
+TEST(BatchNorm2d, NormalizesTrainingBatch) {
+  BatchNorm2d layer(1);
+  std::vector<float> params(2), grads(2);
+  layer.bind(params, grads);
+  Rng rng(1);
+  layer.init(rng);
+  Tensor in({2, 1, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor out(in.shape());
+  layer.forward(in, out, true);
+  double mean = 0.0, var = 0.0;
+  for (std::size_t i = 0; i < out.numel(); ++i) mean += out[i];
+  mean /= static_cast<double>(out.numel());
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    var += (out[i] - mean) * (out[i] - mean);
+  }
+  var /= static_cast<double>(out.numel());
+  EXPECT_NEAR(mean, 0.0, 1e-5);
+  EXPECT_NEAR(var, 1.0, 1e-2);
+}
+
+TEST(BatchNorm2d, EvalBeforeTrainUsesRunningStats) {
+  BatchNorm2d layer(1);
+  std::vector<float> params(2), grads(2);
+  layer.bind(params, grads);
+  Rng rng(1);
+  layer.init(rng);
+  Tensor in({1, 1, 1, 2}, {2.0f, 4.0f});
+  Tensor out(in.shape());
+  layer.forward(in, out, false);  // running mean 0, var 1 → near-identity
+  EXPECT_NEAR(out[0], 2.0f, 1e-3);
+  EXPECT_NEAR(out[1], 4.0f, 1e-3);
+}
+
+TEST(ResidualBlock, GradCheckIdentitySkip) {
+  ResidualBlock block(4, 4, 1);
+  GradCheck gc(block, {2, 4, 4, 4});
+  EXPECT_LT(gc.check_input_grad(), 3e-2);
+  EXPECT_LT(gc.check_param_grad(), 3e-2);
+}
+
+TEST(ResidualBlock, GradCheckProjectionSkip) {
+  ResidualBlock block(2, 4, 2);
+  GradCheck gc(block, {2, 2, 6, 6});
+  EXPECT_LT(gc.check_input_grad(), 3e-2);
+  EXPECT_LT(gc.check_param_grad(), 3e-2);
+}
+
+TEST(ResidualBlock, OutputShape) {
+  ResidualBlock block(16, 32, 2);
+  EXPECT_EQ(block.output_shape({1, 16, 32, 32}),
+            (std::vector<std::size_t>{1, 32, 16, 16}));
+}
+
+TEST(Layers, BindRejectsWrongSpanSize) {
+  Linear layer(3, 2);
+  std::vector<float> too_small(3), grads(3);
+  EXPECT_THROW(layer.bind(too_small, grads), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saps::nn

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/quantize.hpp"
+
+namespace saps::compress {
+namespace {
+
+TEST(Qsgd, DecodePreservesSignsAndZeros) {
+  Rng rng(1);
+  const std::vector<float> x = {1.0f, -2.0f, 0.0f, 4.0f};
+  const auto e = qsgd_encode(x, 8, rng);
+  const auto back = qsgd_decode(e);
+  ASSERT_EQ(back.size(), x.size());
+  EXPECT_FLOAT_EQ(back[2], 0.0f);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0) {
+      EXPECT_GE(back[i], 0.0f);
+    }
+    if (x[i] < 0) {
+      EXPECT_LE(back[i], 0.0f);
+    }
+  }
+}
+
+TEST(Qsgd, UnbiasedInExpectation) {
+  Rng rng(7);
+  const std::vector<float> x = {0.3f, -0.7f, 0.05f, 1.1f, -0.01f};
+  std::vector<double> mean(x.size(), 0.0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    const auto back = qsgd_decode(qsgd_encode(x, 4, rng));
+    for (std::size_t i = 0; i < x.size(); ++i) mean[i] += back[i];
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(mean[i] / trials, x[i], 0.02) << "coord " << i;
+  }
+}
+
+TEST(Qsgd, ZeroVectorStaysZero) {
+  Rng rng(3);
+  const std::vector<float> x(16, 0.0f);
+  const auto back = qsgd_decode(qsgd_encode(x, 4, rng));
+  for (const auto v : back) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Qsgd, WireBytesBelowDense) {
+  Rng rng(5);
+  std::vector<float> x(10000, 1.0f);
+  const auto e = qsgd_encode(x, 4, rng);  // 9 symbols → 4 bits per coord
+  EXPECT_LT(e.wire_bytes(), 4.0 * 10000 / 4);  // ≥ 8x smaller than fp32
+}
+
+TEST(Qsgd, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(qsgd_encode({}, 4, rng), std::invalid_argument);
+  std::vector<float> x = {1.0f};
+  EXPECT_THROW(qsgd_encode(x, 0, rng), std::invalid_argument);
+}
+
+TEST(TernGrad, ValuesAreTernary) {
+  Rng rng(9);
+  std::vector<float> x = {0.5f, -1.5f, 0.0f, 3.0f, -0.1f};
+  const auto e = terngrad_encode(x, rng);
+  EXPECT_FLOAT_EQ(e.scale, 3.0f);
+  for (const auto s : e.signs) {
+    EXPECT_TRUE(s == -1 || s == 0 || s == 1);
+  }
+  const auto back = terngrad_decode(e);
+  for (const auto v : back) {
+    EXPECT_TRUE(v == -3.0f || v == 0.0f || v == 3.0f);
+  }
+}
+
+TEST(TernGrad, UnbiasedInExpectation) {
+  Rng rng(11);
+  const std::vector<float> x = {0.5f, -1.0f, 0.25f, 2.0f};
+  std::vector<double> mean(x.size(), 0.0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    const auto back = terngrad_decode(terngrad_encode(x, rng));
+    for (std::size_t i = 0; i < x.size(); ++i) mean[i] += back[i];
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(mean[i] / trials, x[i], 0.05) << "coord " << i;
+  }
+}
+
+TEST(TernGrad, CompressionIsAtMost16x) {
+  // 2 bits per coordinate → 16x vs fp32 (the paper's point: quantization
+  // caps out near 32x, sparsification reaches 100-1000x).
+  Rng rng(13);
+  std::vector<float> x(8000, 0.5f);
+  const auto e = terngrad_encode(x, rng);
+  const double dense = 4.0 * 8000;
+  EXPECT_NEAR(dense / e.wire_bytes(), 16.0, 0.1);
+}
+
+}  // namespace
+}  // namespace saps::compress

@@ -1,0 +1,200 @@
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace saps {
+namespace {
+
+TEST(Tensor, ShapeAndNumel) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24u);
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_THROW((void)t.dim(3), std::out_of_range);
+}
+
+TEST(Tensor, RejectsZeroDimension) {
+  EXPECT_THROW(Tensor({2, 0}), std::invalid_argument);
+}
+
+TEST(Tensor, RejectsDataShapeMismatch) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesNumel) {
+  Tensor t({2, 6});
+  t.reshape({3, 4});
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_THROW(t.reshape({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, FillAndAccess) {
+  Tensor t({2, 2});
+  t.fill(3.0f);
+  EXPECT_FLOAT_EQ(t.at2(1, 1), 3.0f);
+  t.at2(0, 1) = 7.0f;
+  EXPECT_FLOAT_EQ(t[1], 7.0f);
+}
+
+TEST(Ops, AxpyAddSubHadamard) {
+  std::vector<float> x = {1, 2, 3}, y = {4, 5, 6}, out(3);
+  ops::axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+  EXPECT_FLOAT_EQ(y[2], 12.0f);
+
+  ops::add(x, x, out);
+  EXPECT_FLOAT_EQ(out[1], 4.0f);
+  ops::sub(y, x, out);
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+  ops::hadamard(x, x, out);
+  EXPECT_FLOAT_EQ(out[2], 9.0f);
+}
+
+TEST(Ops, SizeMismatchThrows) {
+  std::vector<float> a(3), b(4);
+  EXPECT_THROW(ops::axpy(1.0f, a, b), std::invalid_argument);
+  EXPECT_THROW((void)ops::dot(a, b), std::invalid_argument);
+}
+
+TEST(Ops, DotAndNorms) {
+  std::vector<float> a = {3, 4};
+  EXPECT_DOUBLE_EQ(ops::dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(ops::norm2_sq(a), 25.0);
+  EXPECT_DOUBLE_EQ(ops::norm2(a), 5.0);
+}
+
+void naive_gemm(const std::vector<float>& a, const std::vector<float>& b,
+                std::vector<float>& c, std::size_t m, std::size_t k,
+                std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += a[i * k + kk] * b[kk * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+class GemmTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(GemmTest, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(derive_seed(777, m, k, n));
+  std::vector<float> a(m * k), b(k * n), c(m * n), ref(m * n);
+  for (auto& v : a) v = rng.next_float() - 0.5f;
+  for (auto& v : b) v = rng.next_float() - 0.5f;
+  ops::gemm(a, b, c, m, k, n);
+  naive_gemm(a, b, ref, m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4);
+}
+
+TEST_P(GemmTest, TransposedVariantsMatchNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(derive_seed(778, m, k, n));
+  // A(k×m), B(k×n): C += AᵀB
+  std::vector<float> at(k * m), b(k * n), c(m * n, 0.0f), ref(m * n, 0.0f);
+  for (auto& v : at) v = rng.next_float() - 0.5f;
+  for (auto& v : b) v = rng.next_float() - 0.5f;
+  ops::gemm_at_b_acc(at, b, c, m, k, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        ref[i * n + j] += at[kk * m + i] * b[kk * n + j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4);
+
+  // A(m×k), B(n×k): C += ABᵀ
+  std::vector<float> a(m * k), bt(n * k);
+  for (auto& v : a) v = rng.next_float() - 0.5f;
+  for (auto& v : bt) v = rng.next_float() - 0.5f;
+  std::fill(c.begin(), c.end(), 0.0f);
+  std::fill(ref.begin(), ref.end(), 0.0f);
+  ops::gemm_a_bt_acc(a, bt, c, m, k, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        ref[i * n + j] += a[i * k + kk] * bt[j * k + kk];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                      std::make_tuple(33, 65, 17), std::make_tuple(1, 64, 1),
+                      std::make_tuple(64, 1, 64)));
+
+TEST(Ops, GemmAccAccumulates) {
+  std::vector<float> a = {1, 0, 0, 1};  // 2x2 identity
+  std::vector<float> b = {1, 2, 3, 4};
+  std::vector<float> c = {10, 10, 10, 10};
+  ops::gemm_acc(a, b, c, 2, 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 11.0f);
+  EXPECT_FLOAT_EQ(c[3], 14.0f);
+}
+
+TEST(Im2col, IdentityKernelNoPad) {
+  // 1 channel, 2x2 image, 1x1 kernel → cols == image.
+  std::vector<float> img = {1, 2, 3, 4}, cols(4);
+  ops::im2col(img, 1, 2, 2, 1, 1, 1, 0, cols);
+  EXPECT_EQ(cols, img);
+}
+
+TEST(Im2col, KnownLayout3x3) {
+  // 1 channel, 3x3 image, 2x2 kernel, stride 1, no pad → 4 rows × 4 cols.
+  std::vector<float> img = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> cols(4 * 4);
+  ops::im2col(img, 1, 3, 3, 2, 2, 1, 0, cols);
+  // Row 0 = top-left of each window: 1 2 4 5
+  EXPECT_FLOAT_EQ(cols[0], 1);
+  EXPECT_FLOAT_EQ(cols[1], 2);
+  EXPECT_FLOAT_EQ(cols[2], 4);
+  EXPECT_FLOAT_EQ(cols[3], 5);
+  // Row 3 = bottom-right of each window: 5 6 8 9
+  EXPECT_FLOAT_EQ(cols[12], 5);
+  EXPECT_FLOAT_EQ(cols[15], 9);
+}
+
+TEST(Im2col, PaddingProducesZeros) {
+  std::vector<float> img = {1, 2, 3, 4};
+  const std::size_t out = 3 * 3;  // 2x2 img, 2x2 kernel, pad 1, stride 1
+  std::vector<float> cols(4 * out);
+  ops::im2col(img, 1, 2, 2, 2, 2, 1, 1, cols);
+  EXPECT_FLOAT_EQ(cols[0], 0.0f);  // top-left window's first element is pad
+}
+
+TEST(Col2im, IsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property that
+  // makes the conv backward correct.
+  Rng rng(99);
+  const std::size_t C = 2, H = 5, W = 4, K = 3, S = 1, P = 1;
+  const std::size_t out_h = (H + 2 * P - K) / S + 1;
+  const std::size_t out_w = (W + 2 * P - K) / S + 1;
+  std::vector<float> x(C * H * W), y(C * K * K * out_h * out_w);
+  for (auto& v : x) v = rng.next_float() - 0.5f;
+  for (auto& v : y) v = rng.next_float() - 0.5f;
+
+  std::vector<float> cols(y.size());
+  ops::im2col(x, C, H, W, K, K, S, P, cols);
+  std::vector<float> back(x.size(), 0.0f);
+  ops::col2im(y, C, H, W, K, K, S, P, back);
+
+  EXPECT_NEAR(ops::dot(cols, y), ops::dot(x, back), 1e-3);
+}
+
+}  // namespace
+}  // namespace saps
