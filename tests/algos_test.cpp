@@ -8,24 +8,12 @@
 #include "algos/topk_psgd.hpp"
 #include "data/synthetic.hpp"
 #include "nn/models.hpp"
+#include "test_util.hpp"
 
 namespace saps::algos {
 namespace {
 
-sim::Engine blob_engine(std::size_t workers, std::size_t epochs,
-                        std::uint64_t seed = 42, double lr = 0.1) {
-  static const auto train = data::make_blobs(640, 8, 4, 0.3, 300);
-  static const auto test = data::make_blobs(160, 8, 4, 0.3, 300);
-  sim::SimConfig cfg;
-  cfg.workers = workers;
-  cfg.epochs = epochs;
-  cfg.batch_size = 16;
-  cfg.lr = lr;
-  cfg.seed = seed;
-  return sim::Engine(cfg, train, test,
-                     [seed] { return nn::make_mlp({8}, {16}, 4, seed); },
-                     std::nullopt);
-}
+using test_util::blob_engine;
 
 TEST(Psgd, ConvergesAndKeepsReplicasInSync) {
   auto engine = blob_engine(4, 3);

@@ -3,19 +3,16 @@
 #include "data/synthetic.hpp"
 #include "nn/models.hpp"
 #include "sim/engine.hpp"
+#include "test_util.hpp"
 
 namespace saps::sim {
 namespace {
 
-Engine make_engine(SimConfig cfg, std::size_t samples = 256,
+Engine make_engine(SimConfig cfg,
                    std::optional<net::BandwidthMatrix> bw = std::nullopt) {
-  static const auto train = data::make_blobs(512, 8, 4, 0.3, 100);
-  static const auto test = data::make_blobs(128, 8, 4, 0.3, 100);
-  (void)samples;
-  const std::uint64_t seed = cfg.seed;
-  return Engine(cfg, train, test,
-                [seed] { return nn::make_mlp({8}, {16}, 4, seed); },
-                std::move(bw));
+  // Historical engine-test workload: smaller blobs, seed 100.
+  const test_util::BlobSpec spec{512, 128, 8, 4, 0.3, 100, 16};
+  return test_util::blob_engine(std::move(cfg), spec, std::move(bw));
 }
 
 TEST(Engine, IdenticalInitialModels) {
@@ -131,7 +128,7 @@ TEST(Engine, WorkerBandwidthRoundTrip) {
   cfg.workers = 5;
   auto bw = net::random_uniform_bandwidth(5, 3);
   const double expect01 = bw.get(0, 1);
-  auto engine = make_engine(cfg, 256, std::move(bw));
+  auto engine = make_engine(cfg, std::move(bw));
   const auto back = engine.worker_bandwidth();
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->size(), 5u);
@@ -149,7 +146,7 @@ TEST(Engine, NoBandwidthMeansNoWorkerBandwidth) {
 TEST(Engine, RejectsMismatchedBandwidth) {
   SimConfig cfg;
   cfg.workers = 4;
-  EXPECT_THROW(make_engine(cfg, 256, net::random_uniform_bandwidth(6, 1)),
+  EXPECT_THROW(make_engine(cfg, net::random_uniform_bandwidth(6, 1)),
                std::invalid_argument);
 }
 

@@ -13,6 +13,7 @@
 #include "core/saps.hpp"
 #include "data/synthetic.hpp"
 #include "nn/models.hpp"
+#include "test_util.hpp"
 
 namespace saps {
 namespace {
@@ -33,17 +34,16 @@ class AllAlgorithms : public ::testing::Test {
   static constexpr std::size_t kEpochs = 12;
 
   sim::Engine fresh_engine() const {
-    static const auto train = data::make_blobs(960, 10, 5, 0.35, 808);
-    static const auto test = data::make_blobs(240, 10, 5, 0.35, 808);
+    // Historical integration workload: 5 classes in 10-d, hidden width 24.
+    const test_util::BlobSpec spec{960, 240, 10, 5, 0.35, 808, 24};
     sim::SimConfig cfg;
     cfg.workers = kWorkers;
     cfg.epochs = kEpochs;
     cfg.batch_size = 16;
     cfg.lr = 0.08;
     cfg.seed = 21;
-    return sim::Engine(
-        cfg, train, test, [] { return nn::make_mlp({10}, {24}, 5, 21); },
-        net::random_uniform_bandwidth(kWorkers, 13));
+    return test_util::blob_engine(cfg, spec,
+                                  net::random_uniform_bandwidth(kWorkers, 13));
   }
 
   NamedRun run(algos::Algorithm& algo) {

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include "data/mnist_loader.hpp"
 #include "nn/checkpoint.hpp"
@@ -139,6 +141,24 @@ TEST_F(MnistLoaderTest, TruncatedImagesThrow) {
   std::filesystem::resize_file(img, std::filesystem::file_size(img) - 5);
   EXPECT_THROW(data::load_mnist_idx(img.string(), lab.string()),
                std::runtime_error);
+}
+
+// Exercises the loader against the real dataset when present (SAPS_MNIST_DIR
+// or ./data/mnist, the same default as examples/train_real_mnist); skips
+// cleanly otherwise so CI machines without the data stay green.
+TEST(RealMnist, LoadsCanonicalFilesWhenPresent) {
+  const char* env = std::getenv("SAPS_MNIST_DIR");
+  const std::string dir = env != nullptr ? env : "data/mnist";
+  const auto train = data::load_mnist_train(dir);
+  if (!train.has_value()) {
+    GTEST_SKIP() << "real MNIST not found under '" << dir
+                 << "' (set SAPS_MNIST_DIR to enable)";
+  }
+  const auto test = data::load_mnist_test(dir);
+  ASSERT_TRUE(test.has_value());
+  EXPECT_EQ(train->size(), 60000u);
+  EXPECT_EQ(test->size(), 10000u);
+  EXPECT_EQ(train->sample_shape(), (std::vector<std::size_t>{1, 28, 28}));
 }
 
 }  // namespace

@@ -10,17 +10,15 @@
 #include "data/synthetic.hpp"
 #include "gossip/generator.hpp"
 #include "nn/models.hpp"
+#include "test_util.hpp"
 
 namespace saps {
 namespace {
 
 sim::Engine blob_engine(sim::SimConfig cfg) {
-  static const auto train = data::make_blobs(900, 8, 3, 0.35, 777);
-  static const auto test = data::make_blobs(150, 8, 3, 0.35, 777);
-  const auto seed = cfg.seed;
-  return sim::Engine(cfg, train, test,
-                     [seed] { return nn::make_mlp({8}, {16}, 3, seed); },
-                     std::nullopt);
+  // Historical robustness workload: 3 classes, noisier blobs.
+  const test_util::BlobSpec spec{900, 150, 8, 3, 0.35, 777, 16};
+  return test_util::blob_engine(std::move(cfg), spec);
 }
 
 TEST(Robustness, OddWorkerCountLeavesOneUnmatchedPerRound) {

@@ -8,25 +8,12 @@
 #include "core/worker.hpp"
 #include "data/synthetic.hpp"
 #include "nn/models.hpp"
+#include "test_util.hpp"
 
 namespace saps::core {
 namespace {
 
-sim::Engine blob_engine(std::size_t workers, std::size_t epochs,
-                        std::optional<net::BandwidthMatrix> bw = std::nullopt,
-                        std::uint64_t seed = 42) {
-  static const auto train = data::make_blobs(640, 8, 4, 0.3, 300);
-  static const auto test = data::make_blobs(160, 8, 4, 0.3, 300);
-  sim::SimConfig cfg;
-  cfg.workers = workers;
-  cfg.epochs = epochs;
-  cfg.batch_size = 16;
-  cfg.lr = 0.1;
-  cfg.seed = seed;
-  return sim::Engine(cfg, train, test,
-                     [seed] { return nn::make_mlp({8}, {16}, 4, seed); },
-                     std::move(bw));
-}
+using test_util::blob_engine;
 
 TEST(Coordinator, RandomFallbackWithoutBandwidth) {
   Coordinator coord(8, std::nullopt, {});
@@ -172,6 +159,64 @@ TEST(SapsPsgd, SurvivesWorkerDropoutAndRejoin) {
   SapsPsgd algo(cfg);
   const auto result = algo.run(engine);
   EXPECT_GT(result.final().accuracy, 0.8);  // training survives the churn
+}
+
+TEST(SapsPsgd, OnRoundFiresOncePerRoundInOrder) {
+  auto engine = blob_engine(4, 2);
+  const std::size_t total_rounds =
+      engine.steps_per_epoch() * engine.config().epochs;
+  std::vector<std::size_t> seen;
+  SapsConfig cfg{.compression = 10.0};
+  cfg.on_round = [&](std::size_t round, Coordinator&, sim::Engine&) {
+    seen.push_back(round);
+  };
+  SapsPsgd(cfg).run(engine);
+  ASSERT_EQ(seen.size(), total_rounds);
+  for (std::size_t r = 0; r < seen.size(); ++r) EXPECT_EQ(seen[r], r);
+}
+
+TEST(SapsPsgd, OnRoundDropoutKeepsCoordinatorAndEngineInSync) {
+  // The documented contract of SapsConfig::on_round: dropping or rejoining a
+  // worker must flip BOTH coordinator and engine set_active. Verify that a
+  // hook doing so keeps the two views agreeing at every round, and that the
+  // dropped worker is truly frozen (it neither trains nor gossips, so its
+  // parameters are bit-identical across the away window).
+  auto engine = blob_engine(6, 3);
+  const std::size_t total_rounds =
+      engine.steps_per_epoch() * engine.config().epochs;
+  ASSERT_GE(total_rounds, 8u);
+  constexpr std::size_t kAway = 3;
+  const std::size_t kLeave = total_rounds / 4;
+  const std::size_t kReturn = (3 * total_rounds) / 4;
+  bool flags_in_sync = true;
+  std::vector<float> frozen;
+  bool frozen_unchanged = true;
+  SapsConfig cfg{.compression = 10.0};
+  cfg.on_round = [&](std::size_t round, Coordinator& coord, sim::Engine& eng) {
+    const bool away = round >= kLeave && round < kReturn;
+    coord.set_active(kAway, !away);
+    eng.set_active(kAway, !away);
+    for (std::size_t w = 0; w < eng.workers(); ++w) {
+      flags_in_sync = flags_in_sync && coord.active(w) == eng.active(w);
+    }
+    const auto p = eng.params(kAway);
+    if (round == kLeave) frozen.assign(p.begin(), p.end());
+    if (round > kLeave && round <= kReturn && !frozen.empty()) {
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        frozen_unchanged = frozen_unchanged && p[j] == frozen[j];
+      }
+    }
+  };
+  SapsPsgd algo(cfg);
+  const auto result = algo.run(engine);
+  EXPECT_TRUE(flags_in_sync);
+  ASSERT_FALSE(frozen.empty());
+  EXPECT_TRUE(frozen_unchanged);
+  EXPECT_GT(result.final().accuracy, 0.8);
+  // After the run every worker is active again: the hook rejoined kAway.
+  for (std::size_t w = 0; w < engine.workers(); ++w) {
+    EXPECT_TRUE(engine.active(w));
+  }
 }
 
 TEST(SapsPsgd, DeterministicGivenSeed) {

@@ -1,0 +1,87 @@
+// Shared test fixtures: the blobs-workload engine factory that was
+// previously duplicated (with slightly different parameters) across
+// saps_test, algos_test, robustness_test, engine_test, and
+// integration_test. Each suite keeps its historical dataset parameters via
+// BlobSpec so accuracy thresholds remain valid.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <utility>
+
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+#include "net/bandwidth.hpp"
+#include "nn/models.hpp"
+#include "sim/engine.hpp"
+
+namespace saps::test_util {
+
+// Parameters of the synthetic blobs workload + the MLP trained on it.
+struct BlobSpec {
+  std::size_t train_samples = 640;
+  std::size_t test_samples = 160;
+  std::size_t features = 8;
+  std::size_t classes = 4;
+  double noise = 0.3;
+  std::uint64_t data_seed = 300;
+  std::size_t hidden = 16;
+};
+
+// Datasets are deterministic in their parameters; cache them because suites
+// build dozens of engines and regeneration would dominate test runtime.
+inline const std::pair<data::Dataset, data::Dataset>& blob_data(
+    const BlobSpec& s) {
+  using Key = std::tuple<std::size_t, std::size_t, std::size_t, std::size_t,
+                         long long, std::uint64_t>;
+  static std::map<Key, std::pair<data::Dataset, data::Dataset>> cache;
+  const Key key{s.train_samples, s.test_samples,    s.features,
+                s.classes,       std::llround(s.noise * 1e9), s.data_seed};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(key, std::pair{data::make_blobs(s.train_samples,
+                                                      s.features, s.classes,
+                                                      s.noise, s.data_seed),
+                                     data::make_blobs(s.test_samples,
+                                                      s.features, s.classes,
+                                                      s.noise, s.data_seed)})
+             .first;
+  }
+  return it->second;
+}
+
+inline sim::Engine blob_engine(
+    sim::SimConfig cfg, const BlobSpec& spec = {},
+    std::optional<net::BandwidthMatrix> bw = std::nullopt) {
+  const auto& [train, test] = blob_data(spec);
+  const auto seed = cfg.seed;
+  return sim::Engine(
+      cfg, train, test,
+      [spec, seed] {
+        return nn::make_mlp({spec.features}, {spec.hidden}, spec.classes,
+                            seed);
+      },
+      std::move(bw));
+}
+
+// Convenience overload matching the historical saps_test/algos_test helper:
+// 16-sample batches, lr 0.1, and the default BlobSpec workload.
+inline sim::Engine blob_engine(
+    std::size_t workers, std::size_t epochs,
+    std::optional<net::BandwidthMatrix> bw = std::nullopt,
+    std::uint64_t seed = 42, double lr = 0.1) {
+  sim::SimConfig cfg;
+  cfg.workers = workers;
+  cfg.epochs = epochs;
+  cfg.batch_size = 16;
+  cfg.lr = lr;
+  cfg.seed = seed;
+  return blob_engine(cfg, BlobSpec{}, std::move(bw));
+}
+
+}  // namespace saps::test_util
