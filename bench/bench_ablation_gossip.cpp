@@ -54,7 +54,11 @@ double estimate_rho(const std::function<GossipMatrix(std::size_t)>& sel,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const saps::Flags flags(argc, argv);
+  saps::Flags flags(argc, argv);
+  flags.describe("workers", "worker count (default 32)")
+      .describe("rounds", "gossip rounds per sweep point (default 400)")
+      .describe("seed", "RNG seed (default 23)");
+  saps::exit_on_help_or_unknown(flags, argv[0]);
   const auto workers = static_cast<std::size_t>(flags.get_int("workers", 32));
   const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 400));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 23));

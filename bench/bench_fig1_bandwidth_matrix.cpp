@@ -9,7 +9,10 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-  const saps::Flags flags(argc, argv);
+  saps::Flags flags(argc, argv);
+  flags.describe("workers", "size of the synthetic uniform matrix (default 32)")
+      .describe("seed", "RNG seed for the synthetic matrix (default 7)");
+  saps::exit_on_help_or_unknown(flags, argv[0]);
 
   std::cout << "=== Fig. 1: measured 14-city bandwidth matrix (MB/s, "
                "min-symmetrized) ===\n\n";

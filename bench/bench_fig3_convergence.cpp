@@ -11,8 +11,9 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-  const saps::Flags flags(argc, argv);
+  saps::Flags flags(argc, argv);
   auto opt = saps::bench::parse_options(flags);
+  saps::exit_on_help_or_unknown(flags, argv[0]);
 
   for (const auto& key : saps::bench::all_workload_keys()) {
     const auto spec = saps::bench::make_workload(key, opt);

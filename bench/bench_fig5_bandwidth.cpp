@@ -74,7 +74,14 @@ void run_environment(const std::string& label,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const saps::Flags flags(argc, argv);
+  saps::Flags flags(argc, argv);
+  flags.describe("iterations", "gossip rounds per scenario (default 400)")
+      .describe("seed", "RNG seed (default 17)")
+      .describe("workers", "workers in the synthetic scenario (default 32)")
+      .describe("ring-matrices",
+                "candidate ring matrices for the random baseline "
+                "(default 5000)");
+  saps::exit_on_help_or_unknown(flags, argv[0]);
   const auto iterations =
       static_cast<std::size_t>(flags.get_int("iterations", 400));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 17));

@@ -12,8 +12,9 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-  const saps::Flags flags(argc, argv);
+  saps::Flags flags(argc, argv);
   auto opt = saps::bench::parse_options(flags);
+  saps::exit_on_help_or_unknown(flags, argv[0]);
   const auto bw = saps::net::random_uniform_bandwidth(
       opt.workers, saps::derive_seed(opt.seed, 0xf16));
 

@@ -8,7 +8,15 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-  const saps::Flags flags(argc, argv);
+  saps::Flags flags(argc, argv);
+  flags.describe("model-size", "model parameter count N (default MNIST-CNN)")
+      .describe("workers", "worker count n (default 32)")
+      .describe("rounds", "training rounds T (default 1000)")
+      .describe("saps-c", "SAPS compression ratio (default 100)")
+      .describe("topk-c", "TopK-PSGD compression ratio (default 1000)")
+      .describe("dcd-c", "DCD-PSGD compression ratio (default 4)")
+      .describe("np", "D-PSGD neighbors per worker (default 2)");
+  saps::exit_on_help_or_unknown(flags, argv[0]);
   saps::core::CostInputs in;
   in.model_size = flags.get_double("model-size", 6653628.0);  // MNIST-CNN
   in.workers = flags.get_double("workers", 32.0);

@@ -9,8 +9,9 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-  const saps::Flags flags(argc, argv);
+  saps::Flags flags(argc, argv);
   auto opt = saps::bench::parse_options(flags);
+  saps::exit_on_help_or_unknown(flags, argv[0]);
 
   std::cout << "=== Table III: final top-1 validation accuracy [%] ("
             << opt.workers << " workers, " << opt.epochs << " epochs) ===\n\n";

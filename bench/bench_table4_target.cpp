@@ -12,8 +12,16 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-  const saps::Flags flags(argc, argv);
+  saps::Flags flags(argc, argv);
   auto opt = saps::bench::parse_options(flags);
+  flags.describe("target-frac",
+                 "target accuracy as a fraction of the best final accuracy "
+                 "(default 0.9)");
+  for (const auto& key : saps::bench::all_workload_keys()) {
+    flags.describe("target-" + key,
+                   "absolute target accuracy for the " + key + " workload");
+  }
+  saps::exit_on_help_or_unknown(flags, argv[0]);
   const auto bw = saps::net::random_uniform_bandwidth(
       opt.workers, saps::derive_seed(opt.seed, 0xf16));
   const double target_frac = flags.get_double("target-frac", 0.9);

@@ -1,5 +1,7 @@
 #include "bench/harness.hpp"
 
+#include <cstdlib>
+#include <iostream>
 #include <stdexcept>
 
 #include "algos/d_psgd.hpp"
@@ -11,7 +13,27 @@
 
 namespace saps::bench {
 
-HarnessOptions parse_options(const Flags& flags) {
+HarnessOptions parse_options(Flags& flags) {
+  flags.describe("workers", "worker count (default 8; 32 under --full)")
+      .describe("epochs", "training epochs (default 6; 100 under --full)")
+      .describe("samples", "training samples per worker (default 150)")
+      .describe("test-samples", "test-set size (default 400)")
+      .describe("batch", "mini-batch size (default 10; 50 under --full)")
+      .describe("eval-every", "eval cadence in rounds (0 = once per epoch)")
+      .describe("seed", "top-level RNG seed (default 42)")
+      .describe("full", "paper-scale workloads: 32 workers, full-size models")
+      .describe("threads",
+                "engine thread-pool size for per-worker hot loops "
+                "(0 = serial; results are identical for every value)")
+      .describe("saps-c", "SAPS compression ratio c (default 100)")
+      .describe("topk-c", "TopK-PSGD compression ratio (default 1000 full)")
+      .describe("sfedavg-c", "S-FedAvg upload compression (default 100 full)")
+      .describe("dcd-c", "DCD-PSGD compression ratio (default 4)")
+      .describe("bthres", "SAPS bandwidth threshold B_thres (0 = median auto)")
+      .describe("tthres", "SAPS repeat-selection window T_thres (default 10)")
+      .describe("fedavg-steps",
+                "FedAvg local steps per round (0 = one local epoch)");
+
   HarnessOptions opt;
   opt.full_scale = flags.get_bool("full", false);
   if (opt.full_scale) {
@@ -45,6 +67,18 @@ HarnessOptions parse_options(const Flags& flags) {
   opt.eval_every_rounds = static_cast<std::size_t>(flags.get_int(
       "eval-every", static_cast<std::int64_t>(opt.eval_every_rounds)));
   opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const auto threads =
+      flags.get_int("threads", static_cast<std::int64_t>(opt.threads));
+  if (threads < 0 || threads > 1024) {
+    // Same contract as strict mode: friendly message + exit 2 — but never
+    // preempt --help, which exits in exit_on_help_or_unknown.
+    if (!flags.help_requested()) {
+      std::cerr << "--threads must be in [0, 1024], got " << threads << "\n";
+      std::exit(2);
+    }
+  } else {
+    opt.threads = static_cast<std::size_t>(threads);
+  }
   opt.saps_c = flags.get_double("saps-c", opt.saps_c);
   opt.topk_c = flags.get_double("topk-c", opt.topk_c);
   opt.sfedavg_c = flags.get_double("sfedavg-c", opt.sfedavg_c);
@@ -72,6 +106,7 @@ WorkloadSpec make_workload(const std::string& which, const HarnessOptions& opt) 
   spec.config.batch_size = opt.batch_size;
   spec.config.eval_every_rounds = opt.eval_every_rounds;
   spec.config.seed = opt.seed;
+  spec.config.threads = opt.threads;
 
   const std::size_t train_n = opt.samples_per_worker * opt.workers;
   const std::size_t test_n = opt.test_samples;

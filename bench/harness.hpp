@@ -37,6 +37,9 @@ struct HarnessOptions {
   std::size_t eval_every_rounds = 0;  // 0 = per epoch
   std::uint64_t seed = 42;
   bool full_scale = false;  // paper-scale models and images
+  // Engine thread-pool size for the per-worker hot loops (0 = serial).
+  // Results are bit-identical for every value; see docs/ARCHITECTURE.md.
+  std::size_t threads = 0;
   // Compression ratios.  Paper values (c = 100/1000/100/4) assume multi-
   // million-parameter models; the scaled-down fast mode shrinks them
   // proportionally so k = N/c stays meaningful (set in parse_options, and
@@ -53,9 +56,13 @@ struct HarnessOptions {
   std::size_t t_thres = 10;
 };
 
-/// Parses the shared flags (--workers, --epochs, --samples, --batch, --seed,
-/// --full, --saps-c, --topk-c, --sfedavg-c, --dcd-c, --tthres, --bthres).
-[[nodiscard]] HarnessOptions parse_options(const Flags& flags);
+/// Parses the shared flags (--workers, --epochs, --samples, --test-samples,
+/// --batch, --eval-every, --seed, --full, --threads, --saps-c, --topk-c,
+/// --sfedavg-c, --dcd-c, --tthres, --bthres, --fedavg-steps) and registers
+/// their --help descriptions on `flags`.  After any bench-specific
+/// flags.describe() calls, finish with exit_on_help_or_unknown(flags, argv[0])
+/// — see docs/BENCHMARKS.md for the full flag table.
+[[nodiscard]] HarnessOptions parse_options(Flags& flags);
 
 /// The paper's three workloads (Table II), scaled by `opt`.
 /// which ∈ {"mnist", "cifar", "resnet"}.

@@ -8,8 +8,10 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-  const saps::Flags flags(argc, argv);
+  saps::Flags flags(argc, argv);
   auto opt = saps::bench::parse_options(flags);
+  flags.describe("workload", "mnist | cifar | resnet (default mnist)");
+  saps::exit_on_help_or_unknown(flags, argv[0]);
   const auto which = flags.get_string("workload", "mnist");
   const auto spec = saps::bench::make_workload(which, opt);
 

@@ -15,7 +15,10 @@
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
-  const saps::Flags flags(argc, argv);
+  saps::Flags flags(argc, argv);
+  flags.describe("epochs", "training epochs (default 8)")
+      .describe("seed", "RNG seed (default 7)");
+  saps::exit_on_help_or_unknown(flags, argv[0]);
   const auto epochs = static_cast<std::size_t>(flags.get_int("epochs", 8));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
 

@@ -14,7 +14,11 @@
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
-  const saps::Flags flags(argc, argv);
+  saps::Flags flags(argc, argv);
+  flags.describe("rounds", "gossip rounds to simulate (default 12)")
+      .describe("tthres", "repeat-selection window T_thres (default 5)")
+      .describe("seed", "RNG seed (default 3)");
+  saps::exit_on_help_or_unknown(flags, argv[0]);
   const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 12));
   const auto t_thres = static_cast<std::size_t>(flags.get_int("tthres", 5));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));

@@ -15,7 +15,13 @@
 #include "util/flags.hpp"
 
 int main(int argc, char** argv) {
-  const saps::Flags flags(argc, argv);
+  saps::Flags flags(argc, argv);
+  flags.describe("workers", "worker count (default 8)")
+      .describe("epochs", "training epochs (default 4)")
+      .describe("seed", "RNG seed (default 42)")
+      .describe("mnist-dir", "directory with the MNIST idx files")
+      .describe("checkpoint", "output checkpoint path");
+  saps::exit_on_help_or_unknown(flags, argv[0]);
   const auto workers = static_cast<std::size_t>(flags.get_int("workers", 8));
   const auto epochs = static_cast<std::size_t>(flags.get_int("epochs", 4));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));

@@ -34,8 +34,10 @@ sim::RunResult DPsgd::run(sim::Engine& engine) {
       }
       net.finish_round();
 
-      // x_w ← (x_{w-1} + x_w + x_{w+1}) / 3
-      for (std::size_t w = 0; w < n; ++w) {
+      // x_w ← (x_{w-1} + x_w + x_{w+1}) / 3.  Each worker writes only its
+      // own next[w] while all parameter vectors are read-only, so the merge
+      // parallelizes; the write-back runs as a second pass.
+      engine.parallel_for(n, [&](std::size_t w) {
         const auto self = engine.params(w);
         const auto left = engine.params(ring.left(w));
         const auto right = engine.params(ring.right(w));
@@ -43,11 +45,11 @@ sim::RunResult DPsgd::run(sim::Engine& engine) {
         for (std::size_t j = 0; j < dim; ++j) {
           dst[j] = (self[j] + left[j] + right[j]) / 3.0f;
         }
-      }
-      for (std::size_t w = 0; w < n; ++w) {
+      });
+      engine.parallel_for(n, [&](std::size_t w) {
         const auto p = engine.params(w);
         std::copy(next[w].begin(), next[w].end(), p.begin());
-      }
+      });
 
       ++round;
       if (schedule.due(round)) {
@@ -83,19 +85,27 @@ sim::RunResult DcdPsgd::run(sim::Engine& engine) {
     pub[w].assign(p.begin(), p.end());
   }
   std::vector<compress::SparseVector> deltas(n);
+  // Compression scratch: one dim-sized buffer per parallel block (bounded by
+  // the pool size), not per worker.
+  std::vector<std::vector<float>> diffs(engine.chunk_count(n),
+                                        std::vector<float>(dim));
 
   std::size_t round = 0;
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
     for (std::size_t step = 0; step < steps; ++step) {
       engine.for_each_worker([&](std::size_t w) { engine.sgd_step(w, epoch); });
 
-      // Compress x_w − x̂_w and ship to both neighbors.
-      std::vector<float> diff(dim);
-      for (std::size_t w = 0; w < n; ++w) {
-        const auto p = engine.params(w);
-        for (std::size_t j = 0; j < dim; ++j) diff[j] = p[j] - pub[w][j];
-        deltas[w] = compress::top_k(diff, config_.compression);
-      }
+      // Compress x_w − x̂_w and ship to both neighbors (per-block scratch,
+      // so the compression step parallelizes).
+      engine.parallel_chunks(
+          n, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+            auto& diff = diffs[chunk];
+            for (std::size_t w = begin; w < end; ++w) {
+              const auto p = engine.params(w);
+              for (std::size_t j = 0; j < dim; ++j) diff[j] = p[j] - pub[w][j];
+              deltas[w] = compress::top_k(diff, config_.compression);
+            }
+          });
       auto& net = engine.network();
       net.start_round();
       for (std::size_t w = 0; w < n; ++w) {
@@ -104,13 +114,16 @@ sim::RunResult DcdPsgd::run(sim::Engine& engine) {
       }
       net.finish_round();
 
-      // All holders of x̂_w apply the identical delta.
-      for (std::size_t w = 0; w < n; ++w) {
+      // All holders of x̂_w apply the identical delta (each w touches only
+      // pub[w]).
+      engine.parallel_for(n, [&](std::size_t w) {
         compress::add_sparse(pub[w], deltas[w]);
-      }
+      });
 
-      // Gossip on public copies: x_w += Σ_u W_wu (x̂_u − x̂_w), ring weights 1/3.
-      for (std::size_t w = 0; w < n; ++w) {
+      // Gossip on public copies: x_w += Σ_u W_wu (x̂_u − x̂_w), ring weights
+      // 1/3.  Public copies are read-only here; each w writes only its own
+      // parameters.
+      engine.parallel_for(n, [&](std::size_t w) {
         const auto p = engine.params(w);
         const auto& self = pub[w];
         const auto& left = pub[ring.left(w)];
@@ -118,7 +131,7 @@ sim::RunResult DcdPsgd::run(sim::Engine& engine) {
         for (std::size_t j = 0; j < dim; ++j) {
           p[j] += (left[j] + right[j] - 2.0f * self[j]) / 3.0f;
         }
-      }
+      });
 
       ++round;
       if (schedule.due(round)) {

@@ -61,14 +61,17 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
     net.start_round();
     for (const auto w : chosen) net.transfer(server, w, model_bytes);
     net.finish_round();
-    for (const auto w : chosen) {
-      const auto p = engine.params(w);
+    engine.parallel_for(chosen.size(), [&](std::size_t i) {
+      const auto p = engine.params(chosen[i]);
       std::copy(global.begin(), global.end(), p.begin());
-    }
+    });
 
     // Local training: E epochs (or a fixed step count) on each participant.
+    // Participants own disjoint models/samplers/optimizers, so their whole
+    // local schedules run in parallel.
     const auto lr_epoch = static_cast<std::size_t>(epoch_progress);
-    for (const auto w : chosen) {
+    engine.parallel_for(chosen.size(), [&](std::size_t i) {
+      const std::size_t w = chosen[i];
       const std::size_t local_steps =
           config_.local_steps > 0
               ? config_.local_steps
@@ -79,7 +82,7 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
       for (std::size_t s = 0; s < local_steps; ++s) {
         engine.sgd_step(w, lr_epoch);
       }
-    }
+    });
 
     // Upload phase: participants → server.
     const std::uint64_t mask_seed = derive_seed(cfg.seed, 0x5fed, round);
@@ -102,26 +105,32 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
       // masked coordinates of their model DELTA; the server applies the
       // inverse-probability-scaled average, which makes the sparse update an
       // unbiased estimator of the dense one (E[c·m∘Δ] = Δ).
-      std::fill(accum.begin(), accum.end(), 0.0f);
-      for (const auto w : chosen) {
-        const auto p = engine.params(w);
-        for (std::size_t j = 0; j < dim; ++j) {
-          if (mask[j]) accum[j] += p[j] - global[j];
-        }
-      }
+      // Chunked over coordinates; each coordinate sums over participants in
+      // fixed order, so the aggregate is thread-count invariant.
       const float scale = static_cast<float>(config_.upload_compression) /
                           static_cast<float>(chosen.size());
-      for (std::size_t j = 0; j < dim; ++j) {
-        if (mask[j]) global[j] += scale * accum[j];
-      }
+      engine.parallel_chunks(dim, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t j = begin; j < end; ++j) accum[j] = 0.0f;
+        for (const auto w : chosen) {
+          const auto p = engine.params(w);
+          for (std::size_t j = begin; j < end; ++j) {
+            if (mask[j]) accum[j] += p[j] - global[j];
+          }
+        }
+        for (std::size_t j = begin; j < end; ++j) {
+          if (mask[j]) global[j] += scale * accum[j];
+        }
+      });
     } else {
-      std::fill(accum.begin(), accum.end(), 0.0f);
-      for (const auto w : chosen) {
-        const auto p = engine.params(w);
-        for (std::size_t j = 0; j < dim; ++j) accum[j] += p[j];
-      }
       const float inv = 1.0f / static_cast<float>(chosen.size());
-      for (std::size_t j = 0; j < dim; ++j) global[j] = accum[j] * inv;
+      engine.parallel_chunks(dim, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t j = begin; j < end; ++j) accum[j] = 0.0f;
+        for (const auto w : chosen) {
+          const auto p = engine.params(w);
+          for (std::size_t j = begin; j < end; ++j) accum[j] += p[j];
+        }
+        for (std::size_t j = begin; j < end; ++j) global[j] = accum[j] * inv;
+      });
     }
 
     epoch_progress +=

@@ -16,7 +16,14 @@ sim::RunResult QsgdPsgd::run(sim::Engine& engine) {
   result.algorithm = name();
   result.history.push_back(engine.eval_point(0, 0.0));
 
-  Rng rng(derive_seed(cfg.seed, 0x05d9));
+  // One RNG stream per worker (derived, uncorrelated), so the stochastic
+  // quantization parallelizes across workers and stays deterministic for
+  // every thread count.
+  std::vector<Rng> rngs;
+  rngs.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    rngs.emplace_back(derive_seed(cfg.seed, 0x05d9, w));
+  }
   std::vector<compress::QsgdEncoded> chunks(n);
   std::vector<float> avg(dim);
 
@@ -25,11 +32,10 @@ sim::RunResult QsgdPsgd::run(sim::Engine& engine) {
     for (std::size_t step = 0; step < steps; ++step) {
       engine.for_each_worker(
           [&](std::size_t w) { engine.compute_gradient(w, epoch); });
-      for (std::size_t w = 0; w < n; ++w) {
-        chunks[w] =
-            compress::qsgd_encode(engine.model(w).gradients(), config_.levels,
-                                  rng);
-      }
+      engine.parallel_for(n, [&](std::size_t w) {
+        chunks[w] = compress::qsgd_encode(engine.model(w).gradients(),
+                                          config_.levels, rngs[w]);
+      });
 
       // Ring all-gather of the quantized gradients, as for TopK-PSGD.
       auto& net = engine.network();
@@ -42,12 +48,21 @@ sim::RunResult QsgdPsgd::run(sim::Engine& engine) {
         net.finish_round();
       }
 
-      std::fill(avg.begin(), avg.end(), 0.0f);
+      // Decode-and-accumulate chunked over coordinates (QSGD decode is
+      // elementwise: unit * quantized[j]); each coordinate still sums over
+      // workers in fixed order, so the average is thread-count invariant —
+      // and no dense decoded copies are materialized.
       const float inv = 1.0f / static_cast<float>(n);
-      for (std::size_t w = 0; w < n; ++w) {
-        const auto decoded = compress::qsgd_decode(chunks[w]);
-        for (std::size_t j = 0; j < dim; ++j) avg[j] += inv * decoded[j];
-      }
+      engine.parallel_chunks(dim, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t j = begin; j < end; ++j) avg[j] = 0.0f;
+        for (std::size_t w = 0; w < n; ++w) {
+          const auto& e = chunks[w];
+          const float unit = e.norm / static_cast<float>(e.levels);
+          for (std::size_t j = begin; j < end; ++j) {
+            avg[j] += inv * (unit * static_cast<float>(e.quantized[j]));
+          }
+        }
+      });
       engine.for_each_worker(
           [&](std::size_t w) { engine.apply_update(w, avg, epoch); });
 

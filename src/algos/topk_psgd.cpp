@@ -27,9 +27,11 @@ sim::RunResult TopkPsgd::run(sim::Engine& engine) {
     for (std::size_t step = 0; step < steps; ++step) {
       engine.for_each_worker(
           [&](std::size_t w) { engine.compute_gradient(w, epoch); });
-      for (std::size_t w = 0; w < n; ++w) {
+      // Error-feedback compression is per-worker state; top-k selection is
+      // deterministic (lowest-index tie-break), so this parallelizes.
+      engine.parallel_for(n, [&](std::size_t w) {
         chunks[w] = ef[w].compress(engine.model(w).gradients());
-      }
+      });
 
       // Ring all-gather: n-1 sequential hops; at hop r worker w forwards the
       // chunk that originated at worker (w - r) mod n.
@@ -44,6 +46,8 @@ sim::RunResult TopkPsgd::run(sim::Engine& engine) {
       }
 
       // Everyone now has all chunks; apply the identical averaged update.
+      // The accumulation stays serial in fixed worker order so the float
+      // sums are bit-identical for every thread count.
       std::fill(avg.begin(), avg.end(), 0.0f);
       for (std::size_t w = 0; w < n; ++w) {
         compress::add_sparse(avg, chunks[w], 1.0f / static_cast<float>(n));

@@ -58,21 +58,25 @@ sim::RunResult SapsPsgd::run(sim::Engine& engine) {
           compress::bernoulli_mask(plan.mask_seed, dim, config_.compression);
       const double wire = SapsWorker::message_bytes(
           compress::mask_popcount(mask));
+      const auto pairs = plan.gossip.pairs();
 
       auto& net = engine.network();
       net.start_round();
-      for (const auto& [i, j] : plan.gossip.pairs()) {
+      for (const auto& [i, j] : pairs) {
         net.transfer(i, j, wire);
         net.transfer(j, i, wire);
       }
       net.finish_round();
 
-      for (const auto& [i, j] : plan.gossip.pairs()) {
+      // The matching is disjoint, so each pair's extract-and-merge touches
+      // only its own two workers and parallelizes without races.
+      engine.parallel_for(pairs.size(), [&](std::size_t k) {
+        const auto [i, j] = pairs[k];
         auto vi = workers[i].sparsified_model(mask);
         auto vj = workers[j].sparsified_model(mask);
         workers[i].merge_peer(mask, vj);
         workers[j].merge_peer(mask, vi);
-      }
+      });
 
       // Line 11: ROUND_END notifications.
       for (std::size_t w = 0; w < n; ++w) {

@@ -1,5 +1,6 @@
 #include "nn/batchnorm.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -27,6 +28,21 @@ void BatchNorm2d::bind(std::span<float> params, std::span<float> grads) {
 void BatchNorm2d::init(Rng& /*rng*/) {
   for (auto& v : gamma_) v = 1.0f;
   for (auto& v : beta_) v = 0.0f;
+}
+
+void BatchNorm2d::save_buffers(std::vector<float>& out) const {
+  out.insert(out.end(), running_mean_.begin(), running_mean_.end());
+  out.insert(out.end(), running_var_.begin(), running_var_.end());
+}
+
+std::size_t BatchNorm2d::load_buffers(std::span<const float> in) {
+  if (in.size() < 2 * channels_) {
+    throw std::invalid_argument("BatchNorm2d::load_buffers: short span");
+  }
+  std::copy_n(in.begin(), channels_, running_mean_.begin());
+  std::copy_n(in.begin() + static_cast<std::ptrdiff_t>(channels_), channels_,
+              running_var_.begin());
+  return 2 * channels_;
 }
 
 std::vector<std::size_t> BatchNorm2d::output_shape(

@@ -48,6 +48,20 @@ class Layer {
   /// like `in`).
   virtual void backward(const Tensor& in, const Tensor& dout, Tensor& din) = 0;
 
+  /// Appends this layer's non-trainable evaluation state (e.g. batch-norm
+  /// running statistics) to `out`.  Stateless layers append nothing.  Used to
+  /// replicate a model's full eval-mode behaviour into a clone (the engine's
+  /// parallel evaluation path); layers with children must forward the call in
+  /// a fixed order matching load_buffers.
+  virtual void save_buffers(std::vector<float>& out) const { (void)out; }
+
+  /// Restores state written by save_buffers from the front of `in`; returns
+  /// the number of floats consumed (0 for stateless layers).
+  virtual std::size_t load_buffers(std::span<const float> in) {
+    (void)in;
+    return 0;
+  }
+
   /// Human-readable layer name for summaries.
   [[nodiscard]] virtual const char* name() const noexcept = 0;
 };

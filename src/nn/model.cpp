@@ -119,6 +119,22 @@ Model::EvalResult Model::evaluate_batch(const Tensor& x,
 
 const Tensor& Model::predict(const Tensor& x) { return forward(x, false); }
 
+std::vector<float> Model::buffers() const {
+  std::vector<float> out;
+  for (const auto& layer : layers_) layer->save_buffers(out);
+  return out;
+}
+
+void Model::set_buffers(std::span<const float> state) {
+  std::size_t off = 0;
+  for (const auto& layer : layers_) {
+    off += layer->load_buffers(state.subspan(off));
+  }
+  if (off != state.size()) {
+    throw std::invalid_argument("Model::set_buffers: state size mismatch");
+  }
+}
+
 std::string Model::summary() const {
   std::ostringstream oss;
   std::size_t total = 0;

@@ -61,6 +61,14 @@ class Model {
   }
   [[nodiscard]] std::size_t num_classes() const;
 
+  /// Concatenated non-trainable evaluation state of all layers (batch-norm
+  /// running statistics); empty for buffer-free models.  Together with
+  /// parameters(), this is the complete eval-mode state of the network.
+  [[nodiscard]] std::vector<float> buffers() const;
+  /// Restores state captured by buffers() from an architecturally identical
+  /// model; throws on size mismatch.
+  void set_buffers(std::span<const float> state);
+
   /// One-line-per-layer summary.
   [[nodiscard]] std::string summary() const;
 

@@ -55,6 +55,19 @@ void ResidualBlock::init(Rng& rng) {
   }
 }
 
+void ResidualBlock::save_buffers(std::vector<float>& out) const {
+  bn1_.save_buffers(out);
+  bn2_.save_buffers(out);
+  if (has_projection()) bn_proj_->save_buffers(out);
+}
+
+std::size_t ResidualBlock::load_buffers(std::span<const float> in) {
+  std::size_t off = bn1_.load_buffers(in);
+  off += bn2_.load_buffers(in.subspan(off));
+  if (has_projection()) off += bn_proj_->load_buffers(in.subspan(off));
+  return off;
+}
+
 std::vector<std::size_t> ResidualBlock::output_shape(
     const std::vector<std::size_t>& in_shape) const {
   auto s = conv1_.output_shape(in_shape);

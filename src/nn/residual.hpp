@@ -25,6 +25,8 @@ class ResidualBlock final : public Layer {
       const std::vector<std::size_t>& in_shape) const override;
   void forward(const Tensor& in, Tensor& out, bool train) override;
   void backward(const Tensor& in, const Tensor& dout, Tensor& din) override;
+  void save_buffers(std::vector<float>& out) const override;
+  std::size_t load_buffers(std::span<const float> in) override;
   [[nodiscard]] const char* name() const noexcept override {
     return "ResidualBlock";
   }

@@ -18,6 +18,7 @@ Engine::Engine(SimConfig config, const data::Dataset& train,
                const data::Dataset& test, const ModelFactory& factory,
                std::optional<net::BandwidthMatrix> bandwidth)
     : config_(std::move(config)),
+      factory_(factory),
       test_(&test),
       active_(config_.workers, 1),
       net_(bandwidth ? net::NetworkSim(net::with_virtual_server(*bandwidth))
@@ -80,7 +81,7 @@ Engine::Engine(SimConfig config, const data::Dataset& train,
     std::copy(ref.begin(), ref.end(), p.begin());
   }
 
-  if (config_.threads > 1) {
+  if (config_.threads > 0) {
     pool_ = std::make_unique<ThreadPool>(config_.threads);
   }
 }
@@ -133,6 +134,42 @@ void Engine::for_each_worker(const std::function<void(std::size_t)>& fn) {
   }
 }
 
+void Engine::parallel_for(std::size_t n,
+                          const std::function<void(std::size_t)>& fn) const {
+  if (pool_) {
+    pool_->parallel_for(n, fn);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+
+void Engine::parallel_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) const {
+  if (pool_) {
+    pool_->parallel_chunks(
+        n, [&](std::size_t, std::size_t begin, std::size_t end) {
+          fn(begin, end);
+        });
+    return;
+  }
+  if (n > 0) fn(0, n);
+}
+
+void Engine::parallel_chunks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn)
+    const {
+  if (pool_) {
+    pool_->parallel_chunks(n, fn);
+    return;
+  }
+  if (n > 0) fn(0, 0, n);
+}
+
+std::size_t Engine::chunk_count(std::size_t n) const noexcept {
+  return pool_ ? std::min(n, pool_->size()) : std::min<std::size_t>(n, 1);
+}
+
 void Engine::set_active(std::size_t w, bool active) {
   active_.at(w) = active ? 1 : 0;
 }
@@ -142,22 +179,48 @@ std::vector<float> Engine::average_params() const {
   std::vector<float> avg(n, 0.0f);
   std::size_t count = 0;
   for (std::size_t w = 0; w < config_.workers; ++w) {
-    if (!active_[w]) continue;
-    const auto p = models_[w]->parameters();
-    for (std::size_t j = 0; j < n; ++j) avg[j] += p[j];
-    ++count;
+    if (active_[w]) ++count;
   }
   if (count == 0) throw std::logic_error("Engine: no active workers");
   const float inv = 1.0f / static_cast<float>(count);
-  for (auto& v : avg) v *= inv;
+  // Chunked over coordinates; each coordinate sums over workers in fixed
+  // worker order, so the result is identical for every thread count.
+  parallel_chunks(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t w = 0; w < config_.workers; ++w) {
+      if (!active_[w]) continue;
+      const auto p = models_[w]->parameters();
+      for (std::size_t j = begin; j < end; ++j) avg[j] += p[j];
+    }
+    for (std::size_t j = begin; j < end; ++j) avg[j] *= inv;
+  });
   return avg;
 }
 
 void Engine::allreduce_average() {
   const auto avg = average_params();
-  for (std::size_t w = 0; w < config_.workers; ++w) {
+  parallel_for(config_.workers, [&](std::size_t w) {
     const auto p = models_[w]->parameters();
     std::copy(avg.begin(), avg.end(), p.begin());
+  });
+}
+
+void Engine::eval_batches(nn::Model& model, std::size_t batch_begin,
+                          std::size_t batch_end, std::vector<double>& losses,
+                          std::vector<std::size_t>& corrects,
+                          std::vector<std::size_t>& seens) {
+  Tensor x;
+  std::vector<std::int32_t> y;
+  std::vector<std::size_t> idx;
+  for (std::size_t b = batch_begin; b < batch_end; ++b) {
+    const std::size_t start = b * config_.eval_batch;
+    const std::size_t end = std::min(start + config_.eval_batch, test_->size());
+    idx.resize(end - start);
+    for (std::size_t i = start; i < end; ++i) idx[i - start] = i;
+    test_->gather(idx, x, y);
+    const auto r = model.evaluate_batch(x, y);
+    losses[b] = r.loss;
+    corrects[b] = r.correct;
+    seens[b] = idx.size();
   }
 }
 
@@ -168,31 +231,51 @@ MetricPoint Engine::eval_point(std::size_t round, double epoch,
     avg = average_params();
     params = avg;
   }
-  // Evaluate through worker 0's model (its batch-norm running statistics are
-  // locally trained; parameters are swapped in and restored).
+  const std::size_t batches =
+      (test_->size() + config_.eval_batch - 1) / config_.eval_batch;
+  std::vector<double> losses(batches, 0.0);
+  std::vector<std::size_t> corrects(batches, 0), seens(batches, 0);
+
+  // Evaluation state: the given parameters plus worker 0's batch-norm
+  // running statistics (locally trained buffer state, as in the serial
+  // single-model path).
   auto& model = *models_.front();
-  const auto live = model.parameters();
-  std::vector<float> saved(live.begin(), live.end());
-  std::copy(params.begin(), params.end(), live.begin());
+  if (pool_ && batches > 1) {
+    // Parallel path: per-thread factory clones evaluate disjoint contiguous
+    // batch ranges; partials are reduced below in batch order, so the result
+    // is bit-identical to the serial path.
+    if (eval_models_.empty()) {
+      eval_models_.reserve(pool_->size());
+      for (std::size_t t = 0; t < pool_->size(); ++t) {
+        eval_models_.push_back(std::make_unique<nn::Model>(factory_()));
+      }
+    }
+    const auto buffers = model.buffers();
+    pool_->parallel_chunks(
+        batches, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          auto& clone = *eval_models_[chunk];
+          const auto live = clone.parameters();
+          std::copy(params.begin(), params.end(), live.begin());
+          clone.set_buffers(buffers);
+          eval_batches(clone, begin, end, losses, corrects, seens);
+        });
+  } else {
+    // Serial path: evaluate through worker 0's model directly (parameters
+    // are swapped in and restored).
+    const auto live = model.parameters();
+    std::vector<float> saved(live.begin(), live.end());
+    std::copy(params.begin(), params.end(), live.begin());
+    eval_batches(model, 0, batches, losses, corrects, seens);
+    std::copy(saved.begin(), saved.end(), live.begin());
+  }
 
   double loss_sum = 0.0;
-  std::size_t correct = 0, seen = 0, batches = 0;
-  Tensor x;
-  std::vector<std::int32_t> y;
-  std::vector<std::size_t> idx;
-  for (std::size_t start = 0; start < test_->size();
-       start += config_.eval_batch) {
-    const std::size_t end = std::min(start + config_.eval_batch, test_->size());
-    idx.resize(end - start);
-    for (std::size_t i = start; i < end; ++i) idx[i - start] = i;
-    test_->gather(idx, x, y);
-    const auto r = model.evaluate_batch(x, y);
-    loss_sum += r.loss;
-    correct += r.correct;
-    seen += idx.size();
-    ++batches;
+  std::size_t correct = 0, seen = 0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    loss_sum += losses[b];
+    correct += corrects[b];
+    seen += seens[b];
   }
-  std::copy(saved.begin(), saved.end(), live.begin());
 
   MetricPoint p;
   p.round = round;
@@ -206,17 +289,24 @@ MetricPoint Engine::eval_point(std::size_t round, double epoch,
 
 double Engine::consensus_distance() const {
   const auto avg = average_params();
-  double total = 0.0;
-  std::size_t count = 0;
-  for (std::size_t w = 0; w < config_.workers; ++w) {
-    if (!active_[w]) continue;
+  std::vector<double> dists(config_.workers, 0.0);
+  // Per-worker distances are independent; the sum below stays in fixed
+  // worker order.
+  parallel_for(config_.workers, [&](std::size_t w) {
+    if (!active_[w]) return;
     const auto p = models_[w]->parameters();
     double d = 0.0;
     for (std::size_t j = 0; j < avg.size(); ++j) {
       const double diff = static_cast<double>(p[j]) - avg[j];
       d += diff * diff;
     }
-    total += d;
+    dists[w] = d;
+  });
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    if (!active_[w]) continue;
+    total += dists[w];
     ++count;
   }
   return total / static_cast<double>(count);

@@ -45,7 +45,11 @@ struct SimConfig {
   double dirichlet_alpha = 0.5;        // for kDirichlet
   std::size_t eval_batch = 256;
   std::size_t eval_every_rounds = 0;   // 0 = once per epoch
-  std::size_t threads = 0;             // >0 enables the worker thread pool
+  // 0 = fully serial; >= 1 runs the per-worker hot loops (local SGD,
+  // compression, gossip merges, eval batches) on a pool of that many
+  // threads.  Results are bit-identical for every value (see
+  // docs/ARCHITECTURE.md, "Threading model").
+  std::size_t threads = 0;
 };
 
 /// One point of a training curve — the row format behind Figs. 3, 4, 6 and
@@ -69,7 +73,10 @@ struct RunResult {
 };
 
 /// Builds a fresh model; must produce identical weights on every call (seed
-/// captured inside), so all workers start from the same x_0.
+/// captured inside), so all workers start from the same x_0.  The engine
+/// stores a copy and may invoke it for the ENGINE'S LIFETIME (per-thread
+/// eval clones are built lazily on the first pooled evaluation), so capture
+/// by value — a by-reference capture of a local dangles.
 using ModelFactory = std::function<nn::Model()>;
 
 class Engine {
@@ -122,6 +129,34 @@ class Engine {
   /// Runs fn(w) for every ACTIVE worker, optionally on the thread pool.
   void for_each_worker(const std::function<void(std::size_t)>& fn);
 
+  /// Runs fn(i) for i in [0, n) on the thread pool (serially without one).
+  /// Tasks must be independent — no two may write the same state; iteration
+  /// order is unspecified under threads.  Algorithms use this for per-worker
+  /// and per-gossip-pair work where the index set is not "all active
+  /// workers" (participant subsets, matchings).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn) const;
+
+  /// Splits [0, n) into contiguous [begin, end) blocks, at most one per pool
+  /// thread (a single block serially without a pool), and runs fn(begin, end)
+  /// for each.  Use for dimension-chunked reductions: each block sums its
+  /// coordinates over workers in fixed worker order, so the result is
+  /// bit-identical for every thread count.
+  void parallel_chunks(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& fn) const;
+
+  /// As above, additionally passing the block index in [0, chunk_count(n)).
+  /// Use when each block needs private scratch: size the scratch to
+  /// chunk_count(n) instead of n, bounding memory by the pool size.
+  void parallel_chunks(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn)
+      const;
+
+  /// Number of blocks parallel_chunks uses for a range of size n.
+  [[nodiscard]] std::size_t chunk_count(std::size_t n) const noexcept;
+
   /// Active flags (failure injection).  Inactive workers neither train nor
   /// communicate; algorithms that support dynamics consult these.
   void set_active(std::size_t w, bool active);
@@ -143,7 +178,15 @@ class Engine {
   [[nodiscard]] double consensus_distance() const;
 
  private:
+  /// Per-batch eval partials for [batch_begin, batch_end), written into the
+  /// caller-provided per-batch vectors; reduced in batch order by eval_point.
+  void eval_batches(nn::Model& model, std::size_t batch_begin,
+                    std::size_t batch_end, std::vector<double>& losses,
+                    std::vector<std::size_t>& corrects,
+                    std::vector<std::size_t>& seens);
+
   SimConfig config_;
+  ModelFactory factory_;
   const data::Dataset* test_;
   std::vector<data::Dataset> shards_;
   std::vector<std::unique_ptr<data::BatchSampler>> samplers_;
@@ -153,6 +196,10 @@ class Engine {
   net::NetworkSim net_;
   std::size_t steps_per_epoch_ = 0;
   std::unique_ptr<ThreadPool> pool_;
+  // Lazily built factory clones, one per pool thread, used to evaluate test
+  // batches in parallel; each gets worker 0's parameters and buffers copied
+  // in before use so results match the serial path bit-for-bit.
+  std::vector<std::unique_ptr<nn::Model>> eval_models_;
 
   // Per-worker batch scratch (needed for thread-parallel local steps).
   std::vector<Tensor> batch_x_;

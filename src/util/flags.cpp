@@ -1,7 +1,10 @@
 #include "util/flags.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
 #include <stdexcept>
-#include <string_view>
 
 namespace saps {
 
@@ -46,6 +49,52 @@ bool Flags::get_bool(const std::string& key, bool fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+Flags& Flags::describe(std::string key, std::string help_line) {
+  described_.emplace_back(std::move(key), std::move(help_line));
+  return *this;
+}
+
+std::string Flags::help(std::string_view program) const {
+  std::ostringstream oss;
+  oss << "Usage: " << program << " [--flag[=value] ...]\n";
+  std::size_t width = 6;  // "--help"
+  for (const auto& [key, _] : described_) {
+    width = std::max(width, key.size() + 2);
+  }
+  for (const auto& [key, line] : described_) {
+    oss << "  --" << key << std::string(width - key.size() - 2 + 2, ' ')
+        << line << "\n";
+  }
+  oss << "  --help" << std::string(width - 6 + 2, ' ')
+      << "print this message and exit\n";
+  return oss.str();
+}
+
+void Flags::check_unknown() const {
+  for (const auto& [key, _] : values_) {
+    if (key == "help") continue;
+    const bool known =
+        std::any_of(described_.begin(), described_.end(),
+                    [&](const auto& d) { return d.first == key; });
+    if (!known) {
+      throw std::invalid_argument("Flags: unknown flag '--" + key + "'");
+    }
+  }
+}
+
+void exit_on_help_or_unknown(const Flags& flags, std::string_view program) {
+  if (flags.help_requested()) {
+    std::cout << flags.help(program);
+    std::exit(0);
+  }
+  try {
+    flags.check_unknown();
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << " (see " << program << " --help)\n";
+    std::exit(2);
+  }
 }
 
 }  // namespace saps

@@ -1,12 +1,17 @@
 // Tiny --key=value command-line parser shared by benches and examples.
 //
 // We deliberately avoid a dependency: benches need ~5 flags each, all of the
-// form --name=value with typed defaults.
+// form --name=value with typed defaults.  Binaries register their flags with
+// describe() so --help prints a usage table and check_unknown() can reject
+// typos (strict mode); exit_on_help_or_unknown() bundles both.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace saps {
 
@@ -24,8 +29,28 @@ class Flags {
   [[nodiscard]] double get_double(const std::string& key, double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
 
+  /// Registers `key` as a known flag with a one-line description (shown by
+  /// help(), accepted by check_unknown()).  Returns *this for chaining.
+  Flags& describe(std::string key, std::string help_line);
+
+  /// True when --help was passed.
+  [[nodiscard]] bool help_requested() const { return has("help"); }
+
+  /// Usage text: one aligned line per described flag, in registration order.
+  [[nodiscard]] std::string help(std::string_view program) const;
+
+  /// Strict mode: throws std::invalid_argument naming the first parsed flag
+  /// that was never described (--help is implicitly known).
+  void check_unknown() const;
+
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> described_;
 };
+
+/// Standard main() preamble once all flags are described: prints help and
+/// exits(0) under --help; otherwise enforces strict mode, printing the
+/// offending flag plus a --help hint to stderr and exiting(2).
+void exit_on_help_or_unknown(const Flags& flags, std::string_view program);
 
 }  // namespace saps

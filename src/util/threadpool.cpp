@@ -1,6 +1,6 @@
 #include "util/threadpool.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <exception>
 
 namespace saps {
@@ -38,10 +38,10 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
-  std::atomic<std::size_t> remaining{n};
+void ThreadPool::run_tasks(std::size_t tasks,
+                           const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  std::size_t remaining = tasks;
   std::exception_ptr first_error;
   std::mutex error_mutex;
   std::condition_variable done_cv;
@@ -49,17 +49,21 @@ void ThreadPool::parallel_for(std::size_t n,
 
   {
     std::lock_guard lock(mutex_);
-    for (std::size_t i = 0; i < n; ++i) {
-      tasks_.emplace([&, i] {
+    for (std::size_t t = 0; t < tasks; ++t) {
+      tasks_.emplace([&, t] {
         try {
-          fn(i);
+          fn(t);
         } catch (...) {
           std::lock_guard elock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
-        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // The decrement happens under done_mutex so the caller cannot
+        // observe remaining == 0, return, and destroy these stack-local
+        // primitives while this task is still about to touch them.
+        {
           std::lock_guard dlock(done_mutex);
-          done_cv.notify_all();
+          --remaining;
+          if (remaining == 0) done_cv.notify_all();
         }
       });
     }
@@ -67,8 +71,40 @@ void ThreadPool::parallel_for(std::size_t n,
   cv_.notify_all();
 
   std::unique_lock dlock(done_mutex);
-  done_cv.wait(dlock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  done_cv.wait(dlock, [&] { return remaining == 0; });
+  dlock.unlock();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+// Runs body(block, begin, end) over `blocks` contiguous same-size-±1 blocks
+// covering [0, n) in order.
+void ThreadPool::run_blocks(
+    std::size_t n, std::size_t blocks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  const std::size_t base = n / blocks, extra = n % blocks;
+  run_tasks(blocks, [&](std::size_t b) {
+    const std::size_t begin = b * base + std::min(b, extra);
+    const std::size_t end = begin + base + (b < extra ? 1 : 0);
+    body(b, begin, end);
+  });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Oversubscribe blocks 4x so uneven per-index work still load-balances,
+  // without paying one queue round-trip per index.
+  run_blocks(n, std::min(n, size() * 4),
+             [&](std::size_t, std::size_t begin, std::size_t end) {
+               for (std::size_t i = begin; i < end; ++i) fn(i);
+             });
+}
+
+void ThreadPool::parallel_chunks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  run_blocks(n, std::min(n, size()), fn);
 }
 
 }  // namespace saps

@@ -8,8 +8,11 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <tuple>
 #include <utility>
 
@@ -55,9 +58,29 @@ inline const std::pair<data::Dataset, data::Dataset>& blob_data(
   return it->second;
 }
 
+// CI plumbing: SAPS_THREADS=N makes every suite-built engine that did not
+// ask for a specific thread count run its hot loops on an N-thread pool, so
+// the sanitizer build exercises the parallel path (results are thread-count
+// invariant, enforced by thread_invariance_test, which builds its engines
+// directly and is NOT affected by this).
+inline std::size_t env_threads() {
+  const char* v = std::getenv("SAPS_THREADS");
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  const long long n = std::strtoll(v, &end, 10);
+  // Fail loudly on garbage or negatives: a typo'd SAPS_THREADS silently
+  // running the serial path would defeat the CI parallel pass.
+  if (end == v || *end != '\0' || n < 0 || n > 1024) {
+    throw std::invalid_argument("SAPS_THREADS must be an integer in "
+                                "[0, 1024], got '" + std::string(v) + "'");
+  }
+  return static_cast<std::size_t>(n);
+}
+
 inline sim::Engine blob_engine(
     sim::SimConfig cfg, const BlobSpec& spec = {},
     std::optional<net::BandwidthMatrix> bw = std::nullopt) {
+  if (cfg.threads == 0) cfg.threads = env_threads();
   const auto& [train, test] = blob_data(spec);
   const auto seed = cfg.seed;
   return sim::Engine(

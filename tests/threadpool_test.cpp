@@ -1,0 +1,122 @@
+// ThreadPool::parallel_for / parallel_chunks unit coverage: index coverage,
+// empty ranges, n < threads, block partition properties, and exception
+// propagation (including pool reuse after a throw).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "util/threadpool.hpp"
+
+namespace saps {
+namespace {
+
+TEST(ThreadPoolParallelFor, RunsEachIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "fn called for n = 0"; });
+}
+
+TEST(ThreadPoolParallelFor, FewerIndicesThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolParallelFor, SingleThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.parallel_for(64, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 64 * 63 / 2);
+}
+
+TEST(ThreadPoolParallelFor, RethrowsTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(16,
+                        [](std::size_t i) {
+                          if (i == 7) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolParallelFor, PoolIsReusableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4, [](std::size_t) { throw std::logic_error("x"); }),
+      std::logic_error);
+  std::vector<std::atomic<int>> hits(8);
+  pool.parallel_for(8, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolParallelChunks, BlocksPartitionRangeInOrder) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::array<std::size_t, 3>> blocks;
+  pool.parallel_chunks(103, [&](std::size_t c, std::size_t b, std::size_t e) {
+    std::lock_guard lock(mu);
+    blocks.push_back({c, b, e});
+  });
+  ASSERT_EQ(blocks.size(), 4u);
+  std::sort(blocks.begin(), blocks.end());
+  std::size_t expect_begin = 0;
+  for (std::size_t c = 0; c < blocks.size(); ++c) {
+    EXPECT_EQ(blocks[c][0], c);
+    EXPECT_EQ(blocks[c][1], expect_begin);
+    EXPECT_GT(blocks[c][2], blocks[c][1]);
+    // Sizes differ by at most one.
+    EXPECT_GE(blocks[c][2] - blocks[c][1], 103u / 4);
+    EXPECT_LE(blocks[c][2] - blocks[c][1], 103u / 4 + 1);
+    expect_begin = blocks[c][2];
+  }
+  EXPECT_EQ(expect_begin, 103u);
+}
+
+TEST(ThreadPoolParallelChunks, AtMostOneBlockPerElement) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.parallel_chunks(3, [&](std::size_t c, std::size_t b, std::size_t e) {
+    calls.fetch_add(1);
+    EXPECT_LT(c, 3u);
+    EXPECT_EQ(e, b + 1);
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPoolParallelChunks, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_chunks(
+      0, [](std::size_t, std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolParallelChunks, RethrowsException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_chunks(
+                   100,
+                   [](std::size_t c, std::size_t, std::size_t) {
+                     if (c == 2) throw std::runtime_error("chunk boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace saps

@@ -54,6 +54,37 @@ TEST(Flags, RejectsMalformedToken) {
   EXPECT_THROW(Flags(2, const_cast<char**>(argv)), std::invalid_argument);
 }
 
+TEST(Flags, HelpListsDescribedFlagsInOrder) {
+  const char* argv[] = {"prog", "--help"};
+  Flags f(2, const_cast<char**>(argv));
+  f.describe("workers", "worker count").describe("lr", "learning rate");
+  EXPECT_TRUE(f.help_requested());
+  const auto h = f.help("prog");
+  const auto workers_at = h.find("--workers");
+  const auto lr_at = h.find("--lr");
+  const auto help_at = h.find("--help");
+  ASSERT_NE(workers_at, std::string::npos);
+  ASSERT_NE(lr_at, std::string::npos);
+  ASSERT_NE(help_at, std::string::npos);
+  EXPECT_LT(workers_at, lr_at);  // registration order preserved
+  EXPECT_NE(h.find("worker count"), std::string::npos);
+  EXPECT_NE(h.find("Usage: prog"), std::string::npos);
+}
+
+TEST(Flags, StrictModeRejectsUnknownFlag) {
+  const char* argv[] = {"prog", "--workers=4", "--wrokers=8"};
+  Flags f(3, const_cast<char**>(argv));
+  f.describe("workers", "worker count");
+  EXPECT_THROW(f.check_unknown(), std::invalid_argument);
+}
+
+TEST(Flags, StrictModeAcceptsDescribedAndHelp) {
+  const char* argv[] = {"prog", "--workers=4", "--help"};
+  Flags f(3, const_cast<char**>(argv));
+  f.describe("workers", "worker count");
+  EXPECT_NO_THROW(f.check_unknown());  // --help is implicitly known
+}
+
 TEST(RunningStat, MeanAndVariance) {
   RunningStat s;
   for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
