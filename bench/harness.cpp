@@ -32,7 +32,16 @@ HarnessOptions parse_options(Flags& flags) {
       .describe("bthres", "SAPS bandwidth threshold B_thres (0 = median auto)")
       .describe("tthres", "SAPS repeat-selection window T_thres (default 10)")
       .describe("fedavg-steps",
-                "FedAvg local steps per round (0 = one local epoch)");
+                "FedAvg local steps per round (0 = one local epoch)")
+      .describe("latency",
+                "one-way per-transfer link latency in seconds (default 0 = "
+                "the paper's instantaneous links)")
+      .describe("compute-base",
+                "per-round local-compute seconds charged to every worker "
+                "(default 0)")
+      .describe("compute-jitter",
+                "straggler jitter amplitude in seconds; worker compute is "
+                "base + jitter*u01(round, worker) (default 0)");
 
   HarnessOptions opt;
   opt.full_scale = flags.get_bool("full", false);
@@ -88,6 +97,18 @@ HarnessOptions parse_options(Flags& flags) {
       flags.get_int("tthres", static_cast<std::int64_t>(opt.t_thres)));
   opt.fedavg_local_steps = static_cast<std::size_t>(flags.get_int(
       "fedavg-steps", static_cast<std::int64_t>(opt.fedavg_local_steps)));
+  opt.latency_seconds = flags.get_double("latency", opt.latency_seconds);
+  opt.compute_base_seconds =
+      flags.get_double("compute-base", opt.compute_base_seconds);
+  opt.compute_jitter_seconds =
+      flags.get_double("compute-jitter", opt.compute_jitter_seconds);
+  if (opt.latency_seconds < 0.0 || opt.compute_base_seconds < 0.0 ||
+      opt.compute_jitter_seconds < 0.0) {
+    if (!flags.help_requested()) {
+      std::cerr << "--latency/--compute-base/--compute-jitter must be >= 0\n";
+      std::exit(2);
+    }
+  }
   if (!opt.full_scale && flags.has("samples")) {
     opt.fedavg_local_steps =
         std::max<std::size_t>(1, opt.samples_per_worker / opt.batch_size / 5);
@@ -107,6 +128,9 @@ WorkloadSpec make_workload(const std::string& which, const HarnessOptions& opt) 
   spec.config.eval_every_rounds = opt.eval_every_rounds;
   spec.config.seed = opt.seed;
   spec.config.threads = opt.threads;
+  spec.config.link_latency_seconds = opt.latency_seconds;
+  spec.config.compute_base_seconds = opt.compute_base_seconds;
+  spec.config.compute_jitter_seconds = opt.compute_jitter_seconds;
 
   const std::size_t train_n = opt.samples_per_worker * opt.workers;
   const std::size_t test_n = opt.test_samples;

@@ -54,12 +54,20 @@ struct HarnessOptions {
   // SAPS gossip knobs.
   double b_thres = 0.0;   // 0 = median auto
   std::size_t t_thres = 10;
+  // Message-plane timing knobs (bench_latency_stragglers and any bench run
+  // with --latency/--compute-jitter).  Zero = the paper's instantaneous-link,
+  // uniform-compute setting; results are then bit-identical to the legacy
+  // accounting.
+  double latency_seconds = 0.0;         // one-way per-transfer link latency
+  double compute_base_seconds = 0.0;    // per-round local-compute cost
+  double compute_jitter_seconds = 0.0;  // straggler jitter amplitude
 };
 
 /// Parses the shared flags (--workers, --epochs, --samples, --test-samples,
 /// --batch, --eval-every, --seed, --full, --threads, --saps-c, --topk-c,
-/// --sfedavg-c, --dcd-c, --tthres, --bthres, --fedavg-steps) and registers
-/// their --help descriptions on `flags`.  After any bench-specific
+/// --sfedavg-c, --dcd-c, --tthres, --bthres, --fedavg-steps, --latency,
+/// --compute-base, --compute-jitter) and registers their --help descriptions
+/// on `flags`.  After any bench-specific
 /// flags.describe() calls, finish with exit_on_help_or_unknown(flags, argv[0])
 /// — see docs/BENCHMARKS.md for the full flag table.
 [[nodiscard]] HarnessOptions parse_options(Flags& flags);

@@ -1,18 +1,57 @@
 #include "algos/d_psgd.hpp"
 
+#include <array>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
 #include "compress/topk.hpp"
 #include "gossip/peer_selection.hpp"
+#include "net/wire.hpp"
 
 namespace saps::algos {
+
+namespace {
+
+/// Pops the two neighbor messages queued for `w` and returns them decoded
+/// as (left, right), identified by the sender rank carried in the message —
+/// mailbox arrival order is unspecified when sends run on the pool.
+template <typename Msg, typename Rank>
+std::pair<Msg, Msg> recv_neighbor_pair(sim::Fabric& fabric, std::size_t w,
+                                       std::size_t left_rank,
+                                       std::size_t right_rank,
+                                       Rank rank_of) {
+  std::optional<Msg> left, right;
+  for (int k = 0; k < 2; ++k) {
+    const auto env = fabric.recv(w);
+    if (!env) throw std::logic_error("ring gossip: missing neighbor message");
+    auto msg = Msg::decode(env->payload);
+    const std::size_t rank = rank_of(msg);
+    // On a 2-ring both neighbors are the same node; fill left first.
+    if (rank == left_rank && !left) {
+      left = std::move(msg);
+    } else if (rank == right_rank && !right) {
+      right = std::move(msg);
+    } else {
+      throw std::logic_error("ring gossip: unexpected neighbor message");
+    }
+  }
+  if (!left || !right) {
+    throw std::logic_error("ring gossip: missing neighbor message");
+  }
+  return {std::move(*left), std::move(*right)};
+}
+
+}  // namespace
 
 sim::RunResult DPsgd::run(sim::Engine& engine) {
   const auto& cfg = engine.config();
   const std::size_t n = engine.workers();
   const std::size_t steps = engine.steps_per_epoch();
   const std::size_t dim = engine.param_count();
-  const double model_bytes = dense_model_bytes(dim);
   const gossip::RingTopology ring(n);
   EvalSchedule schedule(cfg, steps);
+  auto& fabric = engine.fabric();
 
   sim::RunResult result;
   result.algorithm = name();
@@ -25,25 +64,35 @@ sim::RunResult DPsgd::run(sim::Engine& engine) {
     for (std::size_t step = 0; step < steps; ++step) {
       engine.for_each_worker([&](std::size_t w) { engine.sgd_step(w, epoch); });
 
-      // Full-model exchange with both neighbors (concurrent transfers).
-      auto& net = engine.network();
-      net.start_round();
-      for (std::size_t w = 0; w < n; ++w) {
-        net.transfer(w, ring.left(w), model_bytes);
-        net.transfer(w, ring.right(w), model_bytes);
-      }
-      net.finish_round();
-
-      // x_w ← (x_{w-1} + x_w + x_{w+1}) / 3.  Each worker writes only its
-      // own next[w] while all parameter vectors are read-only, so the merge
-      // parallelizes; the write-back runs as a second pass.
+      // Full-model exchange with both neighbors: each worker encodes its
+      // replica once and ships it left and right.  Sends are staged per
+      // source, so the loop parallelizes.
+      fabric.begin_round();
       engine.parallel_for(n, [&](std::size_t w) {
+        fabric.compute(w);
+        net::FullModelMsg msg;
+        msg.rank = static_cast<std::uint32_t>(w);
+        const auto p = engine.params(w);
+        msg.params.assign(p.begin(), p.end());
+        const std::size_t nbrs[] = {ring.left(w), ring.right(w)};
+        fabric.multicast(w, nbrs, msg);
+      });
+      fabric.end_round();
+
+      // x_w ← (x_w + x_{w-1} + x_{w+1}) / 3 from the DELIVERED replicas.
+      // Each worker drains only its own mailbox and writes only its own
+      // next[w], so the merge parallelizes; the write-back runs as a second
+      // pass.
+      engine.parallel_for(n, [&](std::size_t w) {
+        const auto [left, right] = recv_neighbor_pair<net::FullModelMsg>(
+            fabric, w, ring.left(w), ring.right(w),
+            [](const net::FullModelMsg& m) {
+              return static_cast<std::size_t>(m.rank);
+            });
         const auto self = engine.params(w);
-        const auto left = engine.params(ring.left(w));
-        const auto right = engine.params(ring.right(w));
         auto& dst = next[w];
         for (std::size_t j = 0; j < dim; ++j) {
-          dst[j] = (self[j] + left[j] + right[j]) / 3.0f;
+          dst[j] = (self[j] + left.params[j] + right.params[j]) / 3.0f;
         }
       });
       engine.parallel_for(n, [&](std::size_t w) {
@@ -72,17 +121,25 @@ sim::RunResult DcdPsgd::run(sim::Engine& engine) {
   const std::size_t dim = engine.param_count();
   const gossip::RingTopology ring(n);
   EvalSchedule schedule(cfg, steps);
+  auto& fabric = engine.fabric();
 
   sim::RunResult result;
   result.algorithm = name();
   result.history.push_back(engine.eval_point(0, 0.0));
 
-  // Public copies x̂_w: identical at initialization, updated only by the
-  // compressed deltas every holder applies in lockstep.
+  // Public copies x̂: every worker holds its OWN public model plus local
+  // replicas of both neighbors' public models, maintained purely from the
+  // compressed deltas delivered over the fabric.  All replicas start from
+  // the identical x₀, so holder copies stay in bit-exact lockstep.
   std::vector<std::vector<float>> pub(n);
+  std::vector<std::array<std::vector<float>, 2>> nbr_pub(n);  // [left, right]
   for (std::size_t w = 0; w < n; ++w) {
     const auto p = engine.params(w);
     pub[w].assign(p.begin(), p.end());
+  }
+  for (std::size_t w = 0; w < n; ++w) {
+    nbr_pub[w][0] = pub[ring.left(w)];
+    nbr_pub[w][1] = pub[ring.right(w)];
   }
   std::vector<compress::SparseVector> deltas(n);
   // Compression scratch: one dim-sized buffer per parallel block (bounded by
@@ -95,8 +152,8 @@ sim::RunResult DcdPsgd::run(sim::Engine& engine) {
     for (std::size_t step = 0; step < steps; ++step) {
       engine.for_each_worker([&](std::size_t w) { engine.sgd_step(w, epoch); });
 
-      // Compress x_w − x̂_w and ship to both neighbors (per-block scratch,
-      // so the compression step parallelizes).
+      // Compress x_w − x̂_w (per-block scratch, so the compression step
+      // parallelizes) and ship the SparseDeltaMsg to both neighbors.
       engine.parallel_chunks(
           n, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
             auto& diff = diffs[chunk];
@@ -106,28 +163,45 @@ sim::RunResult DcdPsgd::run(sim::Engine& engine) {
               deltas[w] = compress::top_k(diff, config_.compression);
             }
           });
-      auto& net = engine.network();
-      net.start_round();
-      for (std::size_t w = 0; w < n; ++w) {
-        net.transfer(w, ring.left(w), deltas[w].wire_bytes());
-        net.transfer(w, ring.right(w), deltas[w].wire_bytes());
-      }
-      net.finish_round();
+      fabric.begin_round();
+      engine.parallel_for(n, [&](std::size_t w) {
+        fabric.compute(w);
+        net::SparseDeltaMsg msg;
+        msg.round = static_cast<std::uint32_t>(round);
+        msg.origin = static_cast<std::uint32_t>(w);
+        msg.indices = deltas[w].indices;
+        msg.values = deltas[w].values;
+        const std::size_t nbrs[] = {ring.left(w), ring.right(w)};
+        fabric.multicast(w, nbrs, msg);
+      });
+      fabric.end_round();
 
-      // All holders of x̂_w apply the identical delta (each w touches only
-      // pub[w]).
+      // Every holder applies the identical delta: w updates its own public
+      // copy from its local delta and both neighbor replicas from the
+      // delivered messages (each w touches only its own state).
       engine.parallel_for(n, [&](std::size_t w) {
         compress::add_sparse(pub[w], deltas[w]);
+        auto [left, right] = recv_neighbor_pair<net::SparseDeltaMsg>(
+            fabric, w, ring.left(w), ring.right(w),
+            [](const net::SparseDeltaMsg& m) {
+              return static_cast<std::size_t>(m.origin);
+            });
+        compress::SparseVector sv;
+        sv.indices = std::move(left.indices);
+        sv.values = std::move(left.values);
+        compress::add_sparse(nbr_pub[w][0], sv);
+        sv.indices = std::move(right.indices);
+        sv.values = std::move(right.values);
+        compress::add_sparse(nbr_pub[w][1], sv);
       });
 
       // Gossip on public copies: x_w += Σ_u W_wu (x̂_u − x̂_w), ring weights
-      // 1/3.  Public copies are read-only here; each w writes only its own
-      // parameters.
+      // 1/3, using the locally maintained neighbor replicas.
       engine.parallel_for(n, [&](std::size_t w) {
         const auto p = engine.params(w);
         const auto& self = pub[w];
-        const auto& left = pub[ring.left(w)];
-        const auto& right = pub[ring.right(w)];
+        const auto& left = nbr_pub[w][0];
+        const auto& right = nbr_pub[w][1];
         for (std::size_t j = 0; j < dim; ++j) {
           p[j] += (left[j] + right[j] - 2.0f * self[j]) / 3.0f;
         }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "compress/mask.hpp"
+#include "net/wire.hpp"
 #include "util/rng.hpp"
 
 namespace saps::algos {
@@ -27,8 +28,8 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
   const std::size_t n = engine.workers();
   const std::size_t server = engine.server_node();
   const std::size_t dim = engine.param_count();
-  const double model_bytes = dense_model_bytes(dim);
   const bool sparse_up = config_.upload_compression > 0.0;
+  auto& fabric = engine.fabric();
 
   const auto participants_per_round = std::max<std::size_t>(
       1, static_cast<std::size_t>(config_.fraction * static_cast<double>(n)));
@@ -47,6 +48,9 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
   double epoch_progress = 0.0;
   std::size_t round = 0;
   std::vector<float> accum(dim);
+  // Per-participant decoded uploads, bucketed by rank for deterministic
+  // chosen-order aggregation regardless of mailbox arrival order.
+  std::vector<std::vector<float>> uploads(n);
   while (epoch_progress < static_cast<double>(cfg.epochs)) {
     ++round;
     // Sample participants without replacement.
@@ -56,14 +60,22 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
     const std::span<const std::size_t> chosen(order.data(),
                                               participants_per_round);
 
-    auto& net = engine.network();
-    // Download phase: server → participants, full model each.
-    net.start_round();
-    for (const auto w : chosen) net.transfer(server, w, model_bytes);
-    net.finish_round();
+    // Download phase: server → participants, one FullModelMsg each (encoded
+    // once, fanned out).
+    fabric.begin_round();
+    {
+      net::FullModelMsg down;
+      down.rank = static_cast<std::uint32_t>(server);
+      down.params = global;
+      fabric.multicast(server, chosen, down);
+    }
+    fabric.end_round();
     engine.parallel_for(chosen.size(), [&](std::size_t i) {
+      const auto env = fabric.recv(chosen[i]);
+      if (!env) throw std::logic_error("FedAvg: missing download");
+      const auto down = net::FullModelMsg::decode(env->payload);
       const auto p = engine.params(chosen[i]);
-      std::copy(global.begin(), global.end(), p.begin());
+      std::copy(down.params.begin(), down.params.end(), p.begin());
     });
 
     // Local training: E epochs (or a fixed step count) on each participant.
@@ -84,20 +96,53 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
       }
     });
 
-    // Upload phase: participants → server.
+    // Upload phase: participants → server.  S-FedAvg ships the seeded-mask
+    // values (MaskedModelMsg); plain FedAvg ships the full replica.
     const std::uint64_t mask_seed = derive_seed(cfg.seed, 0x5fed, round);
     std::vector<std::uint8_t> mask;
+    std::vector<std::uint32_t> masked_idx;
     if (sparse_up) {
       mask = compress::bernoulli_mask(mask_seed, dim, config_.upload_compression);
+      masked_idx.reserve(compress::mask_popcount(mask));
+      for (std::size_t j = 0; j < dim; ++j) {
+        if (mask[j]) masked_idx.push_back(static_cast<std::uint32_t>(j));
+      }
     }
-    net.start_round();
+    fabric.begin_round();
     for (const auto w : chosen) {
-      const double up_bytes =
-          sparse_up ? compress::masked_wire_bytes(compress::mask_popcount(mask))
-                    : model_bytes;
-      net.transfer(w, server, up_bytes);
+      fabric.compute(w);
+      if (sparse_up) {
+        net::MaskedModelMsg up;
+        up.mask_seed = mask_seed;
+        up.round = static_cast<std::uint32_t>(round);
+        up.values = compress::extract_masked(engine.params(w), mask);
+        fabric.send(w, server, up);
+      } else {
+        net::FullModelMsg up;
+        up.rank = static_cast<std::uint32_t>(w);
+        const auto p = engine.params(w);
+        up.params.assign(p.begin(), p.end());
+        fabric.send(w, server, up);
+      }
     }
-    net.finish_round();
+    fabric.end_round();
+
+    // Server-side decode: bucket the uploads by sender so aggregation runs
+    // in `chosen` order whatever the arrival order was.
+    for (std::size_t i = 0; i < chosen.size(); ++i) {
+      const auto env = fabric.recv(server);
+      if (!env) throw std::logic_error("FedAvg: missing upload");
+      if (sparse_up) {
+        auto up = net::MaskedModelMsg::decode(env->payload);
+        if (up.mask_seed != mask_seed) {
+          throw std::logic_error("S-FedAvg: upload from a different round");
+        }
+        uploads[env->from] = std::move(up.values);
+      } else {
+        auto up = net::FullModelMsg::decode(env->payload);
+        uploads[up.rank] = std::move(up.params);
+      }
+    }
 
     // Server aggregation.
     if (sparse_up) {
@@ -105,33 +150,36 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
       // masked coordinates of their model DELTA; the server applies the
       // inverse-probability-scaled average, which makes the sparse update an
       // unbiased estimator of the dense one (E[c·m∘Δ] = Δ).
-      // Chunked over coordinates; each coordinate sums over participants in
-      // fixed order, so the aggregate is thread-count invariant.
+      // Chunked over the masked index list; each coordinate sums over
+      // participants in fixed order, so the aggregate is thread-count
+      // invariant.
       const float scale = static_cast<float>(config_.upload_compression) /
                           static_cast<float>(chosen.size());
-      engine.parallel_chunks(dim, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t j = begin; j < end; ++j) accum[j] = 0.0f;
-        for (const auto w : chosen) {
-          const auto p = engine.params(w);
-          for (std::size_t j = begin; j < end; ++j) {
-            if (mask[j]) accum[j] += p[j] - global[j];
-          }
-        }
-        for (std::size_t j = begin; j < end; ++j) {
-          if (mask[j]) global[j] += scale * accum[j];
-        }
-      });
+      engine.parallel_chunks(
+          masked_idx.size(), [&](std::size_t begin, std::size_t end) {
+            for (std::size_t k = begin; k < end; ++k) accum[k] = 0.0f;
+            for (const auto w : chosen) {
+              const auto& v = uploads[w];
+              for (std::size_t k = begin; k < end; ++k) {
+                accum[k] += v[k] - global[masked_idx[k]];
+              }
+            }
+            for (std::size_t k = begin; k < end; ++k) {
+              global[masked_idx[k]] += scale * accum[k];
+            }
+          });
     } else {
       const float inv = 1.0f / static_cast<float>(chosen.size());
       engine.parallel_chunks(dim, [&](std::size_t begin, std::size_t end) {
         for (std::size_t j = begin; j < end; ++j) accum[j] = 0.0f;
         for (const auto w : chosen) {
-          const auto p = engine.params(w);
-          for (std::size_t j = begin; j < end; ++j) accum[j] += p[j];
+          const auto& v = uploads[w];
+          for (std::size_t j = begin; j < end; ++j) accum[j] += v[j];
         }
         for (std::size_t j = begin; j < end; ++j) global[j] = accum[j] * inv;
       });
     }
+    for (const auto w : chosen) uploads[w].clear();
 
     epoch_progress +=
         config_.local_steps > 0

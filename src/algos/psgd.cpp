@@ -1,13 +1,17 @@
 #include "algos/psgd.hpp"
 
+#include <stdexcept>
+
+#include "net/wire.hpp"
+
 namespace saps::algos {
 
 sim::RunResult PsgdAllReduce::run(sim::Engine& engine) {
   const auto& cfg = engine.config();
   const std::size_t n = engine.workers();
   const std::size_t steps = engine.steps_per_epoch();
-  const double model_bytes = dense_model_bytes(engine.param_count());
   EvalSchedule schedule(cfg, steps);
+  auto& fabric = engine.fabric();
 
   sim::RunResult result;
   result.algorithm = name();
@@ -18,15 +22,31 @@ sim::RunResult PsgdAllReduce::run(sim::Engine& engine) {
     for (std::size_t step = 0; step < steps; ++step) {
       engine.for_each_worker([&](std::size_t w) { engine.sgd_step(w, epoch); });
 
-      // Ring pass: each worker ships one model's worth of data and receives
-      // one (the paper's 2N-per-round accounting for all-reduce PSGD).
-      auto& net = engine.network();
-      net.start_round();
+      // Ring pass: each worker ships one FullModelMsg to its right neighbor
+      // and receives one (the paper's 2N-per-round accounting for all-reduce
+      // PSGD).
+      fabric.begin_round();
       for (std::size_t w = 0; w < n; ++w) {
-        net.transfer(w, (w + 1) % n, model_bytes);
+        fabric.compute(w);
+        net::FullModelMsg msg;
+        msg.rank = static_cast<std::uint32_t>(w);
+        const auto p = engine.params(w);
+        msg.params.assign(p.begin(), p.end());
+        fabric.send(w, (w + 1) % n, msg);
       }
-      net.finish_round();
+      fabric.end_round();
+      for (std::size_t w = 0; w < n; ++w) {
+        const auto env = fabric.recv(w);
+        if (!env) throw std::logic_error("PSGD: missing ring message");
+        // Provenance check only — the averaged merge below uses the
+        // engine's replicas, so skip materializing the payload.
+        if (net::FullModelMsg::peek_rank(env->payload) != (w + n - 1) % n) {
+          throw std::logic_error("PSGD: ring message from wrong neighbor");
+        }
+      }
 
+      // The delivered replicas average to the same global mean the ideal
+      // collective produces; apply it through the engine.
       engine.allreduce_average();
       ++round;
       if (schedule.due(round)) {

@@ -1,6 +1,9 @@
 #include "algos/qsgd_psgd.hpp"
 
+#include <stdexcept>
+
 #include "compress/quantize.hpp"
+#include "net/wire.hpp"
 #include "util/rng.hpp"
 
 namespace saps::algos {
@@ -11,6 +14,7 @@ sim::RunResult QsgdPsgd::run(sim::Engine& engine) {
   const std::size_t steps = engine.steps_per_epoch();
   const std::size_t dim = engine.param_count();
   EvalSchedule schedule(cfg, steps);
+  auto& fabric = engine.fabric();
 
   sim::RunResult result;
   result.algorithm = name();
@@ -24,7 +28,11 @@ sim::RunResult QsgdPsgd::run(sim::Engine& engine) {
   for (std::size_t w = 0; w < n; ++w) {
     rngs.emplace_back(derive_seed(cfg.seed, 0x05d9, w));
   }
-  std::vector<compress::QsgdEncoded> chunks(n);
+  // Ring all-gather state, as in TopK-PSGD: forwarded messages plus worker
+  // 0's gathered set (all workers hold identical sets, so the shared
+  // averaged update is computed once, in origin order).
+  std::vector<net::QuantGradMsg> current(n), incoming(n);
+  std::vector<net::QuantGradMsg> gathered(n);
   std::vector<float> avg(dim);
 
   std::size_t round = 0;
@@ -33,30 +41,46 @@ sim::RunResult QsgdPsgd::run(sim::Engine& engine) {
       engine.for_each_worker(
           [&](std::size_t w) { engine.compute_gradient(w, epoch); });
       engine.parallel_for(n, [&](std::size_t w) {
-        chunks[w] = compress::qsgd_encode(engine.model(w).gradients(),
-                                          config_.levels, rngs[w]);
+        auto enc = compress::qsgd_encode(engine.model(w).gradients(),
+                                         config_.levels, rngs[w]);
+        current[w].round = static_cast<std::uint32_t>(round);
+        current[w].origin = static_cast<std::uint32_t>(w);
+        current[w].norm = enc.norm;
+        current[w].levels = enc.levels;
+        current[w].quantized = std::move(enc.quantized);
       });
+      gathered[0] = current[0];
 
-      // Ring all-gather of the quantized gradients, as for TopK-PSGD.
-      auto& net = engine.network();
+      // Ring all-gather of the bit-packed quantized gradients.
       for (std::size_t hop = 0; hop + 1 < n; ++hop) {
-        net.start_round();
+        fabric.begin_round();
         for (std::size_t w = 0; w < n; ++w) {
-          const std::size_t origin = (w + n - hop) % n;
-          net.transfer(w, (w + 1) % n, chunks[origin].wire_bytes());
+          if (hop == 0) fabric.compute(w);
+          fabric.send(w, (w + 1) % n, current[w]);
         }
-        net.finish_round();
+        fabric.end_round();
+        for (std::size_t w = 0; w < n; ++w) {
+          const auto env = fabric.recv(w);
+          if (!env) throw std::logic_error("QSGD: missing ring chunk");
+          incoming[w] = net::QuantGradMsg::decode(env->payload);
+          const std::size_t expect = (w + n - hop - 1) % n;
+          if (incoming[w].origin != expect) {
+            throw std::logic_error("QSGD: ring chunk out of order");
+          }
+        }
+        std::swap(current, incoming);
+        gathered[current[0].origin] = current[0];
       }
 
       // Decode-and-accumulate chunked over coordinates (QSGD decode is
       // elementwise: unit * quantized[j]); each coordinate still sums over
-      // workers in fixed order, so the average is thread-count invariant —
+      // origins in fixed order, so the average is thread-count invariant —
       // and no dense decoded copies are materialized.
       const float inv = 1.0f / static_cast<float>(n);
       engine.parallel_chunks(dim, [&](std::size_t begin, std::size_t end) {
         for (std::size_t j = begin; j < end; ++j) avg[j] = 0.0f;
         for (std::size_t w = 0; w < n; ++w) {
-          const auto& e = chunks[w];
+          const auto& e = gathered[w];
           const float unit = e.norm / static_cast<float>(e.levels);
           for (std::size_t j = begin; j < end; ++j) {
             avg[j] += inv * (unit * static_cast<float>(e.quantized[j]));

@@ -1,6 +1,9 @@
 #include "algos/topk_psgd.hpp"
 
+#include <stdexcept>
+
 #include "compress/topk.hpp"
+#include "net/wire.hpp"
 
 namespace saps::algos {
 
@@ -10,6 +13,7 @@ sim::RunResult TopkPsgd::run(sim::Engine& engine) {
   const std::size_t steps = engine.steps_per_epoch();
   const std::size_t dim = engine.param_count();
   EvalSchedule schedule(cfg, steps);
+  auto& fabric = engine.fabric();
 
   std::vector<compress::ErrorFeedbackTopK> ef;
   ef.reserve(n);
@@ -19,7 +23,12 @@ sim::RunResult TopkPsgd::run(sim::Engine& engine) {
   result.algorithm = name();
   result.history.push_back(engine.eval_point(0, 0.0));
 
-  std::vector<compress::SparseVector> chunks(n);
+  // Ring all-gather state: the message each worker forwards next hop, and
+  // worker 0's gathered set (all workers end up with identical sets — chunks
+  // are forwarded verbatim — so the shared averaged update is computed once
+  // from worker 0's copy, in origin order).
+  std::vector<net::SparseDeltaMsg> current(n), incoming(n);
+  std::vector<compress::SparseVector> gathered(n);
   std::vector<float> avg(dim);
 
   std::size_t round = 0;
@@ -30,27 +39,45 @@ sim::RunResult TopkPsgd::run(sim::Engine& engine) {
       // Error-feedback compression is per-worker state; top-k selection is
       // deterministic (lowest-index tie-break), so this parallelizes.
       engine.parallel_for(n, [&](std::size_t w) {
-        chunks[w] = ef[w].compress(engine.model(w).gradients());
+        auto chunk = ef[w].compress(engine.model(w).gradients());
+        current[w].round = static_cast<std::uint32_t>(round);
+        current[w].origin = static_cast<std::uint32_t>(w);
+        current[w].indices = std::move(chunk.indices);
+        current[w].values = std::move(chunk.values);
       });
+      gathered[0].indices = current[0].indices;
+      gathered[0].values = current[0].values;
 
       // Ring all-gather: n-1 sequential hops; at hop r worker w forwards the
-      // chunk that originated at worker (w - r) mod n.
-      auto& net = engine.network();
+      // chunk that originated at worker (w - r) mod n.  Each hop is one
+      // fabric round of concurrent transfers.
       for (std::size_t hop = 0; hop + 1 < n; ++hop) {
-        net.start_round();
+        fabric.begin_round();
         for (std::size_t w = 0; w < n; ++w) {
-          const std::size_t origin = (w + n - hop) % n;
-          net.transfer(w, (w + 1) % n, chunks[origin].wire_bytes());
+          if (hop == 0) fabric.compute(w);
+          fabric.send(w, (w + 1) % n, current[w]);
         }
-        net.finish_round();
+        fabric.end_round();
+        for (std::size_t w = 0; w < n; ++w) {
+          const auto env = fabric.recv(w);
+          if (!env) throw std::logic_error("TopK: missing ring chunk");
+          incoming[w] = net::SparseDeltaMsg::decode(env->payload);
+          const std::size_t expect = (w + n - hop - 1) % n;
+          if (incoming[w].origin != expect) {
+            throw std::logic_error("TopK: ring chunk out of order");
+          }
+        }
+        std::swap(current, incoming);
+        gathered[current[0].origin].indices = current[0].indices;
+        gathered[current[0].origin].values = current[0].values;
       }
 
-      // Everyone now has all chunks; apply the identical averaged update.
-      // The accumulation stays serial in fixed worker order so the float
+      // Everyone now holds all chunks; apply the identical averaged update.
+      // The accumulation stays serial in fixed origin order so the float
       // sums are bit-identical for every thread count.
       std::fill(avg.begin(), avg.end(), 0.0f);
       for (std::size_t w = 0; w < n; ++w) {
-        compress::add_sparse(avg, chunks[w], 1.0f / static_cast<float>(n));
+        compress::add_sparse(avg, gathered[w], 1.0f / static_cast<float>(n));
       }
       engine.for_each_worker(
           [&](std::size_t w) { engine.apply_update(w, avg, epoch); });

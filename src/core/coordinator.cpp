@@ -4,13 +4,6 @@
 
 namespace saps::core {
 
-namespace {
-// Wire-size estimates for the control plane: the (W_t, t, s) notification is
-// a peer id + round + seed per worker; ROUND_END is a tag + round.
-constexpr double kNotifyBytes = 24.0;
-constexpr double kRoundEndBytes = 12.0;
-}  // namespace
-
 Coordinator::Coordinator(std::size_t workers,
                          const std::optional<net::BandwidthMatrix>& bandwidth,
                          CoordinatorConfig config)
@@ -62,13 +55,13 @@ RoundPlan Coordinator::begin_round() {
       plan.gossip = gossip::GossipMatrix(match);
     }
   }
-  control_bytes_ += kNotifyBytes * static_cast<double>(workers_);
+  control_bytes_ += kNotifyWireBytes * static_cast<double>(workers_);
   return plan;
 }
 
 void Coordinator::worker_done(std::size_t worker) {
   if (worker >= workers_) throw std::out_of_range("Coordinator::worker_done");
-  control_bytes_ += kRoundEndBytes;
+  control_bytes_ += kRoundEndWireBytes;
 }
 
 void Coordinator::set_active(std::size_t worker, bool active) {

@@ -23,6 +23,14 @@ enum class SelectionStrategy {
   kRandomMatch,        // "RandomChoose" baseline of Fig. 5
 };
 
+/// Control-plane wire sizes.  The (W_t, t, s) notification is a peer id +
+/// round + seed per worker; ROUND_END is a tag + round + rank.  Pinned equal
+/// to net::NotifyMsg/RoundEndMsg encode().size() by
+/// tests/message_plane_test.cpp, so the coordinator's ledger cannot drift
+/// from the encoding.
+inline constexpr double kNotifyWireBytes = 24.0;
+inline constexpr double kRoundEndWireBytes = 12.0;
+
 struct CoordinatorConfig {
   SelectionStrategy strategy = SelectionStrategy::kAdaptiveBandwidth;
   double bandwidth_threshold = 0.0;  // B_thres; 0 = median auto-threshold

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "compress/mask.hpp"
+#include "net/wire.hpp"
 
 namespace saps::core {
 
@@ -26,6 +27,9 @@ sim::RunResult SapsPsgd::run(sim::Engine& engine) {
   coord_cfg.seed = cfg.seed;
   Coordinator coordinator(n, engine.worker_bandwidth(), coord_cfg);
 
+  auto& fabric = engine.fabric();
+  const std::size_t coord_node = engine.server_node();
+
   std::vector<SapsWorker> workers;
   workers.reserve(n);
   for (std::size_t w = 0; w < n; ++w) {
@@ -42,45 +46,68 @@ sim::RunResult SapsPsgd::run(sim::Engine& engine) {
     for (std::size_t step = 0; step < steps; ++step) {
       if (config_.on_round) config_.on_round(round, coordinator, engine);
 
-      // Algorithm 1 lines 4-6: W_t, t, s broadcast.
+      // Algorithm 1 lines 4-6: the coordinator decides (W_t, t, s) and
+      // broadcasts one NotifyMsg per worker over the control plane.
       const RoundPlan plan = coordinator.begin_round();
       if (engine.network().has_bandwidth()) {
         selection_bandwidth_.push_back(
             coordinator.bottleneck_bandwidth(plan.gossip));
+      }
+      for (std::size_t w = 0; w < n; ++w) {
+        net::NotifyMsg note;
+        note.round = static_cast<std::uint32_t>(plan.round);
+        note.mask_seed = plan.mask_seed;
+        note.peer = static_cast<std::uint32_t>(plan.gossip.peer(w));
+        fabric.send_control(coord_node, w, note);
+      }
+      // Algorithm 2 line 6: active workers decode their notification (the
+      // drain skips notifies queued while a worker was away).
+      for (std::size_t w = 0; w < n; ++w) {
+        if (coordinator.active(w)) {
+          workers[w].begin_round(fabric,
+                                 static_cast<std::uint32_t>(plan.round));
+        }
       }
 
       // Algorithm 2 line 5: local SGD on every active worker.
       engine.for_each_worker(
           [&](std::size_t w) { workers[w].local_train(epoch); });
 
-      // Lines 6-10: mask, exchange with peer, merge.
+      // Lines 6-10: regenerate the shared mask, exchange MaskedModelMsgs
+      // with the matched peer over the fabric, merge.
       const auto mask =
           compress::bernoulli_mask(plan.mask_seed, dim, config_.compression);
-      const double wire = SapsWorker::message_bytes(
-          compress::mask_popcount(mask));
       const auto pairs = plan.gossip.pairs();
 
-      auto& net = engine.network();
-      net.start_round();
-      for (const auto& [i, j] : pairs) {
-        net.transfer(i, j, wire);
-        net.transfer(j, i, wire);
+      fabric.begin_round();
+      for (std::size_t w = 0; w < n; ++w) {
+        if (coordinator.active(w)) fabric.compute(w);
       }
-      net.finish_round();
-
-      // The matching is disjoint, so each pair's extract-and-merge touches
-      // only its own two workers and parallelizes without races.
+      // The matching is disjoint, so each pair's send/receive/merge touches
+      // only its own two workers and mailboxes and parallelizes without
+      // races; the traffic charges are staged per source and applied in
+      // fixed order at end_round.
       engine.parallel_for(pairs.size(), [&](std::size_t k) {
         const auto [i, j] = pairs[k];
-        auto vi = workers[i].sparsified_model(mask);
-        auto vj = workers[j].sparsified_model(mask);
-        workers[i].merge_peer(mask, vj);
-        workers[j].merge_peer(mask, vi);
+        workers[i].send_model(fabric, mask);
+        workers[j].send_model(fabric, mask);
+        workers[i].receive_and_merge(fabric, mask);
+        workers[j].receive_and_merge(fabric, mask);
       });
+      fabric.end_round();
 
-      // Line 11: ROUND_END notifications.
+      // Line 11: ROUND_END notifications back over the control plane.
       for (std::size_t w = 0; w < n; ++w) {
-        if (coordinator.active(w)) coordinator.worker_done(w);
+        if (coordinator.active(w)) {
+          net::RoundEndMsg done;
+          done.round = static_cast<std::uint32_t>(plan.round);
+          done.rank = static_cast<std::uint32_t>(w);
+          fabric.send_control(w, coord_node, done);
+        }
+      }
+      while (auto env = fabric.recv(coord_node)) {
+        const auto done = net::RoundEndMsg::decode(env->payload);
+        coordinator.worker_done(done.rank);
       }
 
       ++round;
@@ -97,11 +124,23 @@ sim::RunResult SapsPsgd::run(sim::Engine& engine) {
 
   // Algorithm 1 line 8 / Algorithm 2 line 12: the coordinator collects one
   // full model at the end of training (Table I's server cost of N).
-  auto& net = engine.network();
-  net.start_round();
-  net.transfer(0, engine.server_node(),
-               algos::dense_model_bytes(dim));
-  net.finish_round();
+  fabric.begin_round();
+  {
+    net::FullModelMsg final_model;
+    final_model.rank = 0;
+    const auto p = engine.params(0);
+    final_model.params.assign(p.begin(), p.end());
+    fabric.send(0, coord_node, final_model);
+  }
+  fabric.end_round();
+  if (const auto env = fabric.recv(coord_node)) {
+    const auto collected = net::FullModelMsg::decode(env->payload);
+    if (collected.params.size() != dim) {
+      throw std::logic_error("SapsPsgd: bad final model collection");
+    }
+  } else {
+    throw std::logic_error("SapsPsgd: final model not delivered");
+  }
 
   control_bytes_ = coordinator.control_bytes();
   return result;

@@ -1,8 +1,9 @@
 // The SAPS-PSGD worker — Algorithm 2.
 //
-// Per round, a worker: runs local mini-batch SGD (line 5), regenerates the
-// shared mask from the coordinator's seed (line 6), extracts its sparsified
-// model x̃ = x ∘ m_t (line 7), exchanges it with the peer named by W_t
+// Per round, a worker: runs local mini-batch SGD (line 5), decodes the
+// coordinator's NotifyMsg to learn its peer and the shared mask seed
+// (line 6), extracts its sparsified model x̃ = x ∘ m_t (line 7), exchanges it
+// with the peer as an encoded MaskedModelMsg over the engine's fabric
 // (lines 8–9) and merges per Eq. (7): the masked coordinates become the
 // pairwise average, the rest keep the local value (line 10).
 #pragma once
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "compress/mask.hpp"
+#include "net/wire.hpp"
 #include "sim/engine.hpp"
 
 namespace saps::core {
@@ -24,6 +26,26 @@ class SapsWorker {
 
   /// Algorithm 2 line 5: one local mini-batch SGD step.  Returns the loss.
   double local_train(std::size_t epoch);
+
+  /// Line 6: drains this worker's mailbox for the coordinator's NotifyMsg of
+  /// `round` (skipping stale notifications queued while the worker was
+  /// inactive) and stores the peer + mask seed.  Throws if the notification
+  /// is missing.
+  void begin_round(sim::Fabric& fabric, std::uint32_t round);
+
+  /// The peer announced by the last begin_round (== rank when unmatched).
+  [[nodiscard]] std::size_t peer() const noexcept { return peer_; }
+  /// The shared mask seed announced by the last begin_round.
+  [[nodiscard]] std::uint64_t mask_seed() const noexcept { return mask_seed_; }
+
+  /// Lines 7–9 (send half): extracts the sparsified model under `mask` and
+  /// ships it to the announced peer as an encoded MaskedModelMsg.
+  void send_model(sim::Fabric& fabric, std::span<const std::uint8_t> mask);
+
+  /// Lines 9–10 (receive half): pops the peer's MaskedModelMsg, checks it
+  /// carries this round's mask seed, and applies the Eq. (7) merge.
+  void receive_and_merge(sim::Fabric& fabric,
+                         std::span<const std::uint8_t> mask);
 
   /// Lines 6–7: the sparsified model for this round's mask.
   [[nodiscard]] std::vector<float> sparsified_model(
@@ -42,6 +64,9 @@ class SapsWorker {
   sim::Engine* engine_;
   std::size_t rank_;
   double compression_;
+  std::size_t peer_ = 0;
+  std::uint64_t mask_seed_ = 0;
+  std::uint32_t round_ = 0;
 };
 
 }  // namespace saps::core

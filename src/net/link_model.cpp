@@ -1,0 +1,205 @@
+#include "net/link_model.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace saps::net {
+
+LinkModel::LinkModel(std::size_t workers, LinkOptions options)
+    : workers_(workers),
+      options_(options),
+      up_(workers, 0.0),
+      down_(workers, 0.0),
+      ready_(workers, 0.0) {
+  if (workers < 2) throw std::invalid_argument("LinkModel: need >= 2 workers");
+}
+
+LinkModel::LinkModel(BandwidthMatrix bandwidth, LinkOptions options)
+    : workers_(bandwidth.size()),
+      options_(options),
+      bandwidth_(std::move(bandwidth)),
+      up_(workers_, 0.0),
+      down_(workers_, 0.0),
+      ready_(workers_, 0.0) {}
+
+const BandwidthMatrix& LinkModel::bandwidth() const {
+  if (!bandwidth_) throw std::logic_error("LinkModel: no bandwidth matrix");
+  return *bandwidth_;
+}
+
+void LinkModel::start_round() {
+  if (in_round_) throw std::logic_error("LinkModel: round already open");
+  in_round_ = true;
+  pending_.clear();
+  std::fill(ready_.begin(), ready_.end(), 0.0);
+}
+
+void LinkModel::compute(std::size_t node, double seconds) {
+  if (!in_round_) throw std::logic_error("LinkModel: compute outside round");
+  if (node >= workers_) throw std::out_of_range("LinkModel::compute");
+  if (seconds < 0.0) throw std::invalid_argument("LinkModel: negative compute");
+  ready_[node] += seconds;
+}
+
+double LinkModel::modeled_compute(std::size_t node) const {
+  if (node >= workers_) throw std::out_of_range("LinkModel::modeled_compute");
+  if (options_.compute_base_seconds <= 0.0 &&
+      options_.compute_jitter_seconds <= 0.0) {
+    return 0.0;
+  }
+  double t = options_.compute_base_seconds;
+  if (options_.compute_jitter_seconds > 0.0) {
+    Rng rng(derive_seed(options_.compute_seed, rounds_, node));
+    t += options_.compute_jitter_seconds * rng.next_double();
+  }
+  return t;
+}
+
+void LinkModel::transfer(std::size_t src, std::size_t dst, double bytes) {
+  if (!in_round_) throw std::logic_error("LinkModel: transfer outside round");
+  if (src >= workers_ || dst >= workers_ || src == dst) {
+    throw std::invalid_argument("LinkModel: bad endpoints");
+  }
+  if (bytes < 0.0) throw std::invalid_argument("LinkModel: negative bytes");
+  if (bytes == 0.0) return;
+  up_[src] += bytes;
+  down_[dst] += bytes;
+  pending_.push_back({src, dst, bytes});
+}
+
+double LinkModel::finish_round() {
+  if (!in_round_) throw std::logic_error("LinkModel: no open round");
+  in_round_ = false;
+  ++rounds_;
+
+  // Legacy fast path: with no latency/compute events the timeline is the old
+  // synchronous-round model, and bit-identity with it matters (regression
+  // pins); keep the arithmetic shape identical.
+  if ((!bandwidth_ || pending_.empty()) && !timing_extras()) {
+    round_bottleneck_.push_back(0.0);
+    round_mean_.push_back(0.0);
+    return 0.0;
+  }
+
+  double round_seconds = 0.0;
+  // Compute-only critical path: a straggler that sends nothing still holds
+  // the synchronous round open.
+  for (const double r : ready_) round_seconds = std::max(round_seconds, r);
+
+  double min_bw = std::numeric_limits<double>::infinity();
+  double sum_bw = 0.0;
+  std::set<std::pair<std::size_t, std::size_t>> links;
+  for (const auto& tr : pending_) {
+    // Event chain: serialize-and-send starts once src's compute is done,
+    // the wire adds propagation latency, then bytes drain at link bandwidth;
+    // the merge event at dst fires on arrival.
+    double seconds = ready_[tr.src] + options_.latency_seconds;
+    if (bandwidth_) {
+      const double bw = bandwidth_->get(tr.src, tr.dst);  // MB/s
+      if (bw <= 0.0) {
+        throw std::logic_error("LinkModel: transfer over a zero-bandwidth link");
+      }
+      seconds += tr.bytes / (bw * 1e6);
+      const auto link = std::minmax(tr.src, tr.dst);
+      if (links.insert({link.first, link.second}).second) {
+        min_bw = std::min(min_bw, bw);
+        sum_bw += bw;
+      }
+    }
+    round_seconds = std::max(round_seconds, seconds);
+  }
+  total_seconds_ += round_seconds;
+  if (links.empty()) {
+    round_bottleneck_.push_back(0.0);
+    round_mean_.push_back(0.0);
+  } else {
+    round_bottleneck_.push_back(min_bw);
+    round_mean_.push_back(sum_bw / static_cast<double>(links.size()));
+  }
+  return round_seconds;
+}
+
+double LinkModel::up_bytes(std::size_t worker) const {
+  if (worker >= workers_) throw std::out_of_range("LinkModel::up_bytes");
+  return up_[worker];
+}
+
+double LinkModel::down_bytes(std::size_t worker) const {
+  if (worker >= workers_) throw std::out_of_range("LinkModel::down_bytes");
+  return down_[worker];
+}
+
+double LinkModel::worker_bytes(std::size_t worker) const {
+  return up_bytes(worker) + down_bytes(worker);
+}
+
+void LinkModel::set_stat_worker_count(std::size_t count) {
+  if (count == 0 || count > workers_) {
+    throw std::invalid_argument("LinkModel::set_stat_worker_count");
+  }
+  stat_workers_ = count;
+}
+
+double LinkModel::max_worker_bytes() const {
+  const std::size_t k = stat_workers_ == 0 ? workers_ : stat_workers_;
+  double best = 0.0;
+  for (std::size_t w = 0; w < k; ++w) {
+    best = std::max(best, worker_bytes(w));
+  }
+  return best;
+}
+
+double LinkModel::mean_worker_bytes() const {
+  const std::size_t k = stat_workers_ == 0 ? workers_ : stat_workers_;
+  double sum = 0.0;
+  for (std::size_t w = 0; w < k; ++w) sum += worker_bytes(w);
+  return sum / static_cast<double>(k);
+}
+
+BandwidthMatrix with_virtual_server(const BandwidthMatrix& bw) {
+  const std::size_t n = bw.size();
+  const std::size_t best = best_server_node(bw);
+  BandwidthMatrix out(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      out.set(i, j, bw.get(i, j));
+      out.set(j, i, bw.get(j, i));
+    }
+  }
+  double best_link = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == best) continue;
+    best_link = std::max(best_link, bw.get(best, j));
+    out.set(n, j, bw.get(best, j));
+    out.set(j, n, bw.get(best, j));
+  }
+  // The best worker itself talks to the co-located server at its fastest
+  // external link speed.
+  out.set(n, best, best_link);
+  out.set(best, n, best_link);
+  return out;
+}
+
+std::size_t best_server_node(const BandwidthMatrix& bw) {
+  const std::size_t n = bw.size();
+  std::size_t best = 0;
+  double best_mean = -1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) sum += bw.get(i, j);
+    }
+    const double mean = sum / static_cast<double>(n - 1);
+    if (mean > best_mean) {
+      best_mean = mean;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace saps::net

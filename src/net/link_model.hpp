@@ -1,17 +1,32 @@
-// Communication accounting: per-worker traffic, simulated transfer time and
-// per-round bottleneck bandwidth.
+// Event-driven link model: per-round traffic, latency-aware transfer timing
+// and a per-worker compute-time (straggler) model on top of the bandwidth
+// matrix.  Replaces the old synchronous-round NetworkSim.
 //
 // The paper reports three network-level quantities, all reproduced from this
 // accounting layer:
 //  - Fig. 4 / Table IV "traffic": cumulative bytes sent+received per worker;
 //  - Fig. 5 "bandwidth utilization": per-round bottleneck (minimum) bandwidth
 //    over the links active in that round;
-//  - Fig. 6 / Table IV "communication time": rounds are synchronous, so the
-//    round's elapsed time is the maximum over its concurrent transfers of
-//    bytes / link bandwidth (full-duplex links).
+//  - Fig. 6 / Table IV "communication time": the round's elapsed time.
+//
+// Round time is the critical path over a small event timeline.  Within one
+// start_round()/finish_round() window each node first finishes its local
+// compute (compute() events raise its ready time), then its outgoing
+// transfers start; a transfer src → dst completes at
+//
+//   ready(src) + latency(src,dst) + bytes / bandwidth(src,dst)
+//
+// and the receiver's merge fires on arrival (merges are zero-cost events —
+// they mark the end of the path).  The round's elapsed time is the maximum
+// over all transfer completions and all compute finishes.  With zero latency
+// and no compute events this degenerates EXACTLY to the old model (max over
+// concurrent transfers of bytes/bandwidth), which is the backward-compatible
+// default: zero-latency, uniform-compute runs are bit-identical to the
+// pre-event-model accounting (pinned by tests/regression_metrics_test.cpp).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -19,17 +34,31 @@
 
 namespace saps::net {
 
-class NetworkSim {
+/// Timing knobs of the event timeline.  All-zero (the default) reproduces
+/// the legacy zero-latency synchronous-round accounting bit-for-bit.
+struct LinkOptions {
+  /// One-way propagation latency added to every transfer, seconds.
+  double latency_seconds = 0.0;
+  /// Deterministic per-round local-compute cost of every worker, seconds.
+  double compute_base_seconds = 0.0;
+  /// Straggler jitter: worker w's compute in round r is
+  /// compute_base + compute_jitter · u01(compute_seed, r, w).
+  double compute_jitter_seconds = 0.0;
+  std::uint64_t compute_seed = 0x57a6;
+};
+
+class LinkModel {
  public:
-  /// Without a bandwidth matrix only traffic is tracked (time/bandwidth
-  /// queries throw).
-  explicit NetworkSim(std::size_t workers);
-  explicit NetworkSim(BandwidthMatrix bandwidth);
+  /// Without a bandwidth matrix only traffic (and, when configured, latency
+  /// and compute time) is tracked; bandwidth queries throw.
+  explicit LinkModel(std::size_t workers, LinkOptions options = {});
+  explicit LinkModel(BandwidthMatrix bandwidth, LinkOptions options = {});
 
   [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
   [[nodiscard]] bool has_bandwidth() const noexcept {
     return bandwidth_.has_value();
   }
+  [[nodiscard]] const LinkOptions& options() const noexcept { return options_; }
 
   /// Restricts the per-worker statistics (mean/max worker bytes) to the
   /// first `count` nodes — used when the node set includes a virtual
@@ -41,12 +70,22 @@ class NetworkSim {
   /// are considered concurrent.
   void start_round();
 
+  /// Raises node's ready time by `seconds` of local compute; its transfers
+  /// in this round start no earlier than its ready time.
+  void compute(std::size_t node, double seconds);
+
+  /// The compute model's cost for `node` in the CURRENT round (base +
+  /// jitter·u01); 0 when the model is disabled.  Deterministic in
+  /// (compute_seed, rounds(), node).
+  [[nodiscard]] double modeled_compute(std::size_t node) const;
+
   /// Records a directional transfer src → dst of `bytes` within the current
   /// round.  src == dst is invalid.
   void transfer(std::size_t src, std::size_t dst, double bytes);
 
-  /// Ends the round.  Returns the round's elapsed seconds (0 without a
-  /// bandwidth matrix or when nothing was sent).
+  /// Ends the round.  Returns the round's elapsed seconds: the event-
+  /// timeline critical path (0 when nothing was sent, no latency/compute is
+  /// configured, or no bandwidth matrix is present in the legacy mode).
   double finish_round();
 
   // --- cumulative statistics -----------------------------------------------
@@ -71,6 +110,12 @@ class NetworkSim {
   }
 
  private:
+  [[nodiscard]] bool timing_extras() const noexcept {
+    return options_.latency_seconds > 0.0 ||
+           options_.compute_base_seconds > 0.0 ||
+           options_.compute_jitter_seconds > 0.0;
+  }
+
   struct Transfer {
     std::size_t src, dst;
     double bytes;
@@ -78,8 +123,10 @@ class NetworkSim {
 
   std::size_t workers_;
   std::size_t stat_workers_ = 0;  // 0 = all
+  LinkOptions options_;
   std::optional<BandwidthMatrix> bandwidth_;
   std::vector<double> up_, down_;
+  std::vector<double> ready_;  // per-node compute-finish time, current round
   std::vector<Transfer> pending_;
   bool in_round_ = false;
   double total_seconds_ = 0.0;

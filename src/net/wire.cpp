@@ -1,15 +1,20 @@
 #include "net/wire.hpp"
 
+#include <cmath>
 #include <cstring>
 
 namespace saps::net {
 
 void ByteWriter::u32(std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
 }
 
 void ByteWriter::u64(std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
 }
 
 void ByteWriter::f32(float v) {
@@ -80,30 +85,47 @@ void expect_type(ByteReader& r, MsgType want) {
   const auto got = static_cast<MsgType>(r.u8());
   if (got != want) throw std::invalid_argument("wire: unexpected message type");
 }
+
+void pad(ByteWriter& w, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) w.u8(0);
+}
+
+void skip(ByteReader& r, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) (void)r.u8();
+}
 }  // namespace
 
 std::vector<std::uint8_t> NotifyMsg::encode() const {
+  // type + 3 pad + round + seed + peer + 4 reserved = 24 bytes, the
+  // coordinator's kNotifyWireBytes.
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(MsgType::kNotify));
+  pad(w, 3);
   w.u32(round);
   w.u64(mask_seed);
   w.u32(peer);
+  pad(w, 4);  // reserved
   return w.take();
 }
 
 NotifyMsg NotifyMsg::decode(std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
   expect_type(r, MsgType::kNotify);
+  skip(r, 3);
   NotifyMsg m;
   m.round = r.u32();
   m.mask_seed = r.u64();
   m.peer = r.u32();
+  skip(r, 4);
   return m;
 }
 
 std::vector<std::uint8_t> RoundEndMsg::encode() const {
+  // type + 3 pad + round + rank = 12 bytes, the coordinator's
+  // kRoundEndWireBytes.
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(MsgType::kRoundEnd));
+  pad(w, 3);
   w.u32(round);
   w.u32(rank);
   return w.take();
@@ -112,6 +134,7 @@ std::vector<std::uint8_t> RoundEndMsg::encode() const {
 RoundEndMsg RoundEndMsg::decode(std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
   expect_type(r, MsgType::kRoundEnd);
+  skip(r, 3);
   RoundEndMsg m;
   m.round = r.u32();
   m.rank = r.u32();
@@ -123,9 +146,7 @@ std::vector<std::uint8_t> MaskedModelMsg::encode() const {
   // encoded size equals compress::masked_wire_bytes(values.size()).
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(MsgType::kMaskedModel));
-  w.u8(0);  // reserved
-  w.u8(0);
-  w.u8(0);
+  pad(w, 3);
   w.u32(round);
   w.u64(mask_seed);
   // Count is implied by the remaining length (receiver knows 4-byte floats).
@@ -136,9 +157,7 @@ std::vector<std::uint8_t> MaskedModelMsg::encode() const {
 MaskedModelMsg MaskedModelMsg::decode(std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
   expect_type(r, MsgType::kMaskedModel);
-  (void)r.u8();
-  (void)r.u8();
-  (void)r.u8();
+  skip(r, 3);
   MaskedModelMsg m;
   m.round = r.u32();
   m.mask_seed = r.u64();
@@ -156,9 +175,7 @@ std::vector<std::uint8_t> SparseDeltaMsg::encode() const {
   }
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(MsgType::kSparseDelta));
-  w.u8(0);
-  w.u8(0);
-  w.u8(0);
+  pad(w, 3);
   w.u32(round);
   w.u32(origin);
   w.u32(static_cast<std::uint32_t>(indices.size()));
@@ -170,9 +187,7 @@ std::vector<std::uint8_t> SparseDeltaMsg::encode() const {
 SparseDeltaMsg SparseDeltaMsg::decode(std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
   expect_type(r, MsgType::kSparseDelta);
-  (void)r.u8();
-  (void)r.u8();
-  (void)r.u8();
+  skip(r, 3);
   SparseDeltaMsg m;
   m.round = r.u32();
   m.origin = r.u32();
@@ -187,9 +202,7 @@ SparseDeltaMsg SparseDeltaMsg::decode(std::span<const std::uint8_t> bytes) {
 std::vector<std::uint8_t> FullModelMsg::encode() const {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(MsgType::kFullModel));
-  w.u8(0);
-  w.u8(0);
-  w.u8(0);
+  pad(w, 3);
   w.u32(rank);
   w.u32(static_cast<std::uint32_t>(params.size()));
   w.f32_span(params);
@@ -199,13 +212,97 @@ std::vector<std::uint8_t> FullModelMsg::encode() const {
 FullModelMsg FullModelMsg::decode(std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
   expect_type(r, MsgType::kFullModel);
-  (void)r.u8();
-  (void)r.u8();
-  (void)r.u8();
+  skip(r, 3);
   FullModelMsg m;
   m.rank = r.u32();
   m.params.resize(r.u32());
   r.f32_span(m.params);
+  return m;
+}
+
+std::uint32_t FullModelMsg::peek_rank(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  expect_type(r, MsgType::kFullModel);
+  skip(r, 3);
+  return r.u32();
+}
+
+std::size_t QuantGradMsg::bits_per_coord() const noexcept {
+  // Symbols are the signed levels {-s..s}; 2s+1 of them.
+  const double symbols = 2.0 * static_cast<double>(levels) + 1.0;
+  return static_cast<std::size_t>(std::ceil(std::log2(symbols)));
+}
+
+double QuantGradMsg::wire_bytes() const noexcept {
+  // Identical expression to compress::QsgdEncoded::wire_bytes(): 4-byte norm
+  // + 1-byte levels + ceil(log2(2s+1)) bits per coordinate.
+  const double symbols = 2.0 * static_cast<double>(levels) + 1.0;
+  const double bits = std::ceil(std::log2(symbols));
+  return 5.0 + bits * static_cast<double>(quantized.size()) / 8.0;
+}
+
+std::vector<std::uint8_t> QuantGradMsg::encode() const {
+  if (levels == 0) throw std::invalid_argument("QuantGradMsg: levels == 0");
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kQuantGrad));
+  w.u8(levels);
+  pad(w, 2);
+  w.u32(round);
+  w.u32(origin);
+  w.f32(norm);
+  w.u32(static_cast<std::uint32_t>(quantized.size()));
+  // Bit-pack offset codes (level + s ∈ [0, 2s]), LSB-first within each byte.
+  const std::size_t bits = bits_per_coord();
+  std::uint32_t acc = 0;
+  std::size_t filled = 0;
+  for (const std::int8_t q : quantized) {
+    const int offset = static_cast<int>(q) + static_cast<int>(levels);
+    if (offset < 0 || offset > 2 * static_cast<int>(levels)) {
+      throw std::invalid_argument("QuantGradMsg: level out of range");
+    }
+    acc |= static_cast<std::uint32_t>(offset) << filled;
+    filled += bits;
+    while (filled >= 8) {
+      w.u8(static_cast<std::uint8_t>(acc & 0xFF));
+      acc >>= 8;
+      filled -= 8;
+    }
+  }
+  if (filled > 0) w.u8(static_cast<std::uint8_t>(acc & 0xFF));
+  return w.take();
+}
+
+QuantGradMsg QuantGradMsg::decode(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  expect_type(r, MsgType::kQuantGrad);
+  QuantGradMsg m;
+  m.levels = r.u8();
+  if (m.levels == 0) throw std::invalid_argument("QuantGradMsg: levels == 0");
+  skip(r, 2);
+  m.round = r.u32();
+  m.origin = r.u32();
+  m.norm = r.f32();
+  const std::uint32_t count = r.u32();
+  m.quantized.resize(count);
+  const std::size_t bits = m.bits_per_coord();
+  std::uint32_t acc = 0;
+  std::size_t filled = 0;
+  const std::uint32_t mask = (1u << bits) - 1u;
+  for (auto& q : m.quantized) {
+    while (filled < bits) {
+      acc |= static_cast<std::uint32_t>(r.u8()) << filled;
+      filled += 8;
+    }
+    const int offset = static_cast<int>(acc & mask);
+    acc >>= bits;
+    filled -= bits;
+    const int level = offset - static_cast<int>(m.levels);
+    if (level < -static_cast<int>(m.levels) ||
+        level > static_cast<int>(m.levels)) {
+      throw std::invalid_argument("QuantGradMsg: level out of range");
+    }
+    q = static_cast<std::int8_t>(level);
+  }
   return m;
 }
 

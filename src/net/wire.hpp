@@ -1,10 +1,18 @@
 // Byte-level wire format for every message class in the SAPS-PSGD protocol.
 //
-// The traffic accounting elsewhere in the repo (compress::masked_wire_bytes,
-// SparseVector::wire_bytes, control-plane constants in core/coordinator.cpp)
-// quotes exact byte counts; this module is the encoding that realizes them,
-// and the round-trip tests in tests/wire_test.cpp pin the two layers
-// together.  All integers are little-endian; floats are IEEE-754 binary32.
+// Every inter-node exchange in the simulator flows through sim::Fabric as one
+// of the typed messages below; the fabric charges traffic from each message's
+// wire_bytes().  For the control-plane and sparsified messages (NotifyMsg,
+// RoundEndMsg, MaskedModelMsg, SparseDeltaMsg) the charge IS encode().size()
+// — the cross-check suite in tests/message_plane_test.cpp pins that equality
+// against compress::masked_wire_bytes, SparseVector::wire_bytes and the
+// coordinator control-plane constants across dimensions.  Two message types
+// charge less than their physical encoding, matching the paper's accounting:
+// FullModelMsg charges payload floats only (Table I counts model parameters
+// moved, not framing), and QuantGradMsg charges the information-theoretic
+// sub-byte size of QSGD (the "32x compression" convention).  Both deltas are
+// pinned by test so the charge can never drift from the encoding silently.
+// All integers are little-endian; floats are IEEE-754 binary32.
 #pragma once
 
 #include <cstdint>
@@ -70,22 +78,29 @@ enum class MsgType : std::uint8_t {
   kMaskedModel = 3, // worker ↔ worker: sparsified model x̃    [Alg. 2 line 9]
   kSparseDelta = 4, // DCD/TopK: (index, value) compressed payload
   kFullModel = 5,   // final model collection                 [Alg. 1 line 8]
+  kQuantGrad = 6,   // QSGD: bit-packed signed quantization levels
 };
 
 /// (W_t, t, s) for one worker: its peer for the round plus the shared seed.
+/// Encodes to exactly 24 bytes (= core::kNotifyWireBytes).
 struct NotifyMsg {
   std::uint32_t round = 0;
   std::uint64_t mask_seed = 0;
   std::uint32_t peer = 0;  // == own rank when unmatched this round
 
+  /// Charged wire size; equals encode().size().
+  [[nodiscard]] double wire_bytes() const noexcept { return 24.0; }
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   static NotifyMsg decode(std::span<const std::uint8_t> bytes);
 };
 
+/// Encodes to exactly 12 bytes (= core::kRoundEndWireBytes).
 struct RoundEndMsg {
   std::uint32_t round = 0;
   std::uint32_t rank = 0;
 
+  /// Charged wire size; equals encode().size().
+  [[nodiscard]] double wire_bytes() const noexcept { return 12.0; }
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   static RoundEndMsg decode(std::span<const std::uint8_t> bytes);
 };
@@ -98,6 +113,10 @@ struct MaskedModelMsg {
   std::uint32_t round = 0;
   std::vector<float> values;
 
+  /// Charged wire size; equals encode().size().
+  [[nodiscard]] double wire_bytes() const noexcept {
+    return 16.0 + 4.0 * static_cast<double>(values.size());
+  }
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   static MaskedModelMsg decode(std::span<const std::uint8_t> bytes);
 };
@@ -110,6 +129,10 @@ struct SparseDeltaMsg {
   std::vector<std::uint32_t> indices;
   std::vector<float> values;
 
+  /// Charged wire size; equals encode().size().
+  [[nodiscard]] double wire_bytes() const noexcept {
+    return 16.0 + 8.0 * static_cast<double>(indices.size());
+  }
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   static SparseDeltaMsg decode(std::span<const std::uint8_t> bytes);
 };
@@ -118,8 +141,41 @@ struct FullModelMsg {
   std::uint32_t rank = 0;
   std::vector<float> params;
 
+  /// Charged wire size: payload floats only (the paper's Table I counts
+  /// parameters moved; the 12-byte frame is excluded from accounting).
+  /// encode().size() == wire_bytes() + kFrameBytes, pinned by test.
+  static constexpr std::size_t kFrameBytes = 12;
+  [[nodiscard]] double wire_bytes() const noexcept {
+    return 4.0 * static_cast<double>(params.size());
+  }
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   static FullModelMsg decode(std::span<const std::uint8_t> bytes);
+  /// Sender rank from the fixed-offset frame, without materializing the
+  /// payload — for receivers that only validate provenance.
+  static std::uint32_t peek_rank(std::span<const std::uint8_t> bytes);
+};
+
+/// QSGD quantized gradient: ‖x‖₂ + s + one signed level per coordinate,
+/// bit-packed at ceil(log2(2s+1)) bits.  The CHARGED size is the
+/// information-theoretic compress::QsgdEncoded::wire_bytes() (norm + levels
+/// + packed bits, fractional bytes allowed); the physical encoding
+/// byte-aligns the bit stream and adds a frame, so encode().size() ==
+/// 20 + ceil(bits·n/8) — the delta is pinned by test.
+struct QuantGradMsg {
+  std::uint32_t round = 0;
+  std::uint32_t origin = 0;
+  float norm = 0.0f;
+  std::uint8_t levels = 0;                 // s; must be >= 1 to encode
+  std::vector<std::int8_t> quantized;      // signed level per coordinate
+
+  // type + levels + 2 pad + round + origin + norm + count.
+  static constexpr std::size_t kFrameBytes = 20;
+  [[nodiscard]] std::size_t bits_per_coord() const noexcept;
+  /// Charged wire size; equals compress::QsgdEncoded::wire_bytes() for the
+  /// same (levels, coordinate count).
+  [[nodiscard]] double wire_bytes() const noexcept;
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static QuantGradMsg decode(std::span<const std::uint8_t> bytes);
 };
 
 /// First byte of every encoded message.

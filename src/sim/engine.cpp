@@ -14,6 +14,24 @@ const MetricPoint* RunResult::first_reaching(double accuracy) const {
   return nullptr;
 }
 
+namespace {
+net::LinkModel make_link(const SimConfig& config,
+                         const std::optional<net::BandwidthMatrix>& bandwidth) {
+  if (config.link_latency_seconds < 0.0 || config.compute_base_seconds < 0.0 ||
+      config.compute_jitter_seconds < 0.0) {
+    throw std::invalid_argument("Engine: negative timing knob");
+  }
+  net::LinkOptions opts;
+  opts.latency_seconds = config.link_latency_seconds;
+  opts.compute_base_seconds = config.compute_base_seconds;
+  opts.compute_jitter_seconds = config.compute_jitter_seconds;
+  opts.compute_seed = derive_seed(config.seed, 0xc0de);
+  return bandwidth
+             ? net::LinkModel(net::with_virtual_server(*bandwidth), opts)
+             : net::LinkModel(config.workers + 1, opts);
+}
+}  // namespace
+
 Engine::Engine(SimConfig config, const data::Dataset& train,
                const data::Dataset& test, const ModelFactory& factory,
                std::optional<net::BandwidthMatrix> bandwidth)
@@ -21,13 +39,12 @@ Engine::Engine(SimConfig config, const data::Dataset& train,
       factory_(factory),
       test_(&test),
       active_(config_.workers, 1),
-      net_(bandwidth ? net::NetworkSim(net::with_virtual_server(*bandwidth))
-                     : net::NetworkSim(config_.workers + 1)) {
+      fabric_(make_link(config_, bandwidth)) {
   if (config_.workers < 2) throw std::invalid_argument("Engine: workers < 2");
-  if (net_.workers() != config_.workers + 1) {
+  if (fabric_.nodes() != config_.workers + 1) {
     throw std::invalid_argument("Engine: bandwidth matrix size != workers");
   }
-  net_.set_stat_worker_count(config_.workers);
+  network().set_stat_worker_count(config_.workers);
 
   // Partition the training data.
   std::vector<std::vector<std::size_t>> parts;
@@ -91,8 +108,9 @@ std::size_t Engine::shard_size(std::size_t w) const {
 }
 
 std::optional<net::BandwidthMatrix> Engine::worker_bandwidth() const {
-  if (!net_.has_bandwidth()) return std::nullopt;
-  const auto& full = net_.bandwidth();
+  const auto& link = fabric_.link();
+  if (!link.has_bandwidth()) return std::nullopt;
+  const auto& full = link.bandwidth();
   net::BandwidthMatrix out(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
     for (std::size_t j = 0; j < config_.workers; ++j) {
@@ -240,25 +258,35 @@ MetricPoint Engine::eval_point(std::size_t round, double epoch,
   // running statistics (locally trained buffer state, as in the serial
   // single-model path).
   auto& model = *models_.front();
-  if (pool_ && batches > 1) {
-    // Parallel path: per-thread factory clones evaluate disjoint contiguous
-    // batch ranges; partials are reduced below in batch order, so the result
-    // is bit-identical to the serial path.
-    if (eval_models_.empty()) {
-      eval_models_.reserve(pool_->size());
-      for (std::size_t t = 0; t < pool_->size(); ++t) {
-        eval_models_.push_back(std::make_unique<nn::Model>(factory_()));
-      }
+  const std::size_t blocks =
+      pool_ ? std::min({batches, pool_->size(), kMaxEvalClones})
+            : std::size_t{1};
+  if (blocks > 1) {
+    // Parallel path: worker 0's model (block 0, reusing its activation
+    // scratch) plus at most kMaxEvalClones - 1 factory clones evaluate
+    // disjoint contiguous batch ranges — memory stays bounded no matter how
+    // large the pool is.  Partials are reduced below in batch order, so the
+    // result is bit-identical to the serial path.
+    while (eval_models_.size() < blocks - 1) {
+      eval_models_.push_back(std::make_unique<nn::Model>(factory_()));
     }
     const auto buffers = model.buffers();
-    pool_->parallel_chunks(
-        batches, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-          auto& clone = *eval_models_[chunk];
-          const auto live = clone.parameters();
-          std::copy(params.begin(), params.end(), live.begin());
-          clone.set_buffers(buffers);
-          eval_batches(clone, begin, end, losses, corrects, seens);
-        });
+    const auto live = model.parameters();
+    std::vector<float> saved(live.begin(), live.end());
+    std::copy(params.begin(), params.end(), live.begin());
+    pool_->parallel_for(blocks, [&](std::size_t b) {
+      const std::size_t begin = b * batches / blocks;
+      const std::size_t end = (b + 1) * batches / blocks;
+      nn::Model* m = &model;
+      if (b > 0) {
+        m = eval_models_[b - 1].get();
+        const auto clone_live = m->parameters();
+        std::copy(params.begin(), params.end(), clone_live.begin());
+        m->set_buffers(buffers);
+      }
+      eval_batches(*m, begin, end, losses, corrects, seens);
+    });
+    std::copy(saved.begin(), saved.end(), live.begin());
   } else {
     // Serial path: evaluate through worker 0's model directly (parameters
     // are swapped in and restored).
@@ -282,8 +310,8 @@ MetricPoint Engine::eval_point(std::size_t round, double epoch,
   p.epoch = epoch;
   p.loss = loss_sum / static_cast<double>(std::max<std::size_t>(1, batches));
   p.accuracy = static_cast<double>(correct) / static_cast<double>(seen);
-  p.worker_mb = net_.mean_worker_bytes() / 1e6;
-  p.comm_seconds = net_.total_seconds();
+  p.worker_mb = fabric_.link().mean_worker_bytes() / 1e6;
+  p.comm_seconds = fabric_.link().total_seconds();
   return p;
 }
 

@@ -3,8 +3,9 @@
 // The engine owns what every algorithm in the paper's comparison needs:
 // per-worker model replicas (identical initialization, as the analysis
 // assumes), per-worker data shards and samplers, per-worker SGD state, the
-// test set, and a NetworkSim for traffic/time accounting.  Algorithms
-// (src/algos, src/core) drive it round by round.
+// test set, and the message plane — a sim::Fabric routing encoded wire
+// messages over an event-driven net::LinkModel for traffic/time accounting.
+// Algorithms (src/algos, src/core) drive it round by round.
 //
 // Substitution note (DESIGN.md §1): this replaces the paper's 32 TCP-connected
 // machines.  All reported quantities are functions of round-level state, which
@@ -21,9 +22,10 @@
 #include <vector>
 
 #include "data/dataset.hpp"
-#include "net/netsim.hpp"
+#include "net/link_model.hpp"
 #include "nn/model.hpp"
 #include "nn/sgd.hpp"
+#include "sim/fabric.hpp"
 #include "util/threadpool.hpp"
 
 namespace saps::sim {
@@ -50,6 +52,12 @@ struct SimConfig {
   // threads.  Results are bit-identical for every value (see
   // docs/ARCHITECTURE.md, "Threading model").
   std::size_t threads = 0;
+  // Message-plane timing knobs (net::LinkOptions).  The all-zero defaults
+  // reproduce the legacy zero-latency synchronous-round accounting
+  // bit-for-bit; see docs/ARCHITECTURE.md, "Message plane".
+  double link_latency_seconds = 0.0;    // one-way per-transfer latency
+  double compute_base_seconds = 0.0;    // per-round local-compute cost
+  double compute_jitter_seconds = 0.0;  // straggler jitter amplitude
 };
 
 /// One point of a training curve — the row format behind Figs. 3, 4, 6 and
@@ -95,7 +103,11 @@ class Engine {
   [[nodiscard]] std::span<float> params(std::size_t w) {
     return models_.at(w)->parameters();
   }
-  [[nodiscard]] net::NetworkSim& network() noexcept { return net_; }
+  /// The message plane: every inter-node exchange flows through here as an
+  /// encoded wire message (mailbox delivery + staged accounting).
+  [[nodiscard]] Fabric& fabric() noexcept { return fabric_; }
+  /// The fabric's accounting backend (traffic/time statistics).
+  [[nodiscard]] net::LinkModel& network() noexcept { return fabric_.link(); }
 
   /// Node index of the virtual parameter server (= workers()); used by the
   /// centralized baselines for traffic/time accounting.
@@ -193,12 +205,15 @@ class Engine {
   std::vector<std::unique_ptr<nn::Model>> models_;
   std::vector<std::unique_ptr<nn::Sgd>> optimizers_;
   std::vector<std::uint8_t> active_;
-  net::NetworkSim net_;
+  Fabric fabric_;
   std::size_t steps_per_epoch_ = 0;
   std::unique_ptr<ThreadPool> pool_;
-  // Lazily built factory clones, one per pool thread, used to evaluate test
-  // batches in parallel; each gets worker 0's parameters and buffers copied
-  // in before use so results match the serial path bit-for-bit.
+  // Parallel evaluation runs on worker 0's model (sharing its existing
+  // activation scratch) plus at most kMaxEvalClones - 1 lazily built factory
+  // clones — NOT one clone per pool thread; each clone gets worker 0's
+  // parameters and buffers copied in before use so results match the serial
+  // path bit-for-bit.
+  static constexpr std::size_t kMaxEvalClones = 4;
   std::vector<std::unique_ptr<nn::Model>> eval_models_;
 
   // Per-worker batch scratch (needed for thread-parallel local steps).

@@ -1,0 +1,115 @@
+// The message plane: a router through which every inter-worker and
+// worker↔coordinator exchange flows as an ENCODED wire message
+// (net/wire.hpp), with traffic charged from the message's own wire_bytes()
+// instead of hand-computed byte constants at call sites.
+//
+// The fabric composes the two existing transport layers:
+//  - sim::Transport is the DELIVERY backend: send() serializes the message
+//    and places the bytes in the destination mailbox; receivers decode with
+//    the matching MsgType.
+//  - net::LinkModel is the ACCOUNTING backend: charges are staged per source
+//    during the round and applied in fixed (source, send-order) order at
+//    end_round(), so traffic sums and the event-timeline round time are
+//    bit-identical for every thread count.
+//
+// Concurrency contract (mirrors docs/ARCHITECTURE.md "Threading model"):
+// data-plane send()/recv() may be called from engine parallel sections as
+// long as each task owns a DISJOINT set of source nodes (and of receiving
+// mailboxes) — e.g. one task per gossip pair or per worker.  Mailbox
+// delivery is internally thread-safe; the per-source staging lanes are
+// race-free exactly under that ownership discipline.  The control plane
+// (send_control) is serial coordinator-side code; control bytes are counted
+// separately and never enter worker traffic or round time, matching the
+// paper's accounting (control traffic is reported only to show it is
+// negligible).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/link_model.hpp"
+#include "sim/transport.hpp"
+
+namespace saps::sim {
+
+class Fabric {
+ public:
+  explicit Fabric(net::LinkModel link);
+
+  [[nodiscard]] std::size_t nodes() const noexcept { return link_.workers(); }
+  [[nodiscard]] net::LinkModel& link() noexcept { return link_; }
+  [[nodiscard]] const net::LinkModel& link() const noexcept { return link_; }
+  [[nodiscard]] Transport& transport() noexcept { return transport_; }
+
+  /// Opens a communication round on the link model and clears the lanes.
+  void begin_round();
+
+  /// Charges node's modeled local-compute time (LinkOptions) to the current
+  /// round; a no-op when the compute model is disabled.  Callable from
+  /// parallel sections under the per-node ownership discipline.
+  void compute(std::size_t node);
+
+  /// Data plane: encodes, delivers to dst's mailbox, and stages a traffic
+  /// charge of msg.wire_bytes() on src's lane.
+  template <typename Msg>
+  void send(std::size_t src, std::size_t dst, const Msg& msg) {
+    post(src, dst, msg.wire_bytes(), msg.encode());
+  }
+
+  /// As send() to every destination in `dsts`: encodes ONCE and reuses the
+  /// bytes (each mailbox still gets its own copy); the per-recipient charge
+  /// is unchanged.  Use when one payload fans out — ring neighbors, server
+  /// broadcasts.
+  template <typename Msg>
+  void multicast(std::size_t src, std::span<const std::size_t> dsts,
+                 const Msg& msg) {
+    if (dsts.empty()) return;
+    const double charged = msg.wire_bytes();
+    auto bytes = msg.encode();
+    for (std::size_t k = 0; k + 1 < dsts.size(); ++k) {
+      post(src, dsts[k], charged, bytes);  // copies
+    }
+    post(src, dsts.back(), charged, std::move(bytes));
+  }
+
+  /// Control plane: encodes and delivers like send(), but charges
+  /// msg.wire_bytes() to the control-byte counter only — control messages
+  /// never enter worker traffic statistics or round time.  Serial only.
+  template <typename Msg>
+  void send_control(std::size_t src, std::size_t dst, const Msg& msg) {
+    post_control(src, dst, msg.wire_bytes(), msg.encode());
+  }
+
+  /// Non-blocking mailbox pop for `node`; nullopt when empty.
+  [[nodiscard]] std::optional<Envelope> recv(std::size_t node);
+
+  /// Closes the round: applies staged compute and transfer charges to the
+  /// link model in fixed (node, then per-source send order) order and
+  /// returns the round's event-timeline seconds.
+  double end_round();
+
+  /// Cumulative control-plane bytes (both directions).
+  [[nodiscard]] double control_bytes() const noexcept { return control_bytes_; }
+
+ private:
+  struct Staged {
+    std::size_t dst;
+    double bytes;
+  };
+
+  void post(std::size_t src, std::size_t dst, double charged,
+            std::vector<std::uint8_t> payload);
+  void post_control(std::size_t src, std::size_t dst, double charged,
+                    std::vector<std::uint8_t> payload);
+
+  net::LinkModel link_;
+  Transport transport_;
+  std::vector<std::vector<Staged>> lanes_;  // per-source data-plane charges
+  std::vector<double> compute_staged_;      // per-node compute seconds
+  double control_bytes_ = 0.0;
+  bool in_round_ = false;
+};
+
+}  // namespace saps::sim

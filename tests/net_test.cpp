@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "net/bandwidth.hpp"
-#include "net/netsim.hpp"
+#include "net/link_model.hpp"
 
 namespace saps::net {
 namespace {
@@ -59,8 +59,8 @@ TEST(RandomBandwidth, Deterministic) {
   EXPECT_DOUBLE_EQ(a.get(2, 5), b.get(2, 5));
 }
 
-TEST(NetworkSim, TrafficAccounting) {
-  NetworkSim sim(4);
+TEST(LinkModel, TrafficAccounting) {
+  LinkModel sim(4);
   sim.start_round();
   sim.transfer(0, 1, 100.0);
   sim.transfer(1, 0, 50.0);
@@ -74,7 +74,7 @@ TEST(NetworkSim, TrafficAccounting) {
   EXPECT_EQ(sim.rounds(), 1u);
 }
 
-TEST(NetworkSim, RoundTimeIsMaxTransfer) {
+BandwidthMatrix three_node_matrix() {
   BandwidthMatrix b(3);
   b.set(0, 1, 1.0);  // 1 MB/s
   b.set(1, 0, 1.0);
@@ -82,7 +82,11 @@ TEST(NetworkSim, RoundTimeIsMaxTransfer) {
   b.set(2, 0, 10.0);
   b.set(1, 2, 10.0);
   b.set(2, 1, 10.0);
-  NetworkSim sim(std::move(b));
+  return b;
+}
+
+TEST(LinkModel, ZeroLatencyRoundTimeIsMaxTransfer) {
+  LinkModel sim(three_node_matrix());
   sim.start_round();
   sim.transfer(0, 1, 1e6);  // 1 s on the slow link
   sim.transfer(0, 2, 1e6);  // 0.1 s
@@ -93,20 +97,90 @@ TEST(NetworkSim, RoundTimeIsMaxTransfer) {
   EXPECT_NEAR(sim.round_mean_mbps().back(), 5.5, 1e-12);
 }
 
-TEST(NetworkSim, ProtocolErrors) {
-  NetworkSim sim(3);
+TEST(LinkModel, LatencyExtendsEveryTransfer) {
+  LinkOptions opts;
+  opts.latency_seconds = 0.25;
+  LinkModel sim(three_node_matrix(), opts);
+  sim.start_round();
+  sim.transfer(0, 1, 1e6);  // 0.25 + 1.0
+  sim.transfer(0, 2, 1e6);  // 0.25 + 0.1
+  EXPECT_NEAR(sim.finish_round(), 1.25, 1e-12);
+}
+
+TEST(LinkModel, LatencyCountsWithoutBandwidthMatrix) {
+  // Traffic-only mode used to report zero time; with latency configured the
+  // propagation delay still bounds the round.
+  LinkOptions opts;
+  opts.latency_seconds = 0.5;
+  LinkModel sim(std::size_t{3}, opts);
+  sim.start_round();
+  sim.transfer(0, 1, 123.0);
+  EXPECT_NEAR(sim.finish_round(), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(sim.round_bottleneck_mbps().back(), 0.0);
+}
+
+TEST(LinkModel, ComputeDelaysTransferStart) {
+  LinkModel sim(three_node_matrix());
+  sim.start_round();
+  sim.compute(0, 2.0);       // node 0 is a straggler
+  sim.transfer(0, 2, 1e6);   // starts at 2.0, drains in 0.1
+  sim.transfer(1, 2, 1e6);   // starts at 0, drains in 0.1
+  EXPECT_NEAR(sim.finish_round(), 2.1, 1e-12);
+}
+
+TEST(LinkModel, ComputeOnlyRoundHoldsTheClock) {
+  // A straggler that sends nothing still holds the synchronous round open.
+  LinkModel sim(three_node_matrix());
+  sim.start_round();
+  sim.compute(1, 3.0);
+  sim.transfer(0, 2, 1e6);  // 0.1 s
+  EXPECT_NEAR(sim.finish_round(), 3.0, 1e-12);
+}
+
+TEST(LinkModel, ModeledComputeIsDeterministicAndBounded) {
+  LinkOptions opts;
+  opts.compute_base_seconds = 0.5;
+  opts.compute_jitter_seconds = 1.0;
+  opts.compute_seed = 7;
+  LinkModel a(std::size_t{4}, opts), b(std::size_t{4}, opts);
+  for (std::size_t w = 0; w < 4; ++w) {
+    const double t = a.modeled_compute(w);
+    EXPECT_DOUBLE_EQ(t, b.modeled_compute(w));
+    EXPECT_GE(t, 0.5);
+    EXPECT_LT(t, 1.5);
+  }
+  // Per-round jitter: advancing the round changes the draw.
+  a.start_round();
+  a.finish_round();
+  bool any_changed = false;
+  for (std::size_t w = 0; w < 4; ++w) {
+    any_changed = any_changed || a.modeled_compute(w) != b.modeled_compute(w);
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST(LinkModel, DisabledComputeModelIsZero) {
+  LinkModel sim(std::size_t{3});
+  EXPECT_DOUBLE_EQ(sim.modeled_compute(0), 0.0);
+}
+
+TEST(LinkModel, ProtocolErrors) {
+  LinkModel sim(std::size_t{3});
   EXPECT_THROW(sim.transfer(0, 1, 1.0), std::logic_error);  // outside round
+  EXPECT_THROW(sim.compute(0, 1.0), std::logic_error);      // outside round
   sim.start_round();
   EXPECT_THROW(sim.start_round(), std::logic_error);  // double open
   EXPECT_THROW(sim.transfer(0, 0, 1.0), std::invalid_argument);
   EXPECT_THROW(sim.transfer(0, 9, 1.0), std::invalid_argument);
   EXPECT_THROW(sim.transfer(0, 1, -5.0), std::invalid_argument);
+  EXPECT_THROW(sim.compute(9, 1.0), std::out_of_range);
+  EXPECT_THROW(sim.compute(0, -1.0), std::invalid_argument);
   sim.finish_round();
   EXPECT_THROW(sim.finish_round(), std::logic_error);
 }
 
-TEST(NetworkSim, StatWorkerCountExcludesServer) {
-  NetworkSim sim(3);
+TEST(LinkModel, StatWorkerCountExcludesServer) {
+  LinkModel sim(std::size_t{3});
   sim.set_stat_worker_count(2);
   sim.start_round();
   sim.transfer(0, 2, 100.0);  // node 2 plays "server"
