@@ -65,7 +65,8 @@ int main(int argc, char** argv) {
   const auto bw = saps::net::random_uniform_bandwidth(workers, seed);
 
   // (1) T_thres sweep.
-  std::cout << "=== Ablation 1: T_thres (RC window) vs selected bandwidth ===\n";
+  std::cout
+      << "=== Ablation 1: T_thres (RC window) vs selected bandwidth ===\n";
   saps::Table t1({"t_thres", "mean_bottleneck_MBps"});
   for (const std::size_t tt : {1, 2, 5, 10, 20, 50}) {
     saps::gossip::GossipGenerator gen(bw, {.t_thres = tt, .seed = seed});

@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
     std::cout << table.to_csv() << "\n";
 
     // Compact summary: total traffic to finish the schedule.
-    saps::Table summary({"algorithm", "final_accuracy_pct", "total_traffic_mb"});
+    saps::Table summary(
+        {"algorithm", "final_accuracy_pct", "total_traffic_mb"});
     for (const auto& r : runs) {
       summary.add_row({r.name,
                        saps::Table::num(r.result.final().accuracy * 100.0, 2),

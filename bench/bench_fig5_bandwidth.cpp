@@ -39,8 +39,8 @@ void run_environment(const std::string& label,
       sum += v;
       ++cnt;
     }
-    return std::pair<double, double>(cnt ? mn : 0.0,
-                                     cnt ? sum / static_cast<double>(cnt) : 0.0);
+    return std::pair<double, double>(
+        cnt ? mn : 0.0, cnt ? sum / static_cast<double>(cnt) : 0.0);
   };
 
   saps::Table table({"iter", "SAPS(min)", "SAPS(mean)", "Random(min)",
@@ -104,8 +104,8 @@ int main(int argc, char** argv) {
     const auto matrices =
         static_cast<std::size_t>(flags.get_int("ring-matrices", 5000));
     for (std::size_t m = 0; m < matrices; ++m) {
-      const auto sample =
-          saps::net::random_uniform_bandwidth(workers, saps::derive_seed(seed, m));
+      const auto sample = saps::net::random_uniform_bandwidth(
+          workers, saps::derive_seed(seed, m));
       ring_stat.add(ring.bottleneck_bandwidth(sample));
     }
     run_environment("32-worker, uniform (0,5] MB/s", bw, iterations,

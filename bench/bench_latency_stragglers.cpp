@@ -76,8 +76,8 @@ int main(int argc, char** argv) {
       table.add_row({saps::Table::num(s.latency, 4),
                      saps::Table::num(s.jitter, 4), r.name,
                      saps::Table::num(r.comm_seconds, 4),
-                     saps::Table::num(ideal > 0.0 ? r.comm_seconds / ideal : 1.0,
-                                      2),
+                     saps::Table::num(
+                         ideal > 0.0 ? r.comm_seconds / ideal : 1.0, 2),
                      saps::Table::num(r.result.final().accuracy * 100.0, 2)});
     }
   }

@@ -68,6 +68,130 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 
+// Set the per-iteration FLOP count for an (m,k,n) GEMM-shaped benchmark.
+void set_gemm_counters(benchmark::State& state, std::size_t m, std::size_t k,
+                       std::size_t n) {
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(m) *
+                          static_cast<std::int64_t>(k) *
+                          static_cast<std::int64_t>(n));
+}
+
+// ResNet-20 / CIFAR-representative shapes (out = W(outC×k) · cols(k×HW)):
+// the 3x3 stage-1 block (16×144×1024), a stride-2 stage-2 block
+// (32×288×256) and a stage-3 block (64×576×64).
+void conv_shape_args(benchmark::internal::Benchmark* b) {
+  b->Args({16, 144, 1024})->Args({32, 288, 256})->Args({64, 576, 64});
+}
+
+void BM_GemmConvShape(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  saps::Rng rng(7);
+  std::vector<float> a(m * k), b(k * n), c(m * n);
+  for (auto& v : a) v = rng.next_float();
+  for (auto& v : b) v = rng.next_float();
+  for (auto _ : state) {
+    saps::ops::gemm(a, b, c, m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, m, k, n);
+}
+BENCHMARK(BM_GemmConvShape)->Apply(conv_shape_args);
+
+// Conv2d::backward input-gradient shape: dcols(k×HW) = Wᵀ(k×outC)·dout.
+void BM_GemmAtB(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  saps::Rng rng(8);
+  std::vector<float> a(k * m), b(k * n), c(m * n);
+  for (auto& v : a) v = rng.next_float();
+  for (auto& v : b) v = rng.next_float();
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    saps::ops::gemm_at_b_acc(a, b, c, m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, m, k, n);
+}
+BENCHMARK(BM_GemmAtB)->Args({144, 16, 1024})->Args({288, 32, 256});
+
+// Conv2d::backward weight-gradient shape: dW(outC×k) += dout·colsᵀ.
+void BM_GemmABt(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  saps::Rng rng(9);
+  std::vector<float> a(m * k), b(n * k), c(m * n, 0.0f);
+  for (auto& v : a) v = rng.next_float();
+  for (auto& v : b) v = rng.next_float();
+  for (auto _ : state) {
+    saps::ops::gemm_a_bt_acc(a, b, c, m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, m, k, n);
+}
+BENCHMARK(BM_GemmABt)->Args({16, 1024, 144})->Args({32, 256, 288});
+
+// Conv-forward with the fused per-channel bias + ReLU epilogue (one pass
+// over C instead of three).
+void BM_GemmFusedBiasRelu(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  saps::Rng rng(12);
+  std::vector<float> a(m * k), b(k * n), c(m * n), bias(m);
+  for (auto& v : a) v = rng.next_float();
+  for (auto& v : b) v = rng.next_float();
+  for (auto& v : bias) v = rng.next_float() - 0.5f;
+  const saps::ops::GemmEpilogue ep{
+      .bias = bias,
+      .bias_axis = saps::ops::GemmEpilogue::BiasAxis::kRow,
+      .relu = true};
+  for (auto _ : state) {
+    saps::ops::gemm_fused(a, b, c, m, k, n, ep);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, m, k, n);
+}
+BENCHMARK(BM_GemmFusedBiasRelu)->Apply(conv_shape_args);
+
+// The portable (std::fma) micro-kernel on the headline shape, for comparing
+// the runtime-dispatch backends on one machine.
+void BM_GemmPortableBackend(benchmark::State& state) {
+  const std::size_t m = 16, k = 144, n = 1024;
+  saps::Rng rng(14);
+  std::vector<float> a(m * k), b(k * n), c(m * n);
+  for (auto& v : a) v = rng.next_float();
+  for (auto& v : b) v = rng.next_float();
+  saps::ops::set_gemm_backend(saps::ops::GemmBackend::kPortable);
+  for (auto _ : state) {
+    saps::ops::gemm(a, b, c, m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  saps::ops::set_gemm_backend(saps::ops::GemmBackend::kAuto);
+  set_gemm_counters(state, m, k, n);
+}
+BENCHMARK(BM_GemmPortableBackend);
+
+// The full compression path of TopK-PSGD: residual add, top-k selection,
+// residual update.
+void BM_ErrorFeedbackCompress(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  saps::Rng rng(10);
+  std::vector<float> grad(n);
+  for (auto& v : grad) v = rng.next_float() - 0.5f;
+  saps::compress::ErrorFeedbackTopK ef(n, 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ef.compress(grad));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ErrorFeedbackCompress)->Arg(1 << 16)->Arg(1 << 20);
+
 void BM_BlossomCompleteGraph(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   saps::graph::AdjMatrix g(n);

@@ -30,11 +30,13 @@ int main(int argc, char** argv) {
             << "N=" << in.model_size << " params, n=" << in.workers
             << " workers, T=" << in.rounds << " rounds\n\n";
 
-  saps::Table table({"Algorithm", "Server Cost (params)", "Worker Cost (params)",
-                     "SP.", "C.B.", "R."});
+  saps::Table table({"Algorithm", "Server Cost (params)",
+                     "Worker Cost (params)", "SP.", "C.B.", "R."});
   for (const auto& row : saps::core::communication_cost_table(in)) {
     table.add_row({row.algorithm,
-                   row.server_cost < 0 ? "-" : saps::Table::num(row.server_cost, 0),
+                   row.server_cost < 0
+                       ? "-"
+                       : saps::Table::num(row.server_cost, 0),
                    saps::Table::num(row.worker_cost, 0),
                    row.sparsification ? "yes" : "no",
                    row.bandwidth_aware ? "yes" : "no",

@@ -69,8 +69,8 @@ HarnessOptions parse_options(Flags& flags) {
       flags.get_int("epochs", static_cast<std::int64_t>(opt.epochs)));
   opt.samples_per_worker = static_cast<std::size_t>(flags.get_int(
       "samples", static_cast<std::int64_t>(opt.samples_per_worker)));
-  opt.test_samples = static_cast<std::size_t>(
-      flags.get_int("test-samples", static_cast<std::int64_t>(opt.test_samples)));
+  opt.test_samples = static_cast<std::size_t>(flags.get_int(
+      "test-samples", static_cast<std::int64_t>(opt.test_samples)));
   opt.batch_size = static_cast<std::size_t>(
       flags.get_int("batch", static_cast<std::int64_t>(opt.batch_size)));
   opt.eval_every_rounds = static_cast<std::size_t>(flags.get_int(
@@ -120,7 +120,8 @@ std::vector<std::string> all_workload_keys() {
   return {"mnist", "cifar", "resnet"};
 }
 
-WorkloadSpec make_workload(const std::string& which, const HarnessOptions& opt) {
+WorkloadSpec make_workload(const std::string& which,
+                           const HarnessOptions& opt) {
   WorkloadSpec spec;
   spec.config.workers = opt.workers;
   spec.config.epochs = opt.epochs;

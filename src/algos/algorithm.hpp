@@ -39,7 +39,8 @@ class EvalSchedule {
 };
 
 /// Bytes of one dense float32 parameter vector on the wire.
-[[nodiscard]] inline double dense_model_bytes(std::size_t param_count) noexcept {
+[[nodiscard]] inline double dense_model_bytes(
+    std::size_t param_count) noexcept {
   return 4.0 * static_cast<double>(param_count);
 }
 

@@ -102,7 +102,8 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
     std::vector<std::uint8_t> mask;
     std::vector<std::uint32_t> masked_idx;
     if (sparse_up) {
-      mask = compress::bernoulli_mask(mask_seed, dim, config_.upload_compression);
+      mask = compress::bernoulli_mask(mask_seed, dim,
+                                      config_.upload_compression);
       masked_idx.reserve(compress::mask_popcount(mask));
       for (std::size_t j = 0; j < dim; ++j) {
         if (mask[j]) masked_idx.push_back(static_cast<std::uint32_t>(j));

@@ -28,10 +28,13 @@ sim::RunResult QsgdPsgd::run(sim::Engine& engine) {
   for (std::size_t w = 0; w < n; ++w) {
     rngs.emplace_back(derive_seed(cfg.seed, 0x05d9, w));
   }
-  // Ring all-gather state, as in TopK-PSGD: forwarded messages plus worker
-  // 0's gathered set (all workers hold identical sets, so the shared
-  // averaged update is computed once, in origin order).
-  std::vector<net::QuantGradMsg> current(n), incoming(n);
+  // Ring all-gather state, as in TopK-PSGD: each worker's quantized chunk
+  // is encoded once (sim::pre_encode) and the frame forwarded verbatim at
+  // every hop.  Worker 0 decodes to build the gathered set (identical on
+  // all workers, so the shared averaged update is computed once, in origin
+  // order); other workers validate provenance via peek_origin.
+  std::vector<net::QuantGradMsg> msgs(n);
+  std::vector<sim::EncodedFrame> frames(n);
   std::vector<net::QuantGradMsg> gathered(n);
   std::vector<float> avg(dim);
 
@@ -43,33 +46,36 @@ sim::RunResult QsgdPsgd::run(sim::Engine& engine) {
       engine.parallel_for(n, [&](std::size_t w) {
         auto enc = compress::qsgd_encode(engine.model(w).gradients(),
                                          config_.levels, rngs[w]);
-        current[w].round = static_cast<std::uint32_t>(round);
-        current[w].origin = static_cast<std::uint32_t>(w);
-        current[w].norm = enc.norm;
-        current[w].levels = enc.levels;
-        current[w].quantized = std::move(enc.quantized);
+        msgs[w].round = static_cast<std::uint32_t>(round);
+        msgs[w].origin = static_cast<std::uint32_t>(w);
+        msgs[w].norm = enc.norm;
+        msgs[w].levels = enc.levels;
+        msgs[w].quantized = std::move(enc.quantized);
+        frames[w] = sim::pre_encode(msgs[w]);
       });
-      gathered[0] = current[0];
+      gathered[0] = msgs[0];
 
       // Ring all-gather of the bit-packed quantized gradients.
       for (std::size_t hop = 0; hop + 1 < n; ++hop) {
         fabric.begin_round();
         for (std::size_t w = 0; w < n; ++w) {
           if (hop == 0) fabric.compute(w);
-          fabric.send(w, (w + 1) % n, current[w]);
+          fabric.send_frame(w, (w + 1) % n, frames[(w + n - hop) % n]);
         }
         fabric.end_round();
         for (std::size_t w = 0; w < n; ++w) {
           const auto env = fabric.recv(w);
           if (!env) throw std::logic_error("QSGD: missing ring chunk");
-          incoming[w] = net::QuantGradMsg::decode(env->payload);
           const std::size_t expect = (w + n - hop - 1) % n;
-          if (incoming[w].origin != expect) {
+          if (w == 0) {
+            gathered[expect] = net::QuantGradMsg::decode(env->payload);
+            if (gathered[expect].origin != expect) {
+              throw std::logic_error("QSGD: ring chunk out of order");
+            }
+          } else if (net::QuantGradMsg::peek_origin(env->payload) != expect) {
             throw std::logic_error("QSGD: ring chunk out of order");
           }
         }
-        std::swap(current, incoming);
-        gathered[current[0].origin] = current[0];
       }
 
       // Decode-and-accumulate chunked over coordinates (QSGD decode is

@@ -23,11 +23,14 @@ sim::RunResult TopkPsgd::run(sim::Engine& engine) {
   result.algorithm = name();
   result.history.push_back(engine.eval_point(0, 0.0));
 
-  // Ring all-gather state: the message each worker forwards next hop, and
-  // worker 0's gathered set (all workers end up with identical sets — chunks
-  // are forwarded verbatim — so the shared averaged update is computed once
-  // from worker 0's copy, in origin order).
-  std::vector<net::SparseDeltaMsg> current(n), incoming(n);
+  // Ring all-gather state: each worker's own chunk is encoded ONCE
+  // (sim::pre_encode) and the frame is forwarded verbatim at every hop —
+  // no per-hop re-serialization.  Worker 0 decodes what it receives to
+  // build the gathered set (all workers end up with identical sets, so the
+  // shared averaged update is computed once from worker 0's copies, in
+  // origin order); other workers only validate provenance via peek_origin.
+  std::vector<net::SparseDeltaMsg> msgs(n);
+  std::vector<sim::EncodedFrame> frames(n);
   std::vector<compress::SparseVector> gathered(n);
   std::vector<float> avg(dim);
 
@@ -40,36 +43,40 @@ sim::RunResult TopkPsgd::run(sim::Engine& engine) {
       // deterministic (lowest-index tie-break), so this parallelizes.
       engine.parallel_for(n, [&](std::size_t w) {
         auto chunk = ef[w].compress(engine.model(w).gradients());
-        current[w].round = static_cast<std::uint32_t>(round);
-        current[w].origin = static_cast<std::uint32_t>(w);
-        current[w].indices = std::move(chunk.indices);
-        current[w].values = std::move(chunk.values);
+        msgs[w].round = static_cast<std::uint32_t>(round);
+        msgs[w].origin = static_cast<std::uint32_t>(w);
+        msgs[w].indices = std::move(chunk.indices);
+        msgs[w].values = std::move(chunk.values);
+        frames[w] = sim::pre_encode(msgs[w]);
       });
-      gathered[0].indices = current[0].indices;
-      gathered[0].values = current[0].values;
+      gathered[0].indices = msgs[0].indices;
+      gathered[0].values = msgs[0].values;
 
       // Ring all-gather: n-1 sequential hops; at hop r worker w forwards the
-      // chunk that originated at worker (w - r) mod n.  Each hop is one
-      // fabric round of concurrent transfers.
+      // pre-encoded chunk that originated at worker (w - r) mod n.  Each hop
+      // is one fabric round of concurrent transfers.
       for (std::size_t hop = 0; hop + 1 < n; ++hop) {
         fabric.begin_round();
         for (std::size_t w = 0; w < n; ++w) {
           if (hop == 0) fabric.compute(w);
-          fabric.send(w, (w + 1) % n, current[w]);
+          fabric.send_frame(w, (w + 1) % n, frames[(w + n - hop) % n]);
         }
         fabric.end_round();
         for (std::size_t w = 0; w < n; ++w) {
           const auto env = fabric.recv(w);
           if (!env) throw std::logic_error("TopK: missing ring chunk");
-          incoming[w] = net::SparseDeltaMsg::decode(env->payload);
           const std::size_t expect = (w + n - hop - 1) % n;
-          if (incoming[w].origin != expect) {
+          if (w == 0) {
+            auto incoming = net::SparseDeltaMsg::decode(env->payload);
+            if (incoming.origin != expect) {
+              throw std::logic_error("TopK: ring chunk out of order");
+            }
+            gathered[expect].indices = std::move(incoming.indices);
+            gathered[expect].values = std::move(incoming.values);
+          } else if (net::SparseDeltaMsg::peek_origin(env->payload) != expect) {
             throw std::logic_error("TopK: ring chunk out of order");
           }
         }
-        std::swap(current, incoming);
-        gathered[current[0].origin].indices = current[0].indices;
-        gathered[current[0].origin].values = current[0].values;
       }
 
       // Everyone now holds all chunks; apply the identical averaged update.

@@ -22,8 +22,8 @@ namespace saps::compress {
 [[nodiscard]] std::size_t mask_popcount(std::span<const std::uint8_t> mask);
 
 /// Extracts x[j] for all j with mask[j] == 1, in index order.
-[[nodiscard]] std::vector<float> extract_masked(std::span<const float> x,
-                                                std::span<const std::uint8_t> mask);
+[[nodiscard]] std::vector<float> extract_masked(
+    std::span<const float> x, std::span<const std::uint8_t> mask);
 
 /// The paper's Eq. (7) pairwise update on the masked coordinates:
 ///   x[j] ← (x[j] + peer_values[k]) / 2   for the k-th masked index j,

@@ -7,28 +7,46 @@
 
 namespace saps::compress {
 
-SparseVector top_k(std::span<const float> x, double c) {
-  if (c < 1.0) throw std::invalid_argument("top_k: c must be >= 1");
-  if (x.empty()) throw std::invalid_argument("top_k: empty input");
-  const std::size_t n = x.size();
-  const std::size_t k = std::max<std::size_t>(
-      1, static_cast<std::size_t>(
-             std::ceil(static_cast<double>(n) / c)));
+namespace {
 
-  std::vector<std::uint32_t> order(n);
-  std::iota(order.begin(), order.end(), 0u);
-  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
-                   order.end(), [&](std::uint32_t a, std::uint32_t b) {
+std::size_t top_k_count(std::size_t n, double c) {
+  if (c < 1.0) throw std::invalid_argument("top_k: c must be >= 1");
+  if (n == 0) throw std::invalid_argument("top_k: empty input");
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(static_cast<double>(n) / c)));
+}
+
+}  // namespace
+
+void top_k(std::span<const float> x, double c,
+           std::vector<std::uint32_t>& order_scratch, SparseVector& out) {
+  const std::size_t n = x.size();
+  const std::size_t k = top_k_count(n, c);
+
+  // The ordering scratch persists across calls (ErrorFeedbackTopK compresses
+  // every round), so the selection allocates nothing at steady state.
+  order_scratch.resize(n);
+  std::iota(order_scratch.begin(), order_scratch.end(), 0u);
+  std::nth_element(order_scratch.begin(),
+                   order_scratch.begin() + static_cast<std::ptrdiff_t>(k),
+                   order_scratch.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
                      const float fa = std::fabs(x[a]), fb = std::fabs(x[b]);
                      return fa > fb || (fa == fb && a < b);
                    });
-  order.resize(k);
-  std::sort(order.begin(), order.end());
+  std::sort(order_scratch.begin(),
+            order_scratch.begin() + static_cast<std::ptrdiff_t>(k));
 
+  out.indices.assign(order_scratch.begin(),
+                     order_scratch.begin() + static_cast<std::ptrdiff_t>(k));
+  out.values.resize(k);
+  for (std::size_t i = 0; i < k; ++i) out.values[i] = x[out.indices[i]];
+}
+
+SparseVector top_k(std::span<const float> x, double c) {
+  std::vector<std::uint32_t> order;
   SparseVector s;
-  s.indices = std::move(order);
-  s.values.reserve(k);
-  for (const auto idx : s.indices) s.values.push_back(x[idx]);
+  top_k(x, c, order, s);
   return s;
 }
 
@@ -53,9 +71,13 @@ SparseVector ErrorFeedbackTopK::compress(std::span<const float> gradient) {
   for (std::size_t i = 0; i < residual_.size(); ++i) {
     scratch_[i] = residual_[i] + gradient[i];
   }
-  SparseVector sent = top_k(scratch_, c_);
-  // residual = accumulated - sent
-  residual_ = scratch_;
+  SparseVector sent;
+  top_k(scratch_, c_, order_, sent);
+  // residual = accumulated - sent.  The accumulated vector becomes the new
+  // residual by swapping buffers (no full-vector copy); only the sent
+  // coordinates are cleared.  The old residual buffer becomes next round's
+  // scratch and is fully overwritten above.
+  std::swap(residual_, scratch_);
   for (std::size_t i = 0; i < sent.indices.size(); ++i) {
     residual_[sent.indices[i]] = 0.0f;
   }

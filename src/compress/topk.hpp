@@ -25,6 +25,12 @@ struct SparseVector {
 /// lower index for determinism.
 [[nodiscard]] SparseVector top_k(std::span<const float> x, double c);
 
+/// As above, reusing `order_scratch` for the selection ordering and writing
+/// into `out`'s existing buffers — allocation-free once capacities have
+/// warmed up.  Used by the per-round compression hot path.
+void top_k(std::span<const float> x, double c,
+           std::vector<std::uint32_t>& order_scratch, SparseVector& out);
+
 /// Adds a sparse vector, scaled: x[idx] += scale * value.
 void add_sparse(std::span<float> x, const SparseVector& s, float scale = 1.0f);
 
@@ -43,6 +49,7 @@ class ErrorFeedbackTopK {
   double c_;
   std::vector<float> residual_;
   std::vector<float> scratch_;
+  std::vector<std::uint32_t> order_;  // top_k selection scratch, persistent
 };
 
 }  // namespace saps::compress

@@ -70,7 +70,8 @@ class Coordinator {
 
   /// Bottleneck bandwidth of a round's matching (Fig. 5 metric); 0 when no
   /// bandwidth matrix is present.
-  [[nodiscard]] double bottleneck_bandwidth(const gossip::GossipMatrix& w) const;
+  [[nodiscard]] double bottleneck_bandwidth(
+      const gossip::GossipMatrix& w) const;
 
   /// Cumulative control-plane traffic in bytes (status messages only; the
   /// paper's plots exclude it because it is negligible next to the model

@@ -38,7 +38,8 @@ class SapsPsgd final : public algos::Algorithm {
 
   /// Per-round bottleneck bandwidth of the selections made during the last
   /// run (Fig. 5 series); empty if the engine had no bandwidth matrix.
-  [[nodiscard]] const std::vector<double>& selection_bandwidth() const noexcept {
+  [[nodiscard]] const std::vector<double>& selection_bandwidth()
+      const noexcept {
     return selection_bandwidth_;
   }
   /// Cumulative coordinator control-plane bytes observed in the last run.

@@ -30,7 +30,8 @@ Dataset::Dataset(std::vector<std::size_t> sample_shape,
 
 std::span<const float> Dataset::sample(std::size_t i) const {
   if (i >= size()) throw std::out_of_range("Dataset::sample");
-  return std::span<const float>(features_).subspan(i * sample_dim_, sample_dim_);
+  return std::span<const float>(features_)
+      .subspan(i * sample_dim_, sample_dim_);
 }
 
 void Dataset::gather(std::span<const std::size_t> indices, Tensor& x_out,
@@ -56,14 +57,17 @@ Dataset Dataset::subset(std::span<const std::size_t> indices) const {
     feats.insert(feats.end(), src.begin(), src.end());
     labs.push_back(labels_.at(i));
   }
-  return Dataset(sample_shape_, std::move(feats), std::move(labs), num_classes_);
+  return Dataset(sample_shape_, std::move(feats), std::move(labs),
+                 num_classes_);
 }
 
 BatchSampler::BatchSampler(const Dataset& dataset, std::size_t batch_size,
                            std::uint64_t seed)
     : dataset_(&dataset), batch_size_(batch_size), rng_(seed) {
   if (batch_size == 0) throw std::invalid_argument("BatchSampler: batch 0");
-  if (dataset.empty()) throw std::invalid_argument("BatchSampler: empty dataset");
+  if (dataset.empty()) {
+    throw std::invalid_argument("BatchSampler: empty dataset");
+  }
   order_.resize(dataset.size());
   std::iota(order_.begin(), order_.end(), std::size_t{0});
   reshuffle();
@@ -85,8 +89,9 @@ std::size_t BatchSampler::batches_per_epoch() const noexcept {
 void BatchSampler::next(Tensor& x, std::vector<std::int32_t>& labels) {
   if (cursor_ >= order_.size()) reshuffle();
   const std::size_t take = std::min(batch_size_, order_.size() - cursor_);
-  gatherer_.assign(order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
-                   order_.begin() + static_cast<std::ptrdiff_t>(cursor_ + take));
+  gatherer_.assign(
+      order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+      order_.begin() + static_cast<std::ptrdiff_t>(cursor_ + take));
   cursor_ += take;
   dataset_->gather(gatherer_, x, labels);
 }

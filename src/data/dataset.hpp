@@ -25,13 +25,17 @@ class Dataset {
 
   [[nodiscard]] std::size_t size() const noexcept { return labels_.size(); }
   [[nodiscard]] bool empty() const noexcept { return labels_.empty(); }
-  [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return num_classes_;
+  }
   [[nodiscard]] const std::vector<std::size_t>& sample_shape() const noexcept {
     return sample_shape_;
   }
   [[nodiscard]] std::size_t sample_dim() const noexcept { return sample_dim_; }
 
-  [[nodiscard]] std::int32_t label(std::size_t i) const { return labels_.at(i); }
+  [[nodiscard]] std::int32_t label(std::size_t i) const {
+    return labels_.at(i);
+  }
   [[nodiscard]] std::span<const float> sample(std::size_t i) const;
 
   /// Copies the samples at `indices` into a (|indices|, ...sample_shape)

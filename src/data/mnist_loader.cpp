@@ -66,7 +66,8 @@ std::optional<Dataset> load_mnist_idx(const std::string& images_path,
     char label_byte;
     lab.read(&label_byte, 1);
     if (!lab) throw std::runtime_error("mnist: truncated label data");
-    labels[i] = static_cast<std::int32_t>(static_cast<unsigned char>(label_byte));
+    labels[i] =
+        static_cast<std::int32_t>(static_cast<unsigned char>(label_byte));
   }
   return Dataset({1, rows, cols}, std::move(features), std::move(labels), 10);
 }

@@ -78,7 +78,9 @@ std::vector<std::vector<std::size_t>> dirichlet_partition(
     const Dataset& dataset, std::size_t workers, double alpha,
     std::uint64_t seed) {
   check_args(dataset, workers);
-  if (alpha <= 0.0) throw std::invalid_argument("dirichlet_partition: alpha<=0");
+  if (alpha <= 0.0) {
+    throw std::invalid_argument("dirichlet_partition: alpha<=0");
+  }
 
   Rng rng(derive_seed(seed, 0xd114c));
   // Group sample indices by class.

@@ -49,7 +49,9 @@ void GossipGenerator::set_active(std::size_t worker, bool active) {
 }
 
 bool GossipGenerator::active(std::size_t worker) const {
-  if (worker >= active_.size()) throw std::out_of_range("GossipGenerator::active");
+  if (worker >= active_.size()) {
+    throw std::out_of_range("GossipGenerator::active");
+  }
   return active_[worker] != 0;
 }
 
@@ -59,7 +61,8 @@ std::size_t GossipGenerator::active_count() const noexcept {
   return c;
 }
 
-graph::Matching GossipGenerator::weight_biased_match(const graph::AdjMatrix& e) {
+graph::Matching GossipGenerator::weight_biased_match(
+    const graph::AdjMatrix& e) {
   const std::size_t n = e.size();
   std::vector<double> weight(n * n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {

@@ -41,7 +41,8 @@ struct GeneratorConfig {
 
 class GossipGenerator {
  public:
-  GossipGenerator(const net::BandwidthMatrix& bandwidth, GeneratorConfig config);
+  GossipGenerator(const net::BandwidthMatrix& bandwidth,
+                  GeneratorConfig config);
 
   /// Generates W_t for round t over the currently-active workers.
   /// Rounds must be generated in non-decreasing t order.

@@ -40,7 +40,8 @@ class GossipMatrix {
 
   /// Applies X ← X·W_t to a set of column vectors stored as rows:
   /// models[i] is worker i's vector; matched pairs are averaged.
-  static void apply(const GossipMatrix& w, std::vector<std::vector<float>>& models);
+  static void apply(const GossipMatrix& w,
+                    std::vector<std::vector<float>>& models);
 
  private:
   std::vector<std::size_t> peer_;

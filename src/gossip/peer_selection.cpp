@@ -7,9 +7,12 @@
 
 namespace saps::gossip {
 
-RandomMatchSelector::RandomMatchSelector(std::size_t workers, std::uint64_t seed)
+RandomMatchSelector::RandomMatchSelector(std::size_t workers,
+                                         std::uint64_t seed)
     : workers_(workers), rng_(derive_seed(seed, 0x2a2d0)) {
-  if (workers < 2) throw std::invalid_argument("RandomMatchSelector: workers<2");
+  if (workers < 2) {
+    throw std::invalid_argument("RandomMatchSelector: workers<2");
+  }
 }
 
 GossipMatrix RandomMatchSelector::select(std::size_t /*round*/) {

@@ -1,5 +1,6 @@
 // Peer-selection strategies compared in Fig. 5:
-//  - AdaptiveSelector: the paper's bandwidth-aware Algorithm 3 (GossipGenerator);
+//  - AdaptiveSelector: the paper's bandwidth-aware Algorithm 3
+//    (GossipGenerator);
 //  - RandomMatchSelector: "RandomChoose" — a uniformly random maximum
 //    matching on the complete graph every round;
 //  - FixedRingSelector: the D-PSGD / DCD-PSGD ring 1→2→…→n→1.  A ring is a
@@ -29,7 +30,8 @@ class PeerSelector {
 /// The paper's adaptive selection (wraps GossipGenerator).
 class AdaptiveSelector final : public PeerSelector {
  public:
-  AdaptiveSelector(const net::BandwidthMatrix& bandwidth, GeneratorConfig config)
+  AdaptiveSelector(const net::BandwidthMatrix& bandwidth,
+                   GeneratorConfig config)
       : generator_(bandwidth, std::move(config)) {}
 
   [[nodiscard]] GossipMatrix select(std::size_t round) override {

@@ -96,7 +96,8 @@ class Blossom {
       q.pop();
       for (const auto to : adj_[v]) {
         if (base_[v] == base_[to] || match_[v] == to) continue;
-        if (to == root || (match_[to] != kNone && parent_[match_[to]] != kNone)) {
+        if (to == root ||
+            (match_[to] != kNone && parent_[match_[to]] != kNone)) {
           // Odd cycle: contract the blossom.
           const std::size_t cur_base = lca(v, to);
           in_blossom_.assign(n_, false);

@@ -53,7 +53,7 @@ struct Matching {
 /// Greedy maximum-WEIGHT matching (sort edges by weight descending, take
 /// greedily).  Used as an ablation baseline against the paper's
 /// cardinality-first scheme.  `weight[i*n+j]` is the edge weight.
-[[nodiscard]] Matching greedy_weight_matching(const AdjMatrix& g,
-                                              const std::vector<double>& weight);
+[[nodiscard]] Matching greedy_weight_matching(
+    const AdjMatrix& g, const std::vector<double>& weight);
 
 }  // namespace saps::graph

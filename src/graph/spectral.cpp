@@ -25,7 +25,9 @@ std::vector<double> symmetric_eigenvalues(std::vector<double> a, std::size_t n,
   for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
     double off = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) off += a[i * n + j] * a[i * n + j];
+      for (std::size_t j = i + 1; j < n; ++j) {
+        off += a[i * n + j] * a[i * n + j];
+      }
     }
     if (off < tol * tol) break;
 

@@ -17,7 +17,9 @@ void BandwidthMatrix::check(std::size_t i, std::size_t j) const {
 
 void BandwidthMatrix::set(std::size_t i, std::size_t j, double mbps) {
   check(i, j);
-  if (mbps < 0.0) throw std::invalid_argument("BandwidthMatrix: negative speed");
+  if (mbps < 0.0) {
+    throw std::invalid_argument("BandwidthMatrix: negative speed");
+  }
   if (i == j) return;
   mbps_[i * n_ + j] = mbps;
 }
@@ -55,6 +57,7 @@ namespace {
 constexpr std::size_t kCities = 14;
 // Fig. 1 of the paper, Mbit/s, row = source, col = destination; -1 = n/a.
 constexpr std::array<double, kCities * kCities> kFig1Mbits = {
+    // clang-format off
     //  Bei   Sha   She   Zha   Col   Dub   Fra   Lon   Mon   Mum   Par   Por   SF    SP
     -1,   1.3,  1.5,  1.2,  1.6,  1.6,  1.5,  1.6,  1.7,  1.4,  1.7,  1.5,  1.6,  1.5,
     1.3,  -1,   1.5,  1.2,  1.5,  1.5,  1.5,  1.6,  1.5,  1.2,  1.5,  1.5,  1.4,  1.6,
@@ -70,6 +73,7 @@ constexpr std::array<double, kCities * kCities> kFig1Mbits = {
     15.6, 28.6, 10.6, 8.1,  94.8, 45.4, 43.8, 46.3, 70.4, 27.0, 45.8, -1,   172.9,39.4,
     2.3,  3.9,  22.5, 5.7,  78.3, 45.6, 32.7, 34.5, 47.3, 23.2, 23.7, 134.5,-1,   31.2,
     0.1,  15.1, 8.2,  15.4, 41.8, 32.7, 39.9, 37.9, 59.6, 25.0, 38.4, 38.2, 39.9, -1,
+    // clang-format on
 };
 }  // namespace
 

@@ -101,7 +101,8 @@ double LinkModel::finish_round() {
     if (bandwidth_) {
       const double bw = bandwidth_->get(tr.src, tr.dst);  // MB/s
       if (bw <= 0.0) {
-        throw std::logic_error("LinkModel: transfer over a zero-bandwidth link");
+        throw std::logic_error(
+            "LinkModel: transfer over a zero-bandwidth link");
       }
       seconds += tr.bytes / (bw * 1e6);
       const auto link = std::minmax(tr.src, tr.dst);

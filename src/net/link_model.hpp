@@ -101,7 +101,8 @@ class LinkModel {
   [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
 
   /// Bottleneck (minimum) bandwidth among links active in round r, MB/s.
-  [[nodiscard]] const std::vector<double>& round_bottleneck_mbps() const noexcept {
+  [[nodiscard]] const std::vector<double>& round_bottleneck_mbps()
+      const noexcept {
     return round_bottleneck_;
   }
   /// Mean bandwidth among links active in round r, MB/s.

@@ -199,6 +199,14 @@ SparseDeltaMsg SparseDeltaMsg::decode(std::span<const std::uint8_t> bytes) {
   return m;
 }
 
+std::uint32_t SparseDeltaMsg::peek_origin(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  expect_type(r, MsgType::kSparseDelta);
+  skip(r, 3);
+  (void)r.u32();  // round
+  return r.u32();
+}
+
 std::vector<std::uint8_t> FullModelMsg::encode() const {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(MsgType::kFullModel));
@@ -304,6 +312,16 @@ QuantGradMsg QuantGradMsg::decode(std::span<const std::uint8_t> bytes) {
     q = static_cast<std::int8_t>(level);
   }
   return m;
+}
+
+std::uint32_t QuantGradMsg::peek_origin(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  expect_type(r, MsgType::kQuantGrad);
+  const std::uint8_t levels = r.u8();
+  if (levels == 0) throw std::invalid_argument("QuantGradMsg: levels == 0");
+  skip(r, 2);
+  (void)r.u32();  // round
+  return r.u32();
 }
 
 }  // namespace saps::net

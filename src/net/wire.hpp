@@ -135,6 +135,9 @@ struct SparseDeltaMsg {
   }
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   static SparseDeltaMsg decode(std::span<const std::uint8_t> bytes);
+  /// Origin rank from the fixed-offset frame, without materializing the
+  /// payload — for ring forwarders that only validate provenance.
+  static std::uint32_t peek_origin(std::span<const std::uint8_t> bytes);
 };
 
 struct FullModelMsg {
@@ -176,6 +179,9 @@ struct QuantGradMsg {
   [[nodiscard]] double wire_bytes() const noexcept;
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   static QuantGradMsg decode(std::span<const std::uint8_t> bytes);
+  /// Origin rank from the fixed-offset frame, without unpacking the bit
+  /// stream — for ring forwarders that only validate provenance.
+  static std::uint32_t peek_origin(std::span<const std::uint8_t> bytes);
 };
 
 /// First byte of every encoded message.

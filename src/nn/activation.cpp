@@ -7,22 +7,19 @@ namespace saps::nn {
 
 void ReLU::forward(const Tensor& in, Tensor& out, bool /*train*/) {
   const std::size_t n = in.numel();
-  mask_.resize(n);
   const float* src = in.data();
   float* dst = out.data();
-  for (std::size_t i = 0; i < n; ++i) {
-    const bool pos = src[i] > 0.0f;
-    mask_[i] = pos ? 1 : 0;
-    dst[i] = pos ? src[i] : 0.0f;
-  }
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
 }
 
 void ReLU::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
+  // The gate recomputes from the cached layer input (`in` is the activation
+  // the model already keeps for backward), so no mask buffer is maintained.
   const std::size_t n = in.numel();
-  if (mask_.size() != n) throw std::logic_error("ReLU::backward before forward");
+  const float* gate = in.data();
   const float* src = dout.data();
   float* dst = din.data();
-  for (std::size_t i = 0; i < n; ++i) dst[i] = mask_[i] ? src[i] : 0.0f;
+  for (std::size_t i = 0; i < n; ++i) dst[i] = gate[i] > 0.0f ? src[i] : 0.0f;
 }
 
 std::vector<std::size_t> Flatten::output_shape(

@@ -5,7 +5,8 @@
 
 namespace saps::nn {
 
-/// Rectified linear unit.  Backward uses the cached forward output sign.
+/// Rectified linear unit.  Backward gates on the sign of the cached layer
+/// input, so the layer keeps no state of its own.
 class ReLU final : public Layer {
  public:
   [[nodiscard]] std::size_t param_count() const noexcept override { return 0; }
@@ -18,9 +19,6 @@ class ReLU final : public Layer {
   void forward(const Tensor& in, Tensor& out, bool train) override;
   void backward(const Tensor& in, const Tensor& dout, Tensor& din) override;
   [[nodiscard]] const char* name() const noexcept override { return "ReLU"; }
-
- private:
-  std::vector<unsigned char> mask_;  // 1 where input > 0 at the last forward
 };
 
 /// Reshapes (B, C, H, W) → (B, C*H*W).  No-op on rank-2 inputs.

@@ -78,8 +78,8 @@ void BatchNorm2d::forward(const Tensor& in, Tensor& out, bool train) {
       batch_inv_std_[c] = inv_std;
       running_mean_[c] = (1.0f - momentum_) * running_mean_[c] +
                          momentum_ * static_cast<float>(mean);
-      running_var_[c] =
-          (1.0f - momentum_) * running_var_[c] + momentum_ * static_cast<float>(var);
+      running_var_[c] = (1.0f - momentum_) * running_var_[c] +
+                        momentum_ * static_cast<float>(var);
       for (std::size_t s = 0; s < batch; ++s) {
         const std::size_t base = (s * channels_ + c) * plane;
         const float* src = in.data() + base;

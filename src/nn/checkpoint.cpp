@@ -21,7 +21,9 @@ std::uint32_t read_u32(std::istream& in) {
   in.read(reinterpret_cast<char*>(bytes), 4);
   if (!in) throw std::runtime_error("checkpoint: truncated file");
   std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+  }
   return v;
 }
 }  // namespace

@@ -68,18 +68,18 @@ void Conv2d::forward(const Tensor& in, Tensor& out, bool /*train*/) {
 
   const std::size_t in_stride = in_channels_ * h * w;
   const std::size_t out_stride = out_channels_ * cols_n;
+  // Per-channel bias rides the GEMM epilogue (one row of C per channel).
+  const ops::GemmEpilogue epilogue{
+      .bias = b_, .bias_axis = ops::GemmEpilogue::BiasAxis::kRow};
   for (std::size_t s = 0; s < batch; ++s) {
     ops::im2col(in.span().subspan(s * in_stride, in_stride), in_channels_, h, w,
                 kernel_, kernel_, stride_, pad_, cols_);
     auto out_s = out.span().subspan(s * out_stride, out_stride);
     // out(s) = W(outC × k) · cols(k × cols_n)
-    ops::gemm(w_, cols_, out_s, out_channels_, k, cols_n);
     if (has_bias_) {
-      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-        float* plane = out_s.data() + oc * cols_n;
-        const float bias = b_[oc];
-        for (std::size_t i = 0; i < cols_n; ++i) plane[i] += bias;
-      }
+      ops::gemm_fused(w_, cols_, out_s, out_channels_, k, cols_n, epilogue);
+    } else {
+      ops::gemm(w_, cols_, out_s, out_channels_, k, cols_n);
     }
   }
 }
@@ -91,7 +91,7 @@ void Conv2d::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
   const std::size_t k = in_channels_ * kernel_ * kernel_;
   const std::size_t cols_n = out_h * out_w;
   cols_.resize(k * cols_n);
-  std::vector<float> dcols(k * cols_n);
+  dcols_.resize(k * cols_n);  // persistent scratch: no per-call allocation
 
   const std::size_t in_stride = in_channels_ * h * w;
   const std::size_t out_stride = out_channels_ * cols_n;
@@ -100,7 +100,8 @@ void Conv2d::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
     auto in_s = in.span().subspan(s * in_stride, in_stride);
     auto dout_s = dout.span().subspan(s * out_stride, out_stride);
     // Recompute im2col (trades FLOPs for not caching per-sample columns).
-    ops::im2col(in_s, in_channels_, h, w, kernel_, kernel_, stride_, pad_, cols_);
+    ops::im2col(in_s, in_channels_, h, w, kernel_, kernel_, stride_, pad_,
+                cols_);
     // dW(outC × k) += dout(outC × cols_n) · colsᵀ(cols_n × k)
     ops::gemm_a_bt_acc(dout_s, cols_, dw_, out_channels_, cols_n, k);
     if (has_bias_) {
@@ -112,9 +113,9 @@ void Conv2d::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
       }
     }
     // dcols(k × cols_n) = Wᵀ(k × outC) · dout(outC × cols_n)
-    std::fill(dcols.begin(), dcols.end(), 0.0f);
-    ops::gemm_at_b_acc(w_, dout_s, dcols, k, out_channels_, cols_n);
-    ops::col2im(dcols, in_channels_, h, w, kernel_, kernel_, stride_, pad_,
+    std::fill(dcols_.begin(), dcols_.end(), 0.0f);
+    ops::gemm_at_b_acc(w_, dout_s, dcols_, k, out_channels_, cols_n);
+    ops::col2im(dcols_, in_channels_, h, w, kernel_, kernel_, stride_, pad_,
                 din.span().subspan(s * in_stride, in_stride));
   }
 }

@@ -28,7 +28,8 @@ class Conv2d final : public Layer {
   std::size_t in_channels_, out_channels_, kernel_, stride_, pad_;
   bool has_bias_;
   std::span<float> w_, b_, dw_, db_;
-  std::vector<float> cols_;  // im2col scratch, reused across samples
+  std::vector<float> cols_;   // im2col scratch, reused across samples/calls
+  std::vector<float> dcols_;  // backward column-gradient scratch, reused too
 };
 
 }  // namespace saps::nn

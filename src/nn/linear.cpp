@@ -40,13 +40,10 @@ std::vector<std::size_t> Linear::output_shape(
 
 void Linear::forward(const Tensor& in, Tensor& out, bool /*train*/) {
   const std::size_t batch = in.dim(0);
-  out.fill(0.0f);
-  // out(B×out) += in(B×in) · Wᵀ(out×in)
-  ops::gemm_a_bt_acc(in.span(), w_, out.span(), batch, in_dim_, out_dim_);
-  for (std::size_t i = 0; i < batch; ++i) {
-    float* row = out.data() + i * out_dim_;
-    for (std::size_t j = 0; j < out_dim_; ++j) row[j] += b_[j];
-  }
+  // out(B×out) = in(B×in) · Wᵀ(out×in) + b, bias fused per output column.
+  ops::gemm_a_bt_fused(in.span(), w_, out.span(), batch, in_dim_, out_dim_,
+                       {.bias = b_,
+                        .bias_axis = ops::GemmEpilogue::BiasAxis::kCol});
 }
 
 void Linear::backward(const Tensor& in, const Tensor& dout, Tensor& din) {

@@ -25,7 +25,9 @@ double row_xent(const float* row, std::size_t k, std::int32_t label,
   float maxv = row[0];
   for (std::size_t j = 1; j < k; ++j) maxv = std::max(maxv, row[j]);
   double denom = 0.0;
-  for (std::size_t j = 0; j < k; ++j) denom += std::exp(static_cast<double>(row[j] - maxv));
+  for (std::size_t j = 0; j < k; ++j) {
+    denom += std::exp(static_cast<double>(row[j] - maxv));
+  }
   const double log_denom = std::log(denom);
   if (probs != nullptr) {
     for (std::size_t j = 0; j < k; ++j) {

@@ -56,7 +56,8 @@ std::size_t Model::num_classes() const {
   return shape[1];
 }
 
-void Model::ensure_activations(const std::vector<std::size_t>& batch_input_shape) {
+void Model::ensure_activations(
+    const std::vector<std::size_t>& batch_input_shape) {
   const std::size_t batch = batch_input_shape[0];
   if (cached_batch_ == batch && !acts_.empty()) return;
   acts_.clear();
@@ -87,7 +88,8 @@ const Tensor& Model::forward(const Tensor& x, bool train) {
   return acts_.back();
 }
 
-double Model::train_batch(const Tensor& x, std::span<const std::int32_t> labels) {
+double Model::train_batch(const Tensor& x,
+                          std::span<const std::int32_t> labels) {
   const Tensor& logits = forward(x, /*train=*/true);
   if (dlogits_.shape() != logits.shape()) dlogits_ = Tensor(logits.shape());
   const double loss = softmax_cross_entropy(logits, labels, dlogits_);

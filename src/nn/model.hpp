@@ -26,7 +26,9 @@ class Model {
   void build(std::vector<std::size_t> input_shape, std::uint64_t seed);
 
   [[nodiscard]] bool built() const noexcept { return built_; }
-  [[nodiscard]] std::size_t param_count() const noexcept { return params_.size(); }
+  [[nodiscard]] std::size_t param_count() const noexcept {
+    return params_.size();
+  }
 
   /// The flat model vector x (paper notation) and its gradient ∇x.
   [[nodiscard]] std::span<float> parameters() noexcept { return params_; }

@@ -36,7 +36,8 @@ void MaxPool2d::forward(const Tensor& in, Tensor& out, bool /*train*/) {
           std::size_t best_idx = 0;
           for (std::size_t dy = 0; dy < window_; ++dy) {
             for (std::size_t dx = 0; dx < window_; ++dx) {
-              const std::size_t idx = (y * window_ + dy) * w + (x * window_ + dx);
+              const std::size_t idx =
+                  (y * window_ + dy) * w + (x * window_ + dx);
               if (plane[idx] > best) {
                 best = plane[idx];
                 best_idx = idx;
@@ -51,7 +52,8 @@ void MaxPool2d::forward(const Tensor& in, Tensor& out, bool /*train*/) {
   }
 }
 
-void MaxPool2d::backward(const Tensor& /*in*/, const Tensor& dout, Tensor& din) {
+void MaxPool2d::backward(const Tensor& /*in*/, const Tensor& dout,
+                         Tensor& din) {
   if (argmax_.size() != dout.numel()) {
     throw std::logic_error("MaxPool2d::backward before forward");
   }
@@ -81,7 +83,8 @@ void GlobalAvgPool::forward(const Tensor& in, Tensor& out, bool /*train*/) {
   }
 }
 
-void GlobalAvgPool::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
+void GlobalAvgPool::backward(const Tensor& in, const Tensor& dout,
+                             Tensor& din) {
   const std::size_t batch = in.dim(0), channels = in.dim(1),
                     plane = in.dim(2) * in.dim(3);
   const float inv = 1.0f / static_cast<float>(plane);

@@ -17,7 +17,9 @@ class MaxPool2d final : public Layer {
       const std::vector<std::size_t>& in_shape) const override;
   void forward(const Tensor& in, Tensor& out, bool train) override;
   void backward(const Tensor& in, const Tensor& dout, Tensor& din) override;
-  [[nodiscard]] const char* name() const noexcept override { return "MaxPool2d"; }
+  [[nodiscard]] const char* name() const noexcept override {
+    return "MaxPool2d";
+  }
 
  private:
   std::size_t window_;

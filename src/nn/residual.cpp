@@ -114,7 +114,8 @@ void ResidualBlock::forward(const Tensor& in, Tensor& out, bool train) {
   }
 }
 
-void ResidualBlock::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
+void ResidualBlock::backward(const Tensor& in, const Tensor& dout,
+                             Tensor& din) {
   const std::size_t n = dout.numel();
   if (relu_out_mask_.size() != n) {
     throw std::logic_error("ResidualBlock::backward before forward");

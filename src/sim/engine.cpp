@@ -162,7 +162,8 @@ void Engine::parallel_for(std::size_t n,
 }
 
 void Engine::parallel_chunks(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) const {
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& fn) const {
   if (pool_) {
     pool_->parallel_chunks(
         n, [&](std::size_t, std::size_t begin, std::size_t end) {

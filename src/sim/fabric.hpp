@@ -34,6 +34,23 @@
 
 namespace saps::sim {
 
+/// A message encoded once for repeated sending: the byte frame plus the
+/// traffic charge captured from wire_bytes() at encode time.  Ring
+/// all-gathers forward the same chunk n−1 times; pre-encoding stops them
+/// from re-serializing (and re-charging computation, not bytes) at every
+/// hop.  Byte accounting is unchanged by construction: send_frame() charges
+/// exactly what send() would have charged for the same message.
+struct EncodedFrame {
+  double charged = 0.0;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Encodes `msg` into a reusable frame.
+template <typename Msg>
+[[nodiscard]] EncodedFrame pre_encode(const Msg& msg) {
+  return {msg.wire_bytes(), msg.encode()};
+}
+
 class Fabric {
  public:
   explicit Fabric(net::LinkModel link);
@@ -72,6 +89,13 @@ class Fabric {
       post(src, dsts[k], charged, bytes);  // copies
     }
     post(src, dsts.back(), charged, std::move(bytes));
+  }
+
+  /// Data plane: delivers a pre-encoded frame (copying its bytes into dst's
+  /// mailbox) and stages the charge captured at encode time — byte-for-byte
+  /// and charge-for-charge identical to send() of the original message.
+  void send_frame(std::size_t src, std::size_t dst, const EncodedFrame& frame) {
+    post(src, dst, frame.charged, frame.bytes);
   }
 
   /// Control plane: encodes and delivers like send(), but charges

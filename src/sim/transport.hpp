@@ -31,7 +31,8 @@ class Transport {
 
   /// Copies `payload` into `to`'s mailbox.  Thread-safe.  Throws on a bad
   /// address or if the transport is shut down.
-  void send(std::size_t from, std::size_t to, std::vector<std::uint8_t> payload);
+  void send(std::size_t from, std::size_t to,
+            std::vector<std::uint8_t> payload);
 
   /// Blocks until a message for `to` arrives (FIFO) or shutdown; returns
   /// nullopt on shutdown with an empty mailbox.

@@ -1,14 +1,15 @@
 #include "tensor/ops.hpp"
 
 #include <cmath>
-#include <cstring>
 #include <stdexcept>
 
 namespace saps::ops {
 
 namespace {
 void require_same(std::size_t a, std::size_t b, const char* what) {
-  if (a != b) throw std::invalid_argument(std::string(what) + ": size mismatch");
+  if (a != b) {
+    throw std::invalid_argument(std::string(what) + ": size mismatch");
+  }
 }
 }  // namespace
 
@@ -62,90 +63,17 @@ double norm2_sq(std::span<const float> x) noexcept {
   return acc;
 }
 
-double norm2(std::span<const float> x) noexcept { return std::sqrt(norm2_sq(x)); }
-
-namespace {
-
-// Straightforward i-k-j loop order with the inner loop vectorizable by the
-// compiler; block over k to keep B rows hot.  Good enough for the model sizes
-// in this repo (N up to a few million, GEMM tiles up to a few hundred).
-void gemm_impl(const float* a, const float* b, float* c, std::size_t m,
-               std::size_t k, std::size_t n, bool accumulate) {
-  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
-  constexpr std::size_t kBlock = 64;
-  for (std::size_t k0 = 0; k0 < k; k0 += kBlock) {
-    const std::size_t k1 = std::min(k0 + kBlock, k);
-    for (std::size_t i = 0; i < m; ++i) {
-      float* crow = c + i * n;
-      for (std::size_t kk = k0; kk < k1; ++kk) {
-        const float aik = a[i * k + kk];
-        if (aik == 0.0f) continue;
-        const float* brow = b + kk * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-      }
-    }
-  }
+double norm2(std::span<const float> x) noexcept {
+  return std::sqrt(norm2_sq(x));
 }
 
-}  // namespace
+// The gemm / gemm_fused / gemm_acc / gemm_at_b_acc / gemm_a_bt_acc /
+// gemm_a_bt_fused family lives in tensor/gemm.cpp (the blocked kernel layer).
 
-void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c,
-          std::size_t m, std::size_t k, std::size_t n) {
-  require_same(a.size(), m * k, "gemm A");
-  require_same(b.size(), k * n, "gemm B");
-  require_same(c.size(), m * n, "gemm C");
-  gemm_impl(a.data(), b.data(), c.data(), m, k, n, /*accumulate=*/false);
-}
-
-void gemm_acc(std::span<const float> a, std::span<const float> b,
-              std::span<float> c, std::size_t m, std::size_t k, std::size_t n) {
-  require_same(a.size(), m * k, "gemm_acc A");
-  require_same(b.size(), k * n, "gemm_acc B");
-  require_same(c.size(), m * n, "gemm_acc C");
-  gemm_impl(a.data(), b.data(), c.data(), m, k, n, /*accumulate=*/true);
-}
-
-void gemm_at_b_acc(std::span<const float> a, std::span<const float> b,
-                   std::span<float> c, std::size_t m, std::size_t k,
-                   std::size_t n) {
-  require_same(a.size(), k * m, "gemm_at_b A");
-  require_same(b.size(), k * n, "gemm_at_b B");
-  require_same(c.size(), m * n, "gemm_at_b C");
-  // C[i][j] += sum_kk A[kk][i] * B[kk][j]
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = a.data() + kk * m;
-    const float* brow = b.data() + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = c.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
-}
-
-void gemm_a_bt_acc(std::span<const float> a, std::span<const float> b,
-                   std::span<float> c, std::size_t m, std::size_t k,
-                   std::size_t n) {
-  require_same(a.size(), m * k, "gemm_a_bt A");
-  require_same(b.size(), n * k, "gemm_a_bt B");
-  require_same(c.size(), m * n, "gemm_a_bt C");
-  // C[i][j] += dot(A row i, B row j)
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* crow = c.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b.data() + j * k;
-      float acc = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] += acc;
-    }
-  }
-}
-
-void im2col(std::span<const float> img, std::size_t channels, std::size_t height,
-            std::size_t width, std::size_t kernel_h, std::size_t kernel_w,
-            std::size_t stride, std::size_t pad, std::span<float> cols) {
+void im2col(std::span<const float> img, std::size_t channels,
+            std::size_t height, std::size_t width, std::size_t kernel_h,
+            std::size_t kernel_w, std::size_t stride, std::size_t pad,
+            std::span<float> cols) {
   const std::size_t out_h = (height + 2 * pad - kernel_h) / stride + 1;
   const std::size_t out_w = (width + 2 * pad - kernel_w) / stride + 1;
   require_same(img.size(), channels * height * width, "im2col img");
@@ -164,12 +92,14 @@ void im2col(std::span<const float> img, std::size_t channels, std::size_t height
             const std::ptrdiff_t iw =
                 static_cast<std::ptrdiff_t>(ow * stride + kw) -
                 static_cast<std::ptrdiff_t>(pad);
-            const bool inside = ih >= 0 && ih < static_cast<std::ptrdiff_t>(height) &&
-                                iw >= 0 && iw < static_cast<std::ptrdiff_t>(width);
+            const bool inside =
+                ih >= 0 && ih < static_cast<std::ptrdiff_t>(height) &&
+                iw >= 0 && iw < static_cast<std::ptrdiff_t>(width);
             dst[oh * out_w + ow] =
-                inside ? img[(c * height + static_cast<std::size_t>(ih)) * width +
-                             static_cast<std::size_t>(iw)]
-                       : 0.0f;
+                inside
+                    ? img[(c * height + static_cast<std::size_t>(ih)) * width +
+                          static_cast<std::size_t>(iw)]
+                    : 0.0f;
           }
         }
       }

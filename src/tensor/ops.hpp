@@ -3,9 +3,19 @@
 // The distributed algorithms treat a model as one flat parameter vector
 // (paper notation x ∈ R^N), so all compression / averaging / SGD arithmetic
 // happens through these span kernels.  GEMM and im2col serve src/nn.
+//
+// The GEMM family runs on the packed, register- and cache-blocked kernel
+// layer in tensor/gemm.cpp (see docs/ARCHITECTURE.md, "Kernel layer"): a
+// fixed 4×16 micro-kernel (8-float vector lanes) with fused-multiply-add
+// accumulation, dispatched at runtime between a portable auto-vectorizable
+// path and an AVX2 intrinsics path.
+// Both paths perform the IDENTICAL per-element operation sequence
+// (strictly k-ascending fma into the output element), so results are
+// bit-identical for every backend, every tile size and every thread count.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 namespace saps::ops {
@@ -17,10 +27,12 @@ void axpy(float alpha, std::span<const float> x, std::span<float> y);
 void scale(std::span<float> x, float alpha) noexcept;
 
 /// out = a + b (element-wise); aliasing with either input is allowed.
-void add(std::span<const float> a, std::span<const float> b, std::span<float> out);
+void add(std::span<const float> a, std::span<const float> b,
+         std::span<float> out);
 
 /// out = a - b
-void sub(std::span<const float> a, std::span<const float> b, std::span<float> out);
+void sub(std::span<const float> a, std::span<const float> b,
+         std::span<float> out);
 
 /// out = a ∘ b (Hadamard)
 void hadamard(std::span<const float> a, std::span<const float> b,
@@ -34,9 +46,47 @@ void hadamard(std::span<const float> a, std::span<const float> b,
 /// l2 norm
 [[nodiscard]] double norm2(std::span<const float> x) noexcept;
 
-/// C(m×n) = A(m×k) · B(k×n), row-major, C overwritten.  Cache-blocked.
-void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c,
-          std::size_t m, std::size_t k, std::size_t n);
+// --- blocked GEMM kernel layer ---------------------------------------------
+
+/// Which micro-kernel implementation the GEMM driver uses.
+enum class GemmBackend : std::uint8_t {
+  kAuto = 0,      // resolve at first use: kAvx2 when the CPU supports it
+  kPortable = 1,  // std::fma tiles (compiler-vectorizable); runs anywhere
+  kAvx2 = 2,      // AVX2+FMA intrinsics micro-kernel
+};
+
+/// True when `backend` can run on this machine (kPortable/kAuto always can).
+[[nodiscard]] bool gemm_backend_available(GemmBackend backend) noexcept;
+
+/// Forces the backend for all subsequent GEMM calls (not thread-safe against
+/// concurrent GEMMs; intended for startup/tests).  Throws
+/// std::invalid_argument when the backend is unavailable on this machine.
+void set_gemm_backend(GemmBackend backend);
+
+/// The resolved backend the next GEMM call will use (never kAuto).
+[[nodiscard]] GemmBackend gemm_backend() noexcept;
+
+/// Fused epilogue applied to C after the final k panel of a non-accumulating
+/// GEMM: optional bias (broadcast along a row or a column of C) followed by
+/// optional ReLU.  Element-wise order is fixed: c = relu(c_gemm + bias).
+struct GemmEpilogue {
+  enum class BiasAxis : std::uint8_t {
+    kRow,  // bias[i] added to every element of C row i (Conv2d channels)
+    kCol,  // bias[j] added to every element of C column j (Linear features)
+  };
+  std::span<const float> bias{};  // empty → no bias
+  BiasAxis bias_axis = BiasAxis::kRow;
+  bool relu = false;
+};
+
+/// C(m×n) = A(m×k) · B(k×n), row-major, C overwritten.  Packed and blocked.
+void gemm(std::span<const float> a, std::span<const float> b,
+          std::span<float> c, std::size_t m, std::size_t k, std::size_t n);
+
+/// As gemm(), with the fused epilogue applied in the final write of C.
+void gemm_fused(std::span<const float> a, std::span<const float> b,
+                std::span<float> c, std::size_t m, std::size_t k, std::size_t n,
+                const GemmEpilogue& epilogue);
 
 /// C(m×n) += A(m×k) · B(k×n)
 void gemm_acc(std::span<const float> a, std::span<const float> b,
@@ -52,11 +102,18 @@ void gemm_a_bt_acc(std::span<const float> a, std::span<const float> b,
                    std::span<float> c, std::size_t m, std::size_t k,
                    std::size_t n);
 
+/// C(m×n) = A(m×k) · Bᵀ(k×n) with B stored (n×k), then the fused epilogue —
+/// the Linear-forward shape (out = in · Wᵀ + b).
+void gemm_a_bt_fused(std::span<const float> a, std::span<const float> b,
+                     std::span<float> c, std::size_t m, std::size_t k,
+                     std::size_t n, const GemmEpilogue& epilogue);
+
 /// im2col for NCHW single image: input (C,H,W) → columns
 /// (C*kh*kw, out_h*out_w).  Padding is zero-filled.
-void im2col(std::span<const float> img, std::size_t channels, std::size_t height,
-            std::size_t width, std::size_t kernel_h, std::size_t kernel_w,
-            std::size_t stride, std::size_t pad, std::span<float> cols);
+void im2col(std::span<const float> img, std::size_t channels,
+            std::size_t height, std::size_t width, std::size_t kernel_h,
+            std::size_t kernel_w, std::size_t stride, std::size_t pad,
+            std::span<float> cols);
 
 /// Transpose of im2col: scatters column gradients back into an image gradient.
 /// `img_grad` is accumulated into (callers zero it first).

@@ -20,7 +20,8 @@ Flags::Flags(int argc, char** argv) {
     if (eq == std::string_view::npos) {
       values_[std::string(token)] = "true";
     } else {
-      values_[std::string(token.substr(0, eq))] = std::string(token.substr(eq + 1));
+      values_[std::string(token.substr(0, eq))] =
+          std::string(token.substr(eq + 1));
     }
   }
 }
@@ -33,7 +34,8 @@ std::string Flags::get_string(const std::string& key,
   return it == values_.end() ? fallback : it->second;
 }
 
-std::int64_t Flags::get_int(const std::string& key, std::int64_t fallback) const {
+std::int64_t Flags::get_int(const std::string& key,
+                            std::int64_t fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   return std::stoll(it->second);

@@ -26,7 +26,8 @@ class Flags {
                                        const std::string& fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& key,
                                      std::int64_t fallback) const;
-  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
 
   /// Registers `key` as a known flag with a one-line description (shown by

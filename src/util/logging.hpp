@@ -12,7 +12,13 @@
 
 namespace saps {
 
-enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
 
 namespace detail {
 inline std::atomic<int>& log_level_storage() noexcept {
@@ -35,7 +41,8 @@ inline void set_log_level(LogLevel level) noexcept {
   return static_cast<int>(level) >= static_cast<int>(log_level());
 }
 
-[[nodiscard]] constexpr std::string_view log_level_name(LogLevel level) noexcept {
+[[nodiscard]] constexpr std::string_view log_level_name(
+    LogLevel level) noexcept {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo:  return "INFO";

@@ -124,10 +124,9 @@ class Rng {
 /// Derives a child seed from a base seed and up to three integer tags.
 /// Used to give each (worker, round, purpose) tuple its own stream without
 /// correlation, e.g. derive_seed(run_seed, worker, round).
-[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t base,
-                                                  std::uint64_t tag0 = 0,
-                                                  std::uint64_t tag1 = 0,
-                                                  std::uint64_t tag2 = 0) noexcept {
+[[nodiscard]] constexpr std::uint64_t derive_seed(
+    std::uint64_t base, std::uint64_t tag0 = 0, std::uint64_t tag1 = 0,
+    std::uint64_t tag2 = 0) noexcept {
   SplitMix64 sm(base);
   std::uint64_t s = sm();
   s ^= tag0 + 0x9E3779B97F4A7C15ULL + (s << 6) + (s >> 2);

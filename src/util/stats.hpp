@@ -43,7 +43,9 @@ class RunningStat {
 /// Linear-interpolated percentile, p in [0, 100].  Copies the input.
 [[nodiscard]] inline double percentile(std::span<const double> xs, double p) {
   if (xs.empty()) throw std::invalid_argument("percentile: empty input");
-  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p out of range");
+  }
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);

@@ -13,9 +13,9 @@ Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
 
 void Table::add_row(std::vector<std::string> row) {
   if (row.size() != header_.size()) {
-    throw std::invalid_argument("Table: row arity " + std::to_string(row.size()) +
-                                " != header arity " +
-                                std::to_string(header_.size()));
+    throw std::invalid_argument(
+        "Table: row arity " + std::to_string(row.size()) +
+        " != header arity " + std::to_string(header_.size()));
   }
   rows_.push_back(std::move(row));
 }

@@ -32,7 +32,8 @@ TEST(Psgd, TrafficMatchesTwoModelsPerRound) {
   PsgdAllReduce algo;
   const auto result = algo.run(engine);
   const double n_bytes = 4.0 * static_cast<double>(engine.param_count());
-  const double expected = 2.0 * n_bytes * static_cast<double>(result.final().round);
+  const double expected =
+      2.0 * n_bytes * static_cast<double>(result.final().round);
   EXPECT_NEAR(engine.network().worker_bytes(0), expected, 1.0);
 }
 
@@ -85,7 +86,8 @@ TEST(SFedAvg, SparsifiedUploadIsSmaller) {
   auto plain_engine = blob_engine(4, 6);
   auto sparse_engine = blob_engine(4, 6);
   FedAvg plain({.fraction = 0.5, .local_epochs = 1});
-  FedAvg sparse({.fraction = 0.5, .local_epochs = 1, .upload_compression = 5.0});
+  FedAvg sparse(
+      {.fraction = 0.5, .local_epochs = 1, .upload_compression = 5.0});
   plain.run(plain_engine);
   const auto rs = sparse.run(sparse_engine);
   EXPECT_EQ(rs.algorithm, "S-FedAvg");

@@ -31,7 +31,8 @@ class MaskRatioTest : public ::testing::TestWithParam<double> {};
 TEST_P(MaskRatioTest, DensityMatchesOneOverC) {
   const double c = GetParam();
   const std::size_t n = 200000;
-  const auto mask = bernoulli_mask(derive_seed(7, static_cast<uint64_t>(c)), n, c);
+  const auto mask =
+      bernoulli_mask(derive_seed(7, static_cast<uint64_t>(c)), n, c);
   const double density = static_cast<double>(mask_popcount(mask)) / n;
   EXPECT_NEAR(density, 1.0 / c, 3.0 * std::sqrt((1.0 / c) / n) + 1e-4);
 }
@@ -77,7 +78,8 @@ TEST(Mask, AverageRejectsWrongValueCount) {
   std::vector<float> vals = {1};
   EXPECT_THROW(average_masked_inplace(x, mask, vals), std::invalid_argument);
   std::vector<float> too_many = {1, 2, 3};
-  EXPECT_THROW(average_masked_inplace(x, mask, too_many), std::invalid_argument);
+  EXPECT_THROW(average_masked_inplace(x, mask, too_many),
+               std::invalid_argument);
 }
 
 TEST(Mask, ScatterOverwrites) {

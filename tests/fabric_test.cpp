@@ -60,6 +60,41 @@ TEST(Fabric, FullModelChargeExcludesFrame) {
   EXPECT_EQ(env->payload.size(), 40u + net::FullModelMsg::kFrameBytes);
 }
 
+TEST(Fabric, PreEncodedFrameMatchesSendByteForByteAndChargeForCharge) {
+  net::SparseDeltaMsg msg;
+  msg.round = 3;
+  msg.origin = 0;
+  msg.indices = {1, 4, 9, 16};
+  msg.values = {0.1f, -0.2f, 0.3f, -0.4f};
+
+  const auto frame = pre_encode(msg);
+  EXPECT_EQ(frame.bytes, msg.encode());
+  EXPECT_DOUBLE_EQ(frame.charged, msg.wire_bytes());
+
+  // One fabric sends the typed message, the other forwards the pre-encoded
+  // frame twice (as a ring hop would): payloads and charges must agree.
+  Fabric direct(net::LinkModel(std::size_t{3}));
+  direct.begin_round();
+  direct.send(0, 1, msg);
+  direct.end_round();
+
+  Fabric framed(net::LinkModel(std::size_t{3}));
+  framed.begin_round();
+  framed.send_frame(0, 1, frame);
+  framed.send_frame(1, 2, frame);
+  framed.end_round();
+
+  const auto want = direct.recv(1);
+  const auto got1 = framed.recv(1);
+  const auto got2 = framed.recv(2);
+  ASSERT_TRUE(want && got1 && got2);
+  EXPECT_EQ(got1->payload, want->payload);
+  EXPECT_EQ(got2->payload, want->payload);
+  EXPECT_EQ(net::SparseDeltaMsg::peek_origin(got2->payload), 0u);
+  EXPECT_DOUBLE_EQ(framed.link().up_bytes(0), direct.link().up_bytes(0));
+  EXPECT_DOUBLE_EQ(framed.link().up_bytes(1), msg.wire_bytes());
+}
+
 TEST(Fabric, ControlPlaneBytesStayOutOfWorkerTraffic) {
   Fabric fabric(net::LinkModel(uniform_bw(3, 1.0)));
   const net::NotifyMsg note{.round = 0, .mask_seed = 1, .peer = 2};

@@ -127,7 +127,8 @@ TEST(Blossom, EmptyGraphHasNoMatch) {
   for (const auto p : m.partner) EXPECT_EQ(p, Matching::kUnmatched);
 }
 
-class RandomGraphMatchingTest : public ::testing::TestWithParam<std::uint64_t> {};
+class RandomGraphMatchingTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RandomGraphMatchingTest, MatchesBruteForceOnRandomGraphs) {
   Rng rng(GetParam());

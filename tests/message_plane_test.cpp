@@ -145,10 +145,43 @@ TEST(FullModel, PeekRankMatchesDecodeWithoutPayload) {
   const auto bytes = msg.encode();
   EXPECT_EQ(FullModelMsg::peek_rank(bytes), 29u);
   EXPECT_EQ(FullModelMsg::decode(bytes).rank, FullModelMsg::peek_rank(bytes));
-  EXPECT_THROW(
-      (void)FullModelMsg::peek_rank(RoundEndMsg{.round = 1, .rank = 2}.encode()),
-      std::invalid_argument);
+  const auto round_end = RoundEndMsg{.round = 1, .rank = 2}.encode();
+  EXPECT_THROW((void)FullModelMsg::peek_rank(round_end),
+               std::invalid_argument);
   EXPECT_THROW((void)FullModelMsg::peek_rank({}), std::out_of_range);
+}
+
+TEST(SparseDelta, PeekOriginMatchesDecodeWithoutPayload) {
+  SparseDeltaMsg msg;
+  msg.round = 4;
+  msg.origin = 17;
+  msg.indices = {2, 5, 11};
+  msg.values = {0.5f, -0.25f, 1.0f};
+  const auto bytes = msg.encode();
+  EXPECT_EQ(SparseDeltaMsg::peek_origin(bytes), 17u);
+  EXPECT_EQ(SparseDeltaMsg::decode(bytes).origin,
+            SparseDeltaMsg::peek_origin(bytes));
+  EXPECT_THROW((void)SparseDeltaMsg::peek_origin(
+                   RoundEndMsg{.round = 1, .rank = 2}.encode()),
+               std::invalid_argument);
+  EXPECT_THROW((void)SparseDeltaMsg::peek_origin({}), std::out_of_range);
+}
+
+TEST(QuantGrad, PeekOriginMatchesDecodeWithoutUnpacking) {
+  QuantGradMsg msg;
+  msg.round = 6;
+  msg.origin = 23;
+  msg.norm = 2.0f;
+  msg.levels = 4;
+  msg.quantized = {-4, 0, 3, 1};
+  const auto bytes = msg.encode();
+  EXPECT_EQ(QuantGradMsg::peek_origin(bytes), 23u);
+  EXPECT_EQ(QuantGradMsg::decode(bytes).origin,
+            QuantGradMsg::peek_origin(bytes));
+  EXPECT_THROW((void)QuantGradMsg::peek_origin(
+                   RoundEndMsg{.round = 1, .rank = 2}.encode()),
+               std::invalid_argument);
+  EXPECT_THROW((void)QuantGradMsg::peek_origin({}), std::out_of_range);
 }
 
 TEST(QuantGrad, RejectsZeroLevels) {

@@ -114,8 +114,8 @@ TEST(SapsPsgd, FarLessTrafficThanUncompressedExchange) {
   const auto result = algo.run(engine);
   const double dense_per_round =
       2.0 * 4.0 * static_cast<double>(engine.param_count());
-  const double actual_per_round =
-      engine.network().worker_bytes(1) / static_cast<double>(result.final().round);
+  const double actual_per_round = engine.network().worker_bytes(1) /
+                                  static_cast<double>(result.final().round);
   EXPECT_LT(actual_per_round, dense_per_round / 20.0);
 }
 
@@ -139,7 +139,8 @@ TEST(SapsPsgd, AdaptiveSelectionRecordsBandwidth) {
 
 TEST(SapsPsgd, RandomStrategyWorksToo) {
   auto engine = blob_engine(8, 5);
-  SapsPsgd algo({.compression = 10.0, .strategy = SelectionStrategy::kRandomMatch});
+  SapsPsgd algo(
+      {.compression = 10.0, .strategy = SelectionStrategy::kRandomMatch});
   const auto result = algo.run(engine);
   EXPECT_EQ(result.algorithm, "SAPS-PSGD(random)");
   EXPECT_GT(result.final().accuracy, 0.8);

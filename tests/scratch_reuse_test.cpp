@@ -1,0 +1,142 @@
+// Allocation-count tests for the training/compression hot paths: the
+// per-round kernels must be allocation-free at steady state (persistent
+// scratch, buffer swaps) apart from buffers whose ownership is handed to the
+// caller.  Global operator new/new[] are replaced with counting versions for
+// this binary; each test warms its path up, then measures a tight window.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "compress/topk.hpp"
+#include "nn/conv2d.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace saps {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.next_float() - 0.5f;
+  return v;
+}
+
+std::size_t allocations() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+TEST(ErrorFeedbackTopK, CompressAllocatesOnlyTheReturnedVectors) {
+  const std::size_t n = 4096;
+  compress::ErrorFeedbackTopK ef(n, 100.0);
+  const auto grad = random_vec(n, 5);
+  for (int warm = 0; warm < 3; ++warm) (void)ef.compress(grad);
+
+  for (int i = 0; i < 5; ++i) {
+    const std::size_t before = allocations();
+    const auto sent = ef.compress(grad);
+    const std::size_t per_call = allocations() - before;
+    // The returned SparseVector's two buffers leave the compressor, so they
+    // are the irreducible floor; the selection scratch and the residual
+    // swap must add nothing.
+    EXPECT_LE(per_call, 2u) << "call " << i;
+    EXPECT_GT(sent.nnz(), 0u);
+  }
+}
+
+TEST(ErrorFeedbackTopK, SwapResidualMatchesSeedSemantics) {
+  // residual after compress == (residual + gradient) with sent coords zeroed.
+  const std::size_t n = 257;
+  compress::ErrorFeedbackTopK ef(n, 10.0);
+  const auto g1 = random_vec(n, 7);
+  const auto g2 = random_vec(n, 9);
+  std::vector<float> expect(n, 0.0f);
+  for (const auto& g : {g1, g2}) {
+    for (std::size_t i = 0; i < n; ++i) expect[i] += g[i];
+    const auto sent = ef.compress(g);
+    for (std::size_t i = 0; i < sent.nnz(); ++i) {
+      EXPECT_EQ(sent.values[i], expect[sent.indices[i]]);
+      expect[sent.indices[i]] = 0.0f;
+    }
+    const auto res = ef.residual();
+    ASSERT_EQ(res.size(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(res[i], expect[i]) << i;
+  }
+}
+
+TEST(TopK, WorkspaceOverloadIsAllocationFreeAndEquivalent) {
+  const std::size_t n = 2048;
+  const auto x = random_vec(n, 11);
+  const auto want = compress::top_k(x, 50.0);
+
+  std::vector<std::uint32_t> order;
+  compress::SparseVector out;
+  compress::top_k(x, 50.0, order, out);  // warm the buffers
+  const std::size_t before = allocations();
+  compress::top_k(x, 50.0, order, out);
+  EXPECT_EQ(allocations() - before, 0u);
+  EXPECT_EQ(out.indices, want.indices);
+  EXPECT_EQ(out.values, want.values);
+}
+
+TEST(Conv2d, BackwardReusesColumnScratchAfterWarmup) {
+  nn::Conv2d conv(3, 8, 3, 1, 1);
+  std::vector<float> params(conv.param_count()), grads(conv.param_count());
+  conv.bind(params, grads);
+  Rng rng(13);
+  conv.init(rng);
+
+  const std::vector<std::size_t> in_shape{2, 3, 8, 8};
+  Tensor in(in_shape), din(in_shape);
+  Tensor out(conv.output_shape(in_shape)), dout(conv.output_shape(in_shape));
+  auto src = random_vec(in.numel(), 17);
+  std::copy(src.begin(), src.end(), in.data());
+  auto dsrc = random_vec(dout.numel(), 19);
+  std::copy(dsrc.begin(), dsrc.end(), dout.data());
+
+  conv.forward(in, out, true);
+  conv.backward(in, dout, din);  // warm cols_/dcols_ and the pack scratch
+  const std::size_t before = allocations();
+  conv.forward(in, out, true);
+  conv.backward(in, dout, din);
+  EXPECT_EQ(allocations() - before, 0u);
+}
+
+TEST(Gemm, PackScratchIsReusedAcrossCalls) {
+  const std::size_t m = 16, k = 144, n = 64;
+  const auto a = random_vec(m * k, 23);
+  const auto b = random_vec(k * n, 29);
+  std::vector<float> c(m * n);
+  ops::gemm(a, b, c, m, k, n);  // warm the thread-local packing buffers
+  const std::size_t before = allocations();
+  for (int i = 0; i < 3; ++i) ops::gemm(a, b, c, m, k, n);
+  EXPECT_EQ(allocations() - before, 0u);
+}
+
+}  // namespace
+}  // namespace saps

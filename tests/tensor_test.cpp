@@ -84,7 +84,8 @@ void naive_gemm(const std::vector<float>& a, const std::vector<float>& b,
 }
 
 class GemmTest
-    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t>> {};
 
 TEST_P(GemmTest, MatchesNaive) {
   const auto [m, k, n] = GetParam();

@@ -141,7 +141,8 @@ TEST(Transport, ThreadedSapsRoundMatchesSequential) {
 
   for (std::size_t w = 0; w < kWorkers; ++w) {
     for (std::size_t j = 0; j < kDim; ++j) {
-      EXPECT_EQ(models[w][j], reference[w][j]) << "worker " << w << " dim " << j;
+      EXPECT_EQ(models[w][j], reference[w][j])
+          << "worker " << w << " dim " << j;
     }
   }
   // Traffic moved: 4 notifies + 4 masked models + 4 round-ends.
