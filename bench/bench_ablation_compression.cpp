@@ -4,26 +4,47 @@
 // its compression error feeds back into the public-copy dynamics.
 #include <iostream>
 
-#include "algos/qsgd_psgd.hpp"
-#include "bench/harness.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/runner.hpp"
+#include "util/flags.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+// One sweep point: override a single registry parameter and rerun.
+saps::scenario::RunRecord run_with(const saps::scenario::ScenarioSpec& spec,
+                                   const saps::scenario::Workload& workload,
+                                   const std::string& param,
+                                   const std::string& value,
+                                   const std::string& algo,
+                                   saps::scenario::SinkList& sinks) {
+  auto s = spec;
+  s.set(param, value);
+  saps::scenario::Runner runner(s, workload);
+  return runner.run(algo, &sinks);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
-  auto opt = saps::bench::parse_options(flags);
+  saps::scenario::describe_scenario_flags(flags);
   saps::exit_on_help_or_unknown(flags, argv[0]);
-  const auto spec = saps::bench::make_workload("mnist", opt);
+  auto spec = saps::scenario::scenario_from_flags_or_exit(flags);
+  auto sinks = saps::scenario::sinks_from_flags_or_exit(flags);
+
+  saps::scenario::Runner base(spec);
+  const auto& workload = base.workload();
 
   std::cout << "=== Ablation: compression ratio c vs final accuracy and "
-               "traffic (" << spec.name << ", " << opt.workers
+               "traffic (" << workload.display_name << ", " << spec.workers
             << " workers) ===\n\n";
 
   std::cout << "SAPS-PSGD (seeded random mask, values-only wire format):\n";
   saps::Table saps_table({"c", "final_accuracy_pct", "traffic_mb"});
   for (const double c : {4.0, 10.0, 100.0, 1000.0}) {
-    auto o = opt;
-    o.saps_c = c;
-    const auto run = saps::bench::run_single(spec, o, std::nullopt, "saps");
+    const auto run = run_with(spec, workload, "saps-c",
+                              saps::scenario::format_double(c), "saps", sinks);
     saps_table.add_row({saps::Table::num(c, 0),
                         saps::Table::num(run.result.final().accuracy * 100, 2),
                         saps::Table::num(run.traffic_mb, 4)});
@@ -33,9 +54,8 @@ int main(int argc, char** argv) {
   std::cout << "DCD-PSGD (top-k difference compression on the ring):\n";
   saps::Table dcd_table({"c", "final_accuracy_pct", "traffic_mb"});
   for (const double c : {4.0, 20.0, 100.0}) {
-    auto o = opt;
-    o.dcd_c = c;
-    const auto run = saps::bench::run_single(spec, o, std::nullopt, "dcd");
+    const auto run = run_with(spec, workload, "dcd-c",
+                              saps::scenario::format_double(c), "dcd", sinks);
     dcd_table.add_row({saps::Table::num(c, 0),
                        saps::Table::num(run.result.final().accuracy * 100, 2),
                        saps::Table::num(run.traffic_mb, 4)});
@@ -48,16 +68,13 @@ int main(int argc, char** argv) {
   // (1-bit), versus the 100-1000x sparsification reaches above.
   std::cout << "QSGD-PSGD (stochastic quantization, all-gather):\n";
   saps::Table qsgd_table({"levels", "final_accuracy_pct", "traffic_mb"});
-  for (const std::uint8_t levels : {std::uint8_t{1}, std::uint8_t{4},
-                                    std::uint8_t{16}}) {
-    saps::sim::Engine engine(spec.config, spec.train, spec.test, spec.factory,
-                             std::nullopt);
-    saps::algos::QsgdPsgd algo({.levels = levels});
-    const auto result = algo.run(engine);
+  for (const long long levels : {1LL, 4LL, 16LL}) {
+    const auto run = run_with(spec, workload, "qsgd-levels",
+                              std::to_string(levels), "qsgd", sinks);
     qsgd_table.add_row(
-        {saps::Table::num(static_cast<long long>(levels)),
-         saps::Table::num(result.final().accuracy * 100, 2),
-         saps::Table::num(engine.network().mean_worker_bytes() / 1e6, 4)});
+        {saps::Table::num(levels),
+         saps::Table::num(run.result.final().accuracy * 100, 2),
+         saps::Table::num(run.traffic_mb, 4)});
   }
   std::cout << qsgd_table.to_aligned()
             << "\n(even 1-level QSGD moves more bytes than SAPS at c = 100 — "

@@ -17,6 +17,7 @@
 #include "gossip/peer_selection.hpp"
 #include "graph/spectral.hpp"
 #include "net/bandwidth.hpp"
+#include "scenario/params.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -53,15 +54,40 @@ double estimate_rho(const std::function<GossipMatrix(std::size_t)>& sel,
 
 }  // namespace
 
+namespace {
+
+const std::vector<saps::scenario::ParamDesc>& bench_params() {
+  using enum saps::scenario::ParamType;
+  static const std::vector<saps::scenario::ParamDesc> descs = {
+      {.name = "workers",
+       .type = kInt,
+       .default_value = "32",
+       .min_value = 2,
+       .max_value = 4096,
+       .help = "worker count (default 32)"},
+      {.name = "rounds",
+       .type = kInt,
+       .default_value = "400",
+       .min_value = 1,
+       .max_value = 1e9,
+       .help = "gossip rounds per sweep point (default 400)"},
+      {.name = "seed",
+       .type = kUint,
+       .default_value = "23",
+       .help = "RNG seed (default 23)"}};
+  return descs;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
-  flags.describe("workers", "worker count (default 32)")
-      .describe("rounds", "gossip rounds per sweep point (default 400)")
-      .describe("seed", "RNG seed (default 23)");
+  saps::scenario::describe_params(flags, bench_params());
   saps::exit_on_help_or_unknown(flags, argv[0]);
-  const auto workers = static_cast<std::size_t>(flags.get_int("workers", 32));
-  const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 400));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 23));
+  const auto p = saps::scenario::resolve_params_or_exit(flags, bench_params());
+  const auto workers = static_cast<std::size_t>(p.get_int("workers"));
+  const auto rounds = static_cast<std::size_t>(p.get_int("rounds"));
+  const auto seed = p.get_uint("seed");
   const auto bw = saps::net::random_uniform_bandwidth(workers, seed);
 
   // (1) T_thres sweep.

@@ -5,14 +5,36 @@
 #include <iostream>
 
 #include "net/bandwidth.hpp"
+#include "scenario/params.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+// No training here — just descriptor-driven flags (typed + range-checked).
+const std::vector<saps::scenario::ParamDesc>& bench_params() {
+  using enum saps::scenario::ParamType;
+  static const std::vector<saps::scenario::ParamDesc> descs = {
+      {.name = "workers",
+       .type = kInt,
+       .default_value = "32",
+       .min_value = 2,
+       .max_value = 4096,
+       .help = "size of the synthetic uniform matrix (default 32)"},
+      {.name = "seed",
+       .type = kUint,
+       .default_value = "7",
+       .help = "RNG seed for the synthetic matrix (default 7)"}};
+  return descs;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
-  flags.describe("workers", "size of the synthetic uniform matrix (default 32)")
-      .describe("seed", "RNG seed for the synthetic matrix (default 7)");
+  saps::scenario::describe_params(flags, bench_params());
   saps::exit_on_help_or_unknown(flags, argv[0]);
+  const auto p = saps::scenario::resolve_params_or_exit(flags, bench_params());
 
   std::cout << "=== Fig. 1: measured 14-city bandwidth matrix (MB/s, "
                "min-symmetrized) ===\n\n";
@@ -33,8 +55,8 @@ int main(int argc, char** argv) {
   std::cout << "min positive link: " << bw.min_positive()
             << " MB/s, max link: " << bw.max_value() << " MB/s\n\n";
 
-  const auto n = static_cast<std::size_t>(flags.get_int("workers", 32));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const auto n = static_cast<std::size_t>(p.get_int("workers"));
+  const auto seed = p.get_uint("seed");
   const auto rnd = saps::net::random_uniform_bandwidth(n, seed);
   std::cout << "=== Synthetic " << n << "-worker environment (uniform (0,5] "
             << "MB/s, seed " << seed << ") ===\n"

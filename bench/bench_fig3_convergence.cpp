@@ -1,25 +1,35 @@
 // Reproduces Fig. 3: top-1 validation accuracy vs. epoch for the seven
 // algorithms on the three workloads (MNIST-CNN, CIFAR10-CNN, ResNet-20).
 //
-// Defaults are scaled down (16 workers, tiny models, synthetic data) so the
+// Defaults are scaled down (8 workers, tiny models, synthetic data) so the
 // full sweep runs in minutes; pass --full for paper-scale (32 workers,
 // full-size models — slow).  Shape to reproduce: SAPS-PSGD tracks D-PSGD,
 // ends above FedAvg/S-FedAvg/DCD-PSGD, slightly below PSGD/TopK.
+//
+// Scenario API bench: flags/--help are generated from the registry's
+// parameter descriptors; `--spec=bench/specs/fig3_mnist.spec
+// --sink=jsonl:BENCH_fig3.jsonl` reproduces the comparison machine-readably.
 #include <iostream>
 
-#include "bench/harness.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/runner.hpp"
+#include "util/flags.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
-  auto opt = saps::bench::parse_options(flags);
+  saps::scenario::describe_scenario_flags(flags);
   saps::exit_on_help_or_unknown(flags, argv[0]);
+  auto spec = saps::scenario::scenario_from_flags_or_exit(flags);
+  auto sinks = saps::scenario::sinks_from_flags_or_exit(flags);
 
-  for (const auto& key : saps::bench::all_workload_keys()) {
-    const auto spec = saps::bench::make_workload(key, opt);
-    std::cout << "=== Fig. 3 (" << spec.name << "): accuracy [%] vs epoch, "
-              << opt.workers << " workers ===\n";
-    const auto runs = saps::bench::run_comparison(spec, opt, std::nullopt);
+  for (const auto& key : saps::scenario::workloads_to_run(spec)) {
+    spec.workload = key;
+    saps::scenario::Runner runner(spec);
+    std::cout << "=== Fig. 3 (" << runner.workload().display_name
+              << "): accuracy [%] vs epoch, " << runner.spec().workers
+              << " workers ===\n";
+    const auto runs = runner.run_all(&sinks);
 
     // Epoch-indexed series, one column per algorithm.
     std::vector<std::string> header = {"epoch"};

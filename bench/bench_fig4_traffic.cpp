@@ -6,19 +6,24 @@
 // sit in between.
 #include <iostream>
 
-#include "bench/harness.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/runner.hpp"
+#include "util/flags.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
-  auto opt = saps::bench::parse_options(flags);
+  saps::scenario::describe_scenario_flags(flags);
   saps::exit_on_help_or_unknown(flags, argv[0]);
+  auto spec = saps::scenario::scenario_from_flags_or_exit(flags);
+  auto sinks = saps::scenario::sinks_from_flags_or_exit(flags);
 
-  for (const auto& key : saps::bench::all_workload_keys()) {
-    const auto spec = saps::bench::make_workload(key, opt);
-    std::cout << "=== Fig. 4 (" << spec.name
+  for (const auto& key : saps::scenario::workloads_to_run(spec)) {
+    spec.workload = key;
+    saps::scenario::Runner runner(spec);
+    std::cout << "=== Fig. 4 (" << runner.workload().display_name
               << "): per-worker traffic [MB] → accuracy [%] ===\n";
-    const auto runs = saps::bench::run_comparison(spec, opt, std::nullopt);
+    const auto runs = runner.run_all(&sinks);
 
     saps::Table table({"algorithm", "point", "traffic_mb", "accuracy_pct"});
     for (const auto& r : runs) {

@@ -13,6 +13,7 @@
 #include "gossip/generator.hpp"
 #include "gossip/peer_selection.hpp"
 #include "net/bandwidth.hpp"
+#include "scenario/params.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -73,18 +74,46 @@ void run_environment(const std::string& label,
 
 }  // namespace
 
+namespace {
+
+const std::vector<saps::scenario::ParamDesc>& bench_params() {
+  using enum saps::scenario::ParamType;
+  static const std::vector<saps::scenario::ParamDesc> descs = {
+      {.name = "iterations",
+       .type = kInt,
+       .default_value = "400",
+       .min_value = 1,
+       .max_value = 1e9,
+       .help = "gossip rounds per scenario (default 400)"},
+      {.name = "seed",
+       .type = kUint,
+       .default_value = "17",
+       .help = "RNG seed (default 17)"},
+      {.name = "workers",
+       .type = kInt,
+       .default_value = "32",
+       .min_value = 2,
+       .max_value = 4096,
+       .help = "workers in the synthetic scenario (default 32)"},
+      {.name = "ring-matrices",
+       .type = kInt,
+       .default_value = "5000",
+       .min_value = 1,
+       .max_value = 1e9,
+       .help = "candidate ring matrices for the random baseline "
+               "(default 5000)"}};
+  return descs;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
-  flags.describe("iterations", "gossip rounds per scenario (default 400)")
-      .describe("seed", "RNG seed (default 17)")
-      .describe("workers", "workers in the synthetic scenario (default 32)")
-      .describe("ring-matrices",
-                "candidate ring matrices for the random baseline "
-                "(default 5000)");
+  saps::scenario::describe_params(flags, bench_params());
   saps::exit_on_help_or_unknown(flags, argv[0]);
-  const auto iterations =
-      static_cast<std::size_t>(flags.get_int("iterations", 400));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 17));
+  const auto p = saps::scenario::resolve_params_or_exit(flags, bench_params());
+  const auto iterations = static_cast<std::size_t>(p.get_int("iterations"));
+  const auto seed = p.get_uint("seed");
 
   // (a) 14 cities, measured bandwidths; ring = fixed ring on the matrix.
   {
@@ -97,12 +126,12 @@ int main(int argc, char** argv) {
   // (b) 32 workers, uniform (0,5]; ring averaged over 5000 random matrices
   // (the paper's variance-reduction procedure).
   {
-    const auto workers = static_cast<std::size_t>(flags.get_int("workers", 32));
+    const auto workers = static_cast<std::size_t>(p.get_int("workers"));
     const auto bw = saps::net::random_uniform_bandwidth(workers, seed);
     const saps::gossip::RingTopology ring(workers);
     saps::RunningStat ring_stat;
     const auto matrices =
-        static_cast<std::size_t>(flags.get_int("ring-matrices", 5000));
+        static_cast<std::size_t>(p.get_int("ring-matrices"));
     for (std::size_t m = 0; m < matrices; ++m) {
       const auto sample = saps::net::random_uniform_bandwidth(
           workers, saps::derive_seed(seed, m));

@@ -8,21 +8,27 @@
 // links, while ring-based baselines are stuck behind their slowest edge.
 #include <iostream>
 
-#include "bench/harness.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/runner.hpp"
+#include "util/flags.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
-  auto opt = saps::bench::parse_options(flags);
+  saps::scenario::describe_scenario_flags(flags);
   saps::exit_on_help_or_unknown(flags, argv[0]);
-  const auto bw = saps::net::random_uniform_bandwidth(
-      opt.workers, saps::derive_seed(opt.seed, 0xf16));
+  auto spec = saps::scenario::scenario_from_flags_or_exit(flags);
+  auto sinks = saps::scenario::sinks_from_flags_or_exit(flags);
+  // This is the timed comparison: default to the shared random-uniform
+  // bandwidth environment unless the spec chose one explicitly.
+  if (!spec.provided("bandwidth")) spec.bandwidth = "uniform";
 
-  for (const auto& key : saps::bench::all_workload_keys()) {
-    const auto spec = saps::bench::make_workload(key, opt);
-    std::cout << "=== Fig. 6 (" << spec.name
+  for (const auto& key : saps::scenario::workloads_to_run(spec)) {
+    spec.workload = key;
+    saps::scenario::Runner runner(spec);
+    std::cout << "=== Fig. 6 (" << runner.workload().display_name
               << "): communication time [s] → accuracy [%] ===\n";
-    const auto runs = saps::bench::run_comparison(spec, opt, bw);
+    const auto runs = runner.run_all(&sinks);
 
     saps::Table table({"algorithm", "point", "comm_seconds", "accuracy_pct"});
     for (const auto& r : runs) {

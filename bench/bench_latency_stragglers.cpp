@@ -15,23 +15,23 @@
 #include <iostream>
 #include <vector>
 
-#include "bench/harness.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/runner.hpp"
+#include "util/flags.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
-  flags.describe("workload", "workload key: mnist|cifar|resnet (default mnist)")
-      .describe("sweep",
-                "comma-free sweep preset: 0 = {0, 1ms, 10ms} latency x "
-                "{0, 50ms} jitter (default); any other value runs only the "
-                "--latency/--compute-jitter pair given on the command line");
-  auto opt = saps::bench::parse_options(flags);
-  const auto workload = flags.get_string("workload", "mnist");
-  const bool preset = flags.get_int("sweep", 0) == 0;
+  saps::scenario::describe_scenario_flags(flags);
+  flags.describe("sweep",
+                 "comma-free sweep preset: 0 = {0, 1ms, 10ms} latency x "
+                 "{0, 50ms} jitter (default); any other value runs only the "
+                 "--latency/--compute-jitter pair given on the command line");
   saps::exit_on_help_or_unknown(flags, argv[0]);
-
-  const auto bw = saps::net::random_uniform_bandwidth(
-      opt.workers, saps::derive_seed(opt.seed, 0xf16));
+  auto spec = saps::scenario::scenario_from_flags_or_exit(flags);
+  auto sinks = saps::scenario::sinks_from_flags_or_exit(flags);
+  const bool preset = flags.get_int("sweep", 0) == 0;
+  if (!spec.provided("bandwidth")) spec.bandwidth = "uniform";
 
   struct Scenario {
     double latency, jitter;
@@ -44,22 +44,33 @@ int main(int argc, char** argv) {
       }
     }
   } else {
-    scenarios.push_back({opt.latency_seconds, opt.compute_jitter_seconds});
+    scenarios.push_back({spec.latency, spec.compute_jitter});
   }
 
-  // Datasets/model factory depend only on the workload options, not on the
-  // timing knobs — build the spec once and mutate the knobs per scenario.
-  auto spec = saps::bench::make_workload(workload, opt);
-  std::cout << "=== Latency / straggler sweep (" << spec.name
+  // Datasets/model factory depend only on the workload knobs, not on the
+  // timing knobs — build the workload once and share it across scenarios.
+  saps::scenario::Runner base(spec);
+  const auto& workload = base.workload();
+  std::cout << "=== Latency / straggler sweep (" << workload.display_name
             << "): communication time [s] by scenario ===\n";
+
+  const auto run_at = [&](double latency, double jitter) {
+    auto s = spec;
+    s.latency = latency;
+    s.compute_jitter = jitter;
+    saps::scenario::Runner runner(s, workload);
+    return runner.run_all(&sinks);
+  };
 
   // Baseline (instantaneous links, uniform compute) for the inflation column.
   std::vector<double> baseline;
   {
-    spec.config.link_latency_seconds = 0.0;
-    spec.config.compute_base_seconds = 0.0;
-    spec.config.compute_jitter_seconds = 0.0;
-    for (const auto& r : saps::bench::run_comparison(spec, opt, bw)) {
+    auto s = spec;
+    s.latency = 0.0;
+    s.compute_base = 0.0;
+    s.compute_jitter = 0.0;
+    saps::scenario::Runner runner(s, workload);
+    for (const auto& r : runner.run_all(&sinks)) {
       baseline.push_back(r.comm_seconds);
     }
   }
@@ -67,9 +78,7 @@ int main(int argc, char** argv) {
   saps::Table table({"latency_s", "jitter_s", "algorithm", "comm_seconds",
                      "vs_ideal", "final_accuracy_pct"});
   for (const auto& s : scenarios) {
-    spec.config.link_latency_seconds = s.latency;
-    spec.config.compute_jitter_seconds = s.jitter;
-    const auto runs = saps::bench::run_comparison(spec, opt, bw);
+    const auto runs = run_at(s.latency, s.jitter);
     for (std::size_t i = 0; i < runs.size(); ++i) {
       const auto& r = runs[i];
       const double ideal = baseline[i];

@@ -4,27 +4,75 @@
 #include <iostream>
 
 #include "core/cost_model.hpp"
+#include "scenario/params.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+const std::vector<saps::scenario::ParamDesc>& bench_params() {
+  using enum saps::scenario::ParamType;
+  static const std::vector<saps::scenario::ParamDesc> descs = {
+      {.name = "model-size",
+       .type = kDouble,
+       .default_value = "6653628",
+       .min_value = 1,
+       .max_value = 1e15,
+       .help = "model parameter count N (default MNIST-CNN)"},
+      {.name = "workers",
+       .type = kDouble,
+       .default_value = "32",
+       .min_value = 2,
+       .max_value = 1e9,
+       .help = "worker count n (default 32)"},
+      {.name = "rounds",
+       .type = kDouble,
+       .default_value = "1000",
+       .min_value = 1,
+       .max_value = 1e15,
+       .help = "training rounds T (default 1000)"},
+      {.name = "saps-c",
+       .type = kDouble,
+       .default_value = "100",
+       .min_value = 1,
+       .max_value = 1e12,
+       .help = "SAPS compression ratio (default 100)"},
+      {.name = "topk-c",
+       .type = kDouble,
+       .default_value = "1000",
+       .min_value = 1,
+       .max_value = 1e12,
+       .help = "TopK-PSGD compression ratio (default 1000)"},
+      {.name = "dcd-c",
+       .type = kDouble,
+       .default_value = "4",
+       .min_value = 1,
+       .max_value = 1e12,
+       .help = "DCD-PSGD compression ratio (default 4)"},
+      {.name = "np",
+       .type = kDouble,
+       .default_value = "2",
+       .min_value = 1,
+       .max_value = 1e6,
+       .help = "D-PSGD neighbors per worker (default 2)"}};
+  return descs;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
-  flags.describe("model-size", "model parameter count N (default MNIST-CNN)")
-      .describe("workers", "worker count n (default 32)")
-      .describe("rounds", "training rounds T (default 1000)")
-      .describe("saps-c", "SAPS compression ratio (default 100)")
-      .describe("topk-c", "TopK-PSGD compression ratio (default 1000)")
-      .describe("dcd-c", "DCD-PSGD compression ratio (default 4)")
-      .describe("np", "D-PSGD neighbors per worker (default 2)");
+  saps::scenario::describe_params(flags, bench_params());
   saps::exit_on_help_or_unknown(flags, argv[0]);
+  const auto p = saps::scenario::resolve_params_or_exit(flags, bench_params());
   saps::core::CostInputs in;
-  in.model_size = flags.get_double("model-size", 6653628.0);  // MNIST-CNN
-  in.workers = flags.get_double("workers", 32.0);
-  in.rounds = flags.get_double("rounds", 1000.0);
-  in.compression = flags.get_double("saps-c", 100.0);
-  in.topk_compression = flags.get_double("topk-c", 1000.0);
-  in.dcd_compression = flags.get_double("dcd-c", 4.0);
-  in.neighbors = flags.get_double("np", 2.0);
+  in.model_size = p.get_double("model-size");  // MNIST-CNN
+  in.workers = p.get_double("workers");
+  in.rounds = p.get_double("rounds");
+  in.compression = p.get_double("saps-c");
+  in.topk_compression = p.get_double("topk-c");
+  in.dcd_compression = p.get_double("dcd-c");
+  in.neighbors = p.get_double("np");
 
   std::cout << "=== Table I: communication cost comparison ===\n"
             << "N=" << in.model_size << " params, n=" << in.workers

@@ -5,24 +5,30 @@
 // SAPS ≈ D-PSGD; SAPS above FedAvg/S-FedAvg/DCD on the harder tasks.
 #include <iostream>
 
-#include "bench/harness.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/runner.hpp"
+#include "util/flags.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
-  auto opt = saps::bench::parse_options(flags);
+  saps::scenario::describe_scenario_flags(flags);
   saps::exit_on_help_or_unknown(flags, argv[0]);
+  auto spec = saps::scenario::scenario_from_flags_or_exit(flags);
+  auto sinks = saps::scenario::sinks_from_flags_or_exit(flags);
 
   std::cout << "=== Table III: final top-1 validation accuracy [%] ("
-            << opt.workers << " workers, " << opt.epochs << " epochs) ===\n\n";
+            << spec.workers << " workers, " << spec.epochs
+            << " epochs) ===\n\n";
 
   std::vector<std::vector<std::string>> rows;
   std::vector<std::string> header = {"Algorithm"};
   bool first_workload = true;
-  for (const auto& key : saps::bench::all_workload_keys()) {
-    const auto spec = saps::bench::make_workload(key, opt);
-    header.push_back(spec.name);
-    const auto runs = saps::bench::run_comparison(spec, opt, std::nullopt);
+  for (const auto& key : saps::scenario::workloads_to_run(spec)) {
+    spec.workload = key;
+    saps::scenario::Runner runner(spec);
+    header.push_back(runner.workload().display_name);
+    const auto runs = runner.run_all(&sinks);
     for (std::size_t i = 0; i < runs.size(); ++i) {
       if (first_workload) rows.push_back({runs[i].name});
       rows[i].push_back(

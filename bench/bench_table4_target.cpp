@@ -8,30 +8,35 @@
 // reach the target print "n/a".
 #include <iostream>
 
-#include "bench/harness.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/runner.hpp"
+#include "util/flags.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
-  auto opt = saps::bench::parse_options(flags);
+  saps::scenario::describe_scenario_flags(flags);
   flags.describe("target-frac",
                  "target accuracy as a fraction of the best final accuracy "
                  "(default 0.9)");
-  for (const auto& key : saps::bench::all_workload_keys()) {
+  const auto& registry = saps::scenario::Registry::instance();
+  for (const auto& key : registry.workload_keys(/*paper_only=*/true)) {
     flags.describe("target-" + key,
                    "absolute target accuracy for the " + key + " workload");
   }
   saps::exit_on_help_or_unknown(flags, argv[0]);
-  const auto bw = saps::net::random_uniform_bandwidth(
-      opt.workers, saps::derive_seed(opt.seed, 0xf16));
+  auto spec = saps::scenario::scenario_from_flags_or_exit(flags);
+  auto sinks = saps::scenario::sinks_from_flags_or_exit(flags);
+  if (!spec.provided("bandwidth")) spec.bandwidth = "uniform";
   const double target_frac = flags.get_double("target-frac", 0.9);
 
   std::cout << "=== Table IV: traffic (MB) and time (s) at target accuracy, "
-            << opt.workers << " workers, bandwidth included ===\n\n";
+            << spec.workers << " workers, bandwidth included ===\n\n";
 
-  for (const auto& key : saps::bench::all_workload_keys()) {
-    const auto spec = saps::bench::make_workload(key, opt);
-    const auto runs = saps::bench::run_comparison(spec, opt, bw);
+  for (const auto& key : saps::scenario::workloads_to_run(spec)) {
+    spec.workload = key;
+    saps::scenario::Runner runner(spec);
+    const auto runs = runner.run_all(&sinks);
 
     double best = 0.0;
     for (const auto& r : runs) {
@@ -40,8 +45,8 @@ int main(int argc, char** argv) {
     const double target =
         flags.get_double("target-" + key, best * target_frac);
 
-    std::cout << spec.name << " (target " << saps::Table::num(target * 100, 1)
-              << "%)\n";
+    std::cout << runner.workload().display_name << " (target "
+              << saps::Table::num(target * 100, 1) << "%)\n";
     saps::Table table({"Algorithm", "Traffic [MB]", "Time [s]"});
     for (const auto& r : runs) {
       const auto* p = r.result.first_reaching(target);

@@ -4,25 +4,25 @@
 // Run:  ./build/examples/compare_algorithms [--workload=mnist --epochs=10]
 #include <iostream>
 
-#include "bench/harness.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/runner.hpp"
+#include "util/flags.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
-  auto opt = saps::bench::parse_options(flags);
-  flags.describe("workload", "mnist | cifar | resnet (default mnist)");
+  saps::scenario::describe_scenario_flags(flags);
   saps::exit_on_help_or_unknown(flags, argv[0]);
-  const auto which = flags.get_string("workload", "mnist");
-  const auto spec = saps::bench::make_workload(which, opt);
+  auto spec = saps::scenario::scenario_from_flags_or_exit(flags);
+  auto sinks = saps::scenario::sinks_from_flags_or_exit(flags);
+  if (!spec.provided("bandwidth")) spec.bandwidth = "uniform";
 
-  const auto bw = saps::net::random_uniform_bandwidth(
-      opt.workers, saps::derive_seed(opt.seed, 0xf16));
-
-  std::cout << "Comparing 7 algorithms on " << spec.name << " ("
-            << opt.workers << " workers, " << opt.epochs
+  saps::scenario::Runner runner(spec);
+  std::cout << "Comparing 7 algorithms on " << runner.workload().display_name
+            << " (" << spec.workers << " workers, " << spec.epochs
             << " epochs, random (0,5] MB/s bandwidths)\n\n";
 
-  const auto runs = saps::bench::run_comparison(spec, opt, bw);
+  const auto runs = runner.run_all(&sinks);
   saps::Table table({"Algorithm", "Accuracy %", "Traffic MB/worker",
                      "Comm time s", "Rounds"});
   for (const auto& r : runs) {

@@ -4,97 +4,101 @@
 // mid-training.  SAPS-PSGD's adaptive peer selection keeps communication on
 // fast links and the coordinator re-matches around the missing workers.
 //
+// Everything — the city bandwidths, the shard partition, the dropout/rejoin
+// windows — is ONE declarative ScenarioSpec; the failure schedule rides the
+// spec ("failures=9@R-R2,...") instead of hand-wired set_active calls.
+//
 // Run:  ./build/examples/geo_federated [--epochs=8]
+#include <algorithm>
 #include <iostream>
 
 #include "core/saps.hpp"
-#include "data/synthetic.hpp"
 #include "net/bandwidth.hpp"
-#include "nn/models.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/runner.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
-  flags.describe("epochs", "training epochs (default 8)")
-      .describe("seed", "RNG seed (default 7)");
+  saps::scenario::describe_scenario_flags(flags);
   saps::exit_on_help_or_unknown(flags, argv[0]);
-  const auto epochs = static_cast<std::size_t>(flags.get_int("epochs", 8));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
 
-  const auto bw = saps::net::fig1_city_bandwidth();
-  const std::size_t workers = bw.size();  // 14 cities
+  auto spec = saps::scenario::scenario_from_flags_or_exit(flags);
+  if (!spec.provided("workers")) spec.set("workers", "14");  // 14 cities
+  if (!spec.provided("bandwidth")) spec.set("bandwidth", "cities");
+  if (!spec.provided("partition")) spec.set("partition", "shard");
+  if (!spec.provided("epochs")) spec.set("epochs", "8");
+  if (!spec.provided("seed")) spec.set("seed", "7");
+  spec.algorithms = {"saps"};
+
   const auto& cities = saps::net::fig1_city_names();
+  // Rounds per epoch, clamped so the dropout window stays valid (rejoin
+  // strictly after drop) for any --samples/--batch/--epochs combination.
+  const std::size_t steps = std::max<std::size_t>(1, spec.samples /
+                                                         spec.batch);
+  const std::size_t drop_at =
+      std::max<std::size_t>(1, spec.epochs * steps / 3);
+  const std::size_t rejoin_at = 2 * drop_at;
+  if (!spec.provided("failures")) {
+    // Mumbai (9) and SaoPaulo (13) leave for a third of the run, rejoin.
+    spec.set("failures", "9@" + std::to_string(drop_at) + "-" +
+                             std::to_string(rejoin_at) + ",13@" +
+                             std::to_string(drop_at) + "-" +
+                             std::to_string(rejoin_at));
+  }
 
-  const auto train = saps::data::make_mnist_like(workers * 200, seed, 12);
-  const auto test = saps::data::make_mnist_like(400, seed, 12);
-
-  saps::sim::SimConfig cfg;
-  cfg.workers = workers;
-  cfg.epochs = epochs;
-  cfg.batch_size = 10;
-  cfg.lr = 0.05;
-  cfg.seed = seed;
-  cfg.partition = saps::sim::PartitionKind::kShard;  // non-IID: 2 shards each
-  cfg.shards_per_worker = 2;
-
-  auto make_engine = [&] {
-    return saps::sim::Engine(
-        cfg, train, test,
-        [seed] { return saps::nn::make_tiny_cnn(1, 12, 10, seed); }, bw);
-  };
-
-  std::cout << "Geo-federated run: " << workers
+  std::cout << "Geo-federated run: " << spec.workers
             << " city workers, non-IID shards, Fig. 1 bandwidths\n\n";
 
-  // Adaptive selection with mid-training churn: Mumbai (9) and SaoPaulo (13)
-  // leave for a third of the run, then rejoin.
-  saps::core::SapsConfig adaptive_cfg{.compression = 100.0};
-  const std::size_t drop_at = epochs * 20 / 3, rejoin_at = 2 * drop_at;
-  adaptive_cfg.on_round = [&](std::size_t round, saps::core::Coordinator& coord,
-                              saps::sim::Engine& eng) {
-    const bool away = round >= drop_at && round < rejoin_at;
-    for (const std::size_t w : {9u, 13u}) {
-      coord.set_active(w, !away);
-      eng.set_active(w, !away);
-    }
-  };
-  saps::core::SapsPsgd adaptive(adaptive_cfg);
-  auto engine_a = make_engine();
-  const auto result_a = adaptive.run(engine_a);
+  // The programmatic spec edits above (workers=14 for the city matrix) are
+  // re-validated when the Runner finalizes its copy — keep the friendly
+  // exit-2 contract for combinations the edits invalidate (e.g. a CLI
+  // --latency-matrix sized for the default worker count).
+  try {
+    saps::scenario::finalize_spec(spec);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
 
-  saps::core::SapsPsgd random_sel(
-      {.compression = 100.0,
-       .strategy = saps::core::SelectionStrategy::kRandomMatch});
-  auto engine_r = make_engine();
-  const auto result_r = random_sel.run(engine_r);
+  // Adaptive selection with mid-training churn.
+  saps::scenario::Runner adaptive_runner(spec);
+  auto result_a = adaptive_runner.run("saps");
+  const auto* adaptive =
+      dynamic_cast<const saps::core::SapsPsgd*>(result_a.algorithm.get());
+
+  // Random peer selection, same budget, no dropout.
+  auto random_spec = spec;
+  random_spec.failures.clear();
+  random_spec.failures_text.clear();
+  random_spec.set("saps-strategy", "random");
+  saps::scenario::Runner random_runner(random_spec,
+                                       adaptive_runner.workload());
+  const auto result_r = random_runner.run("saps");
 
   saps::RunningStat bw_a;
-  for (const auto v : adaptive.selection_bandwidth()) bw_a.add(v);
+  for (const auto v : adaptive->selection_bandwidth()) bw_a.add(v);
 
+  const auto& fa = result_a.result.final();
   std::cout << "adaptive peer selection (with dropout of " << cities[9]
             << " and " << cities[13] << " during rounds [" << drop_at << ", "
             << rejoin_at << ")):\n"
-            << "  final accuracy:          " << result_a.final().accuracy * 100
-            << "%\n"
-            << "  per-worker traffic:      " << result_a.final().worker_mb
-            << " MB\n"
-            << "  communication time:      " << result_a.final().comm_seconds
-            << " s\n"
+            << "  final accuracy:          " << fa.accuracy * 100 << "%\n"
+            << "  per-worker traffic:      " << fa.worker_mb << " MB\n"
+            << "  communication time:      " << fa.comm_seconds << " s\n"
             << "  mean bottleneck link:    " << bw_a.mean() << " MB/s\n"
-            << "  coordinator control:     " << adaptive.control_bytes() / 1e3
-            << " KB (vs " << result_a.final().worker_mb * 1e3
+            << "  coordinator control:     " << adaptive->control_bytes() / 1e3
+            << " KB (vs " << fa.worker_mb * 1e3
             << " KB of model traffic per worker)\n\n";
 
+  const auto& fr = result_r.result.final();
   std::cout << "random peer selection (no dropout, same budget):\n"
-            << "  final accuracy:          " << result_r.final().accuracy * 100
-            << "%\n"
-            << "  communication time:      " << result_r.final().comm_seconds
-            << " s\n\n";
+            << "  final accuracy:          " << fr.accuracy * 100 << "%\n"
+            << "  communication time:      " << fr.comm_seconds << " s\n\n";
 
   std::cout << "adaptive selection spends "
-            << result_r.final().comm_seconds /
-                   std::max(1e-9, result_a.final().comm_seconds)
+            << fr.comm_seconds / std::max(1e-9, fa.comm_seconds)
             << "x less time communicating than random selection on these "
                "links.\n";
   return 0;

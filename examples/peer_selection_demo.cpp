@@ -10,18 +10,44 @@
 #include "gossip/generator.hpp"
 #include "gossip/peer_selection.hpp"
 #include "net/bandwidth.hpp"
+#include "scenario/params.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 
+namespace {
+
+const std::vector<saps::scenario::ParamDesc>& demo_params() {
+  using enum saps::scenario::ParamType;
+  static const std::vector<saps::scenario::ParamDesc> descs = {
+      {.name = "rounds",
+       .type = kInt,
+       .default_value = "12",
+       .min_value = 1,
+       .max_value = 1e9,
+       .help = "gossip rounds to simulate (default 12)"},
+      {.name = "tthres",
+       .type = kInt,
+       .default_value = "5",
+       .min_value = 1,
+       .max_value = 1000000,
+       .help = "repeat-selection window T_thres (default 5)"},
+      {.name = "seed",
+       .type = kUint,
+       .default_value = "3",
+       .help = "RNG seed (default 3)"}};
+  return descs;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
-  flags.describe("rounds", "gossip rounds to simulate (default 12)")
-      .describe("tthres", "repeat-selection window T_thres (default 5)")
-      .describe("seed", "RNG seed (default 3)");
+  saps::scenario::describe_params(flags, demo_params());
   saps::exit_on_help_or_unknown(flags, argv[0]);
-  const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 12));
-  const auto t_thres = static_cast<std::size_t>(flags.get_int("tthres", 5));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
+  const auto p = saps::scenario::resolve_params_or_exit(flags, demo_params());
+  const auto rounds = static_cast<std::size_t>(p.get_int("rounds"));
+  const auto t_thres = static_cast<std::size_t>(p.get_int("tthres"));
+  const auto seed = p.get_uint("seed");
 
   const auto bw = saps::net::fig1_city_bandwidth();
   const auto& cities = saps::net::fig1_city_names();

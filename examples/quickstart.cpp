@@ -1,62 +1,49 @@
 // Quickstart: train a small model with SAPS-PSGD on 8 simulated workers.
 //
-// Shows the minimal public API path:
-//   dataset → SimConfig → Engine → SapsPsgd → metric history.
+// Shows the minimal Scenario API path:
+//   ScenarioSpec → Runner → metric history (+ a stdout table sink).
+// The spec prints back losslessly (to_spec_text), so every run carries its
+// own reproduction recipe.
 //
 // Build & run:  ./build/examples/quickstart [--workers=8 --epochs=6]
 #include <iostream>
 
-#include "core/saps.hpp"
-#include "data/synthetic.hpp"
-#include "nn/models.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/runner.hpp"
 #include "util/flags.hpp"
 
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
-  flags.describe("workers", "worker count (default 8)")
-      .describe("epochs", "training epochs (default 6)")
-      .describe("seed", "RNG seed (default 42)");
+  // 1. Flags (and --help) are generated from the registry's parameter
+  //    descriptors — the same surface every bench shares.
+  saps::scenario::describe_scenario_flags(flags);
   saps::exit_on_help_or_unknown(flags, argv[0]);
-  const auto workers = static_cast<std::size_t>(flags.get_int("workers", 8));
-  const auto epochs = static_cast<std::size_t>(flags.get_int("epochs", 6));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
 
-  // 1. A dataset.  (Stand-in for MNIST; see DESIGN.md on substitutions.)
-  const auto train = saps::data::make_mnist_like(workers * 200, seed, 12);
-  const auto test = saps::data::make_mnist_like(400, seed, 12);
+  // 2. A declarative scenario: the MNIST stand-in workload, SAPS-PSGD with
+  //    the paper's c=100 sparsification, 8 workers.  CLI flags and --spec
+  //    files override these programmatic defaults.
+  auto spec = saps::scenario::scenario_from_flags_or_exit(flags);
+  if (!spec.provided("algorithm")) spec.algorithms = {"saps"};
+  if (!spec.provided("saps-c")) spec.params.set("saps-c", "100");
 
-  // 2. Engine configuration: workers, batch size, LR (paper's Table II uses
-  //    lr=0.05 for MNIST-CNN).
-  saps::sim::SimConfig cfg;
-  cfg.workers = workers;
-  cfg.epochs = epochs;
-  cfg.batch_size = 10;
-  cfg.lr = 0.05;
-  cfg.seed = seed;
+  // 3. The Runner builds the workload + a fresh engine and streams every
+  //    evaluation point to the attached sinks.
+  saps::scenario::Runner runner(spec);
+  std::cout << "SAPS-PSGD quickstart: " << runner.spec().workers
+            << " workers, c=" << runner.spec().params.raw("saps-c")
+            << " sparsification\n\n# reproduction spec:\n"
+            << saps::scenario::to_spec_text(runner.spec()) << "\n";
 
-  // 3. The engine owns one model replica per worker; the factory must be
-  //    deterministic so all replicas start identical.
-  saps::sim::Engine engine(
-      cfg, train, test,
-      [seed] { return saps::nn::make_tiny_cnn(1, 12, 10, seed); },
-      std::nullopt);
-
-  std::cout << "SAPS-PSGD quickstart: " << workers << " workers, "
-            << engine.param_count() << "-parameter CNN, c=100 sparsification\n";
-
-  // 4. Run the paper's algorithm (c = 100 → each round a worker exchanges
-  //    only ~1% of its model with a single peer).
-  saps::core::SapsPsgd saps({.compression = 100.0});
-  const auto result = saps.run(engine);
-
-  // 5. The metric history is the training curve.
-  std::cout << "\nepoch  accuracy%  per-worker-MB\n";
-  for (const auto& p : result.history) {
-    std::cout << "  " << p.epoch << "      " << p.accuracy * 100.0 << "     "
-              << p.worker_mb << "\n";
+  saps::scenario::SinkList sinks = saps::scenario::sinks_from_flags_or_exit(
+      flags);
+  if (sinks.empty()) {
+    sinks = saps::scenario::make_sinks("table");  // default: stdout table
   }
-  std::cout << "\nfinal accuracy: " << result.final().accuracy * 100.0
-            << "%  after " << result.final().round << " rounds and "
-            << result.final().worker_mb << " MB per worker\n";
+  const auto record = runner.run("saps", &sinks);
+
+  // 4. The metric history is the training curve.
+  std::cout << "final accuracy: " << record.result.final().accuracy * 100.0
+            << "%  after " << record.result.final().round << " rounds and "
+            << record.result.final().worker_mb << " MB per worker\n";
   return 0;
 }

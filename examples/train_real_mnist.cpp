@@ -1,76 +1,48 @@
 // Train SAPS-PSGD on the REAL MNIST dataset when the IDX files are present
 // (pass --mnist-dir=/path/to/mnist), falling back to the synthetic stand-in
-// otherwise — the exact substitution documented in DESIGN.md §1.  Saves the
-// final collected model as a checkpoint, mirroring Algorithm 1 line 8.
+// otherwise — the exact substitution documented in DESIGN.md §1 and encoded
+// in the registry's "real-mnist" workload.  Saves the final collected model
+// as a checkpoint, mirroring Algorithm 1 line 8.
 //
 // Run:  ./build/examples/train_real_mnist [--mnist-dir=data/mnist]
 //                                         [--workers=8 --epochs=4]
 #include <iostream>
 
-#include "core/saps.hpp"
-#include "data/mnist_loader.hpp"
-#include "data/synthetic.hpp"
 #include "nn/checkpoint.hpp"
-#include "nn/models.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/runner.hpp"
 #include "util/flags.hpp"
 
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
-  flags.describe("workers", "worker count (default 8)")
-      .describe("epochs", "training epochs (default 4)")
-      .describe("seed", "RNG seed (default 42)")
-      .describe("mnist-dir", "directory with the MNIST idx files")
-      .describe("checkpoint", "output checkpoint path");
+  // describe_scenario_flags covers every registered workload's parameters,
+  // including real-mnist's --mnist-dir.
+  saps::scenario::describe_scenario_flags(flags);
+  flags.describe("checkpoint", "output checkpoint path");
   saps::exit_on_help_or_unknown(flags, argv[0]);
-  const auto workers = static_cast<std::size_t>(flags.get_int("workers", 8));
-  const auto epochs = static_cast<std::size_t>(flags.get_int("epochs", 4));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
-  const auto dir = flags.get_string("mnist-dir", "data/mnist");
+
+  auto spec = saps::scenario::scenario_from_flags_or_exit(flags);
+  spec.workload = "real-mnist";
+  spec.algorithms = {"saps"};
+  if (!spec.provided("epochs")) spec.set("epochs", "4");
+  if (!spec.provided("samples")) spec.set("samples", "200");
   const auto out = flags.get_string("checkpoint", "saps_mnist.ckpt");
 
-  // Real data when available, synthetic stand-in otherwise.
-  auto train_opt = saps::data::load_mnist_train(dir);
-  auto test_opt = saps::data::load_mnist_test(dir);
-  const bool real = train_opt.has_value() && test_opt.has_value();
-  std::size_t img = 28;
-  if (!real) {
-    img = 12;  // scaled-down synthetic default (fast)
-    std::cout << "MNIST IDX files not found under '" << dir
-              << "' — using the synthetic stand-in (see DESIGN.md)\n";
-    train_opt = saps::data::make_mnist_like(workers * 200, seed, img);
-    test_opt = saps::data::make_mnist_like(400, seed, img);
-  } else {
-    std::cout << "loaded real MNIST: " << train_opt->size() << " train / "
-              << test_opt->size() << " test images\n";
-  }
+  saps::scenario::Runner runner(spec);
+  const auto& workload = runner.workload();
+  if (!workload.note.empty()) std::cout << workload.note << "\n";
+  std::cout << "training SAPS-PSGD (c=" << runner.spec().params.raw("saps-c")
+            << ") on " << spec.workers << " workers, "
+            << workload.display_name << " (" << workload.train.size()
+            << " train / " << workload.test.size() << " test samples)\n";
 
-  saps::sim::SimConfig cfg;
-  cfg.workers = workers;
-  cfg.epochs = epochs;
-  cfg.batch_size = real ? 50 : 10;  // paper's Table II batch for MNIST
-  cfg.lr = 0.05;
-  cfg.seed = seed;
-
-  saps::sim::Engine engine(
-      cfg, *train_opt, *test_opt,
-      [seed, real, img] {
-        return real ? saps::nn::make_mnist_cnn(seed)
-                    : saps::nn::make_tiny_cnn(1, img, 10, seed);
-      },
-      std::nullopt);
-
-  std::cout << "training SAPS-PSGD (c=100) on " << workers << " workers, "
-            << engine.param_count() << " parameters\n";
-  saps::core::SapsPsgd saps({.compression = 100.0});
-  const auto result = saps.run(engine);
-
-  std::cout << "final accuracy " << result.final().accuracy * 100.0
-            << "% after " << result.final().round << " rounds, "
-            << result.final().worker_mb << " MB per worker\n";
+  const auto record = runner.run("saps");
+  std::cout << "final accuracy " << record.result.final().accuracy * 100.0
+            << "% after " << record.result.final().round << " rounds, "
+            << record.result.final().worker_mb << " MB per worker\n";
 
   // Coordinator collects the final model from one worker; persist it.
-  const auto final_model = engine.average_params();
-  saps::nn::save_checkpoint(out, final_model);
+  saps::nn::save_checkpoint(out, record.final_params);
   std::cout << "saved final model to " << out << " ("
             << saps::nn::load_checkpoint(out).size() << " params verified)\n";
   return 0;

@@ -8,6 +8,7 @@
 #include "compress/topk.hpp"
 #include "gossip/peer_selection.hpp"
 #include "net/wire.hpp"
+#include "scenario/registry.hpp"
 
 namespace saps::algos {
 
@@ -222,3 +223,30 @@ sim::RunResult DcdPsgd::run(sim::Engine& engine) {
 }
 
 }  // namespace saps::algos
+
+namespace saps::scenario::detail {
+
+void register_dpsgd(Registry& r) {
+  r.add_algorithm(
+      {.key = "dpsgd",
+       .summary = "D-PSGD: full-model averaging on the fixed ring",
+       .make = [](const ParamSet&, const AlgoBuildContext&) {
+         return std::make_unique<algos::DPsgd>();
+       }});
+  r.add_algorithm(
+      {.key = "dcd",
+       .summary = "DCD-PSGD: top-k compressed differences on the ring",
+       .params = {{.name = "dcd-c",
+                   .type = ParamType::kDouble,
+                   .default_value = "4",
+                   .min_value = 1,
+                   .max_value = 1e12,
+                   .help = "DCD-PSGD compression ratio c (paper 4; c >= 100 "
+                           "fails to converge)"}},
+       .make = [](const ParamSet& p, const AlgoBuildContext&) {
+         return std::make_unique<algos::DcdPsgd>(
+             algos::DcdConfig{.compression = p.get_double("dcd-c")});
+       }});
+}
+
+}  // namespace saps::scenario::detail

@@ -6,6 +6,7 @@
 
 #include "compress/mask.hpp"
 #include "net/wire.hpp"
+#include "scenario/registry.hpp"
 #include "util/rng.hpp"
 
 namespace saps::algos {
@@ -193,3 +194,65 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
 }
 
 }  // namespace saps::algos
+
+namespace saps::scenario::detail {
+
+namespace {
+
+// The FedAvg family shares the participation/round-granularity knobs; the
+// registry dedupes identical descriptors across the two entries.
+const std::vector<ParamDesc>& fedavg_shared_params() {
+  static const std::vector<ParamDesc> descs = {
+      {.name = "fedavg-frac",
+       .type = ParamType::kDouble,
+       .default_value = "0.5",
+       .min_value = 1e-9,
+       .max_value = 1,
+       .help = "FedAvg/S-FedAvg participant fraction C (paper 0.5)"},
+      {.name = "fedavg-steps",
+       .type = ParamType::kInt,
+       .default_value = "0",
+       .min_value = 0,
+       .max_value = 1e9,
+       .help = "FedAvg local steps per round (0 = one local epoch; fast "
+               "mode derives several rounds per epoch)"}};
+  return descs;
+}
+
+algos::FedAvgConfig fedavg_config(const ParamSet& p) {
+  return {.fraction = p.get_double("fedavg-frac"),
+          .local_epochs = 1,
+          .local_steps = static_cast<std::size_t>(p.get_int("fedavg-steps"))};
+}
+
+}  // namespace
+
+void register_fedavg(Registry& r) {
+  r.add_algorithm(
+      {.key = "fedavg",
+       .summary = "FedAvg: server-coordinated local SGD (McMahan et al.)",
+       .params = fedavg_shared_params(),
+       .make = [](const ParamSet& p, const AlgoBuildContext&) {
+         return std::make_unique<algos::FedAvg>(fedavg_config(p));
+       }});
+  auto sfedavg_params = fedavg_shared_params();
+  sfedavg_params.push_back(
+      {.name = "sfedavg-c",
+       .type = ParamType::kDouble,
+       .default_value = "100",
+       .min_value = 1,
+       .max_value = 1e12,
+       .help = "S-FedAvg upload compression (paper 100; fast mode shrinks "
+               "to 20)"});
+  r.add_algorithm(
+      {.key = "sfedavg",
+       .summary = "S-FedAvg: FedAvg with seeded-random-masked uploads",
+       .params = std::move(sfedavg_params),
+       .make = [](const ParamSet& p, const AlgoBuildContext&) {
+         auto cfg = fedavg_config(p);
+         cfg.upload_compression = p.get_double("sfedavg-c");
+         return std::make_unique<algos::FedAvg>(cfg);
+       }});
+}
+
+}  // namespace saps::scenario::detail

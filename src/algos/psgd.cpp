@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "net/wire.hpp"
+#include "scenario/registry.hpp"
 
 namespace saps::algos {
 
@@ -63,3 +64,16 @@ sim::RunResult PsgdAllReduce::run(sim::Engine& engine) {
 }
 
 }  // namespace saps::algos
+
+namespace saps::scenario::detail {
+
+void register_psgd(Registry& r) {
+  r.add_algorithm(
+      {.key = "psgd",
+       .summary = "PSGD with idealized all-reduce (dense baseline)",
+       .make = [](const ParamSet&, const AlgoBuildContext&) {
+         return std::make_unique<algos::PsgdAllReduce>();
+       }});
+}
+
+}  // namespace saps::scenario::detail

@@ -4,6 +4,7 @@
 
 #include "compress/quantize.hpp"
 #include "net/wire.hpp"
+#include "scenario/registry.hpp"
 #include "util/rng.hpp"
 
 namespace saps::algos {
@@ -111,3 +112,25 @@ sim::RunResult QsgdPsgd::run(sim::Engine& engine) {
 }
 
 }  // namespace saps::algos
+
+namespace saps::scenario::detail {
+
+void register_qsgd(Registry& r) {
+  r.add_algorithm(
+      {.key = "qsgd",
+       .summary = "QSGD-PSGD: stochastically quantized gradient all-gather "
+                  "(ablation baseline, not in the paper comparison)",
+       .in_paper_comparison = false,
+       .params = {{.name = "qsgd-levels",
+                   .type = ParamType::kInt,
+                   .default_value = "4",
+                   .min_value = 1,
+                   .max_value = 127,
+                   .help = "QSGD quantization levels s (default 4)"}},
+       .make = [](const ParamSet& p, const AlgoBuildContext&) {
+         return std::make_unique<algos::QsgdPsgd>(algos::QsgdConfig{
+             .levels = static_cast<std::uint8_t>(p.get_int("qsgd-levels"))});
+       }});
+}
+
+}  // namespace saps::scenario::detail

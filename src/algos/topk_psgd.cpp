@@ -4,6 +4,7 @@
 
 #include "compress/topk.hpp"
 #include "net/wire.hpp"
+#include "scenario/registry.hpp"
 
 namespace saps::algos {
 
@@ -104,3 +105,24 @@ sim::RunResult TopkPsgd::run(sim::Engine& engine) {
 }
 
 }  // namespace saps::algos
+
+namespace saps::scenario::detail {
+
+void register_topk(Registry& r) {
+  r.add_algorithm(
+      {.key = "topk",
+       .summary = "TopK-PSGD: error-feedback top-k gradient all-gather",
+       .params = {{.name = "topk-c",
+                   .type = ParamType::kDouble,
+                   .default_value = "1000",
+                   .min_value = 1,
+                   .max_value = 1e12,
+                   .help = "TopK-PSGD compression ratio c (paper 1000; fast "
+                           "mode shrinks to 100)"}},
+       .make = [](const ParamSet& p, const AlgoBuildContext&) {
+         return std::make_unique<algos::TopkPsgd>(
+             algos::TopkConfig{.compression = p.get_double("topk-c")});
+       }});
+}
+
+}  // namespace saps::scenario::detail

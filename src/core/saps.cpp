@@ -4,6 +4,7 @@
 
 #include "compress/mask.hpp"
 #include "net/wire.hpp"
+#include "scenario/registry.hpp"
 
 namespace saps::core {
 
@@ -147,3 +148,64 @@ sim::RunResult SapsPsgd::run(sim::Engine& engine) {
 }
 
 }  // namespace saps::core
+
+namespace saps::scenario::detail {
+
+void register_saps(Registry& r) {
+  r.add_algorithm(
+      {.key = "saps",
+       .summary = "SAPS-PSGD: sparsified gossip with adaptive peer selection "
+                  "(the paper's algorithm)",
+       .supports_failures = true,
+       .params =
+           {{.name = "saps-c",
+             .type = ParamType::kDouble,
+             .default_value = "100",
+             .min_value = 1,
+             .max_value = 1e12,
+             .help = "SAPS compression ratio c (paper 100)"},
+            {.name = "bthres",
+             .type = ParamType::kDouble,
+             .default_value = "0",
+             .min_value = 0,
+             .max_value = 1e12,
+             .help = "SAPS bandwidth threshold B_thres (0 = median auto)"},
+            {.name = "tthres",
+             .type = ParamType::kInt,
+             .default_value = "10",
+             .min_value = 1,
+             .max_value = 1000000,
+             .help = "SAPS repeat-selection window T_thres (default 10)"},
+            {.name = "saps-strategy",
+             .type = ParamType::kString,
+             .default_value = "adaptive",
+             .help = "SAPS peer selection: adaptive (Algorithm 3) or random "
+                     "(the RandomChoose baseline)",
+             .choices = {"adaptive", "random"}}},
+       .make = [](const ParamSet& p, const AlgoBuildContext& ctx) {
+         core::SapsConfig cfg;
+         cfg.compression = p.get_double("saps-c");
+         cfg.bandwidth_threshold = p.get_double("bthres");
+         cfg.t_thres = static_cast<std::size_t>(p.get_int("tthres"));
+         cfg.strategy = p.get_string("saps-strategy") == "random"
+                            ? core::SelectionStrategy::kRandomMatch
+                            : core::SelectionStrategy::kAdaptiveBandwidth;
+         if (!ctx.failures.empty()) {
+           // Dropout/rejoin schedule: a worker leaves at drop_round and
+           // rejoins at rejoin_round; BOTH the coordinator and the engine
+           // must see the flip (see SapsPsgd::run).
+           cfg.on_round = [failures = ctx.failures](
+                              std::size_t round, core::Coordinator& coord,
+                              sim::Engine& eng) {
+             for (const auto& e : failures) {
+               const bool away = failure_away(e, round);
+               coord.set_active(e.worker, !away);
+               eng.set_active(e.worker, !away);
+             }
+           };
+         }
+         return std::make_unique<core::SapsPsgd>(std::move(cfg));
+       }});
+}
+
+}  // namespace saps::scenario::detail

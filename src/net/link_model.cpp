@@ -9,9 +9,42 @@
 
 namespace saps::net {
 
+namespace {
+
+// Side length of the optional per-link latency matrix; throws on a
+// non-square size, a matrix wider than the node set, or a negative entry.
+std::size_t checked_matrix_side(const LinkOptions& options,
+                                std::size_t workers) {
+  const auto& m = options.latency_matrix;
+  if (m.empty()) return 0;
+  std::size_t side = 1;
+  while (side * side < m.size()) ++side;
+  if (side * side != m.size() || side > workers) {
+    throw std::invalid_argument(
+        "LinkModel: latency_matrix must be n*n with n <= node count");
+  }
+  for (const double v : m) {
+    if (v < 0.0) {
+      throw std::invalid_argument("LinkModel: negative latency_matrix entry");
+    }
+  }
+  return side;
+}
+
+bool any_positive(const std::vector<double>& m) {
+  for (const double v : m) {
+    if (v > 0.0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 LinkModel::LinkModel(std::size_t workers, LinkOptions options)
     : workers_(workers),
-      options_(options),
+      options_(std::move(options)),
+      matrix_side_(checked_matrix_side(options_, workers_)),
+      matrix_positive_(any_positive(options_.latency_matrix)),
       up_(workers, 0.0),
       down_(workers, 0.0),
       ready_(workers, 0.0) {
@@ -20,11 +53,20 @@ LinkModel::LinkModel(std::size_t workers, LinkOptions options)
 
 LinkModel::LinkModel(BandwidthMatrix bandwidth, LinkOptions options)
     : workers_(bandwidth.size()),
-      options_(options),
+      options_(std::move(options)),
+      matrix_side_(checked_matrix_side(options_, workers_)),
+      matrix_positive_(any_positive(options_.latency_matrix)),
       bandwidth_(std::move(bandwidth)),
       up_(workers_, 0.0),
       down_(workers_, 0.0),
       ready_(workers_, 0.0) {}
+
+double LinkModel::link_latency(std::size_t src, std::size_t dst) const {
+  if (matrix_side_ == 0 || src >= matrix_side_ || dst >= matrix_side_) {
+    return options_.latency_seconds;
+  }
+  return options_.latency_matrix[src * matrix_side_ + dst];
+}
 
 const BandwidthMatrix& LinkModel::bandwidth() const {
   if (!bandwidth_) throw std::logic_error("LinkModel: no bandwidth matrix");
@@ -97,7 +139,7 @@ double LinkModel::finish_round() {
     // Event chain: serialize-and-send starts once src's compute is done,
     // the wire adds propagation latency, then bytes drain at link bandwidth;
     // the merge event at dst fires on arrival.
-    double seconds = ready_[tr.src] + options_.latency_seconds;
+    double seconds = ready_[tr.src] + link_latency(tr.src, tr.dst);
     if (bandwidth_) {
       const double bw = bandwidth_->get(tr.src, tr.dst);  // MB/s
       if (bw <= 0.0) {

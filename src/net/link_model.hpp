@@ -39,6 +39,12 @@ namespace saps::net {
 struct LinkOptions {
   /// One-way propagation latency added to every transfer, seconds.
   double latency_seconds = 0.0;
+  /// Optional per-link one-way latency (row-major src*n+dst seconds, n² =
+  /// size) OVERRIDING the scalar for links whose endpoints are both < n.
+  /// Nodes beyond the matrix — the virtual parameter server appended by the
+  /// engine — fall back to latency_seconds.  Empty (the default) keeps the
+  /// uniform-scalar accounting bit-identical to the pre-matrix model.
+  std::vector<double> latency_matrix;
   /// Deterministic per-round local-compute cost of every worker, seconds.
   double compute_base_seconds = 0.0;
   /// Straggler jitter: worker w's compute in round r is
@@ -110,11 +116,15 @@ class LinkModel {
     return round_mean_;
   }
 
+  /// One-way latency of src → dst under the options (matrix entry when both
+  /// endpoints are covered, the uniform scalar otherwise).
+  [[nodiscard]] double link_latency(std::size_t src, std::size_t dst) const;
+
  private:
   [[nodiscard]] bool timing_extras() const noexcept {
     return options_.latency_seconds > 0.0 ||
            options_.compute_base_seconds > 0.0 ||
-           options_.compute_jitter_seconds > 0.0;
+           options_.compute_jitter_seconds > 0.0 || matrix_positive_;
   }
 
   struct Transfer {
@@ -125,6 +135,8 @@ class LinkModel {
   std::size_t workers_;
   std::size_t stat_workers_ = 0;  // 0 = all
   LinkOptions options_;
+  std::size_t matrix_side_ = 0;    // 0 = no latency matrix
+  bool matrix_positive_ = false;  // any matrix entry > 0
   std::optional<BandwidthMatrix> bandwidth_;
   std::vector<double> up_, down_;
   std::vector<double> ready_;  // per-node compute-finish time, current round

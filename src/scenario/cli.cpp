@@ -1,0 +1,58 @@
+#include "scenario/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/flags.hpp"
+
+namespace saps::scenario {
+
+void describe_scenario_flags(Flags& flags) {
+  describe_params(flags, core_spec_params());
+  const auto& reg = Registry::instance();
+  describe_params(flags, reg.algorithm_params());
+  // ALL workloads' parameters, matching the set spec_from_flags reads —
+  // non-paper workloads (blob, real-mnist) are reachable via --workload
+  // too, not just via spec files.
+  describe_params(flags, reg.workload_params(/*paper_only=*/false));
+  flags
+      .describe("spec",
+                "scenario spec file (key=value lines; flags override file "
+                "values — see docs/BENCHMARKS.md)")
+      .describe("sink",
+                "metric sinks, comma-separated: table, csv[:PATH], "
+                "jsonl[:PATH] (no PATH = stdout)");
+}
+
+ScenarioSpec scenario_from_flags_or_exit(const Flags& flags) {
+  try {
+    return spec_from_flags(flags);
+  } catch (const std::exception& e) {
+    // Same contract as util/flags strict mode — but never preempt --help,
+    // which exits in exit_on_help_or_unknown.
+    if (!flags.help_requested()) {
+      std::cerr << e.what() << "\n";
+      std::exit(2);
+    }
+    return ScenarioSpec{};
+  }
+}
+
+SinkList sinks_from_flags_or_exit(const Flags& flags) {
+  try {
+    return make_sinks(flags.get_string("sink", ""));
+  } catch (const std::exception& e) {
+    if (!flags.help_requested()) {
+      std::cerr << e.what() << "\n";
+      std::exit(2);
+    }
+    return SinkList{};
+  }
+}
+
+std::vector<std::string> workloads_to_run(const ScenarioSpec& spec) {
+  if (spec.provided("workload")) return {spec.workload};
+  return Registry::instance().workload_keys(/*paper_only=*/true);
+}
+
+}  // namespace saps::scenario

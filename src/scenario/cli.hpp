@@ -1,0 +1,49 @@
+// Command-line integration of the Scenario API.
+//
+// A bench/example main() becomes:
+//
+//   saps::Flags flags(argc, argv);
+//   saps::scenario::describe_scenario_flags(flags);
+//   flags.describe(...bench-specific flags...);
+//   saps::exit_on_help_or_unknown(flags, argv[0]);
+//   auto spec = saps::scenario::scenario_from_flags_or_exit(flags);
+//   auto sinks = saps::scenario::sinks_from_flags_or_exit(flags);
+//
+// --help output is GENERATED from the registry's parameter descriptors (one
+// line per registered algorithm/workload parameter plus the spec's core
+// keys), so a newly registered algorithm shows up in every bench's help with
+// zero per-binary wiring.  Validation failures follow the util/flags
+// contract: friendly message to stderr, exit 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/sinks.hpp"
+#include "scenario/spec.hpp"
+
+namespace saps {
+class Flags;
+}
+
+namespace saps::scenario {
+
+/// Registers --help lines for every spec core key, every registered
+/// algorithm parameter, the paper workloads' parameters, and the --spec /
+/// --sink meta-flags.
+void describe_scenario_flags(Flags& flags);
+
+/// spec_from_flags with the exit-2 contract (help-aware: with --help pending
+/// it returns defaults so exit_on_help_or_unknown can print the help).
+[[nodiscard]] ScenarioSpec scenario_from_flags_or_exit(const Flags& flags);
+
+/// Builds the sinks named by --sink (empty list when absent); exit-2 on an
+/// unknown sink kind or unopenable path.
+[[nodiscard]] SinkList sinks_from_flags_or_exit(const Flags& flags);
+
+/// Workloads a figure bench iterates: the explicitly selected one, or the
+/// paper's Table II set when --workload/spec left it at the default.
+[[nodiscard]] std::vector<std::string> workloads_to_run(
+    const ScenarioSpec& spec);
+
+}  // namespace saps::scenario

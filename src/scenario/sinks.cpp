@@ -1,0 +1,181 @@
+#include "scenario/sinks.hpp"
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "scenario/params.hpp"
+#include "util/table.hpp"
+
+namespace saps::scenario {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    throw std::invalid_argument("--sink: cannot open '" + path +
+                                "' for writing");
+  }
+  return f;
+}
+
+}  // namespace
+
+TableSink::TableSink(std::ostream& os) : os_(os) {}
+
+void TableSink::begin_run(const RunMeta& meta) {
+  (void)meta;
+  buffered_.clear();
+}
+
+void TableSink::point(const RunMeta& meta, const sim::MetricPoint& p) {
+  (void)meta;
+  buffered_.push_back(p);
+}
+
+void TableSink::end_run(const RunMeta& meta) {
+  Table table({"round", "epoch", "loss", "accuracy_pct", "worker_mb",
+               "comm_seconds"});
+  for (const auto& p : buffered_) {
+    table.add_row({Table::num(static_cast<long long>(p.round)),
+                   Table::num(p.epoch, 2), Table::num(p.loss, 4),
+                   Table::num(p.accuracy * 100.0, 2),
+                   Table::num(p.worker_mb, 4),
+                   Table::num(p.comm_seconds, 4)});
+  }
+  os_ << meta.algorithm << " on " << meta.workload << ":\n"
+      << table.to_aligned() << "\n";
+  buffered_.clear();
+}
+
+CsvSink::CsvSink(std::ostream& os) : os_(&os) {}
+
+CsvSink::CsvSink(const std::string& path)
+    : file_(open_or_throw(path)), os_(&file_) {}
+
+void CsvSink::begin_run(const RunMeta& meta) {
+  // Sweep benches vary knobs between runs sharing one sink: re-emit the
+  // spec block whenever it changes so every row stays attributable.
+  if (meta.spec_text != last_spec_) {
+    last_spec_ = meta.spec_text;
+    std::istringstream iss(meta.spec_text);
+    std::string line;
+    while (std::getline(iss, line)) *os_ << "# " << line << "\n";
+  }
+  if (!wrote_columns_) {
+    wrote_columns_ = true;
+    *os_ << "workload,algorithm,round,epoch,loss,accuracy,worker_mb,"
+            "comm_seconds\n";
+  }
+}
+
+void CsvSink::point(const RunMeta& meta, const sim::MetricPoint& p) {
+  *os_ << meta.workload << "," << meta.algorithm << "," << p.round << ","
+       << format_double(p.epoch) << "," << format_double(p.loss) << ","
+       << format_double(p.accuracy) << "," << format_double(p.worker_mb)
+       << "," << format_double(p.comm_seconds) << "\n";
+}
+
+JsonlSink::JsonlSink(std::ostream& os) : os_(&os) {}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : file_(open_or_throw(path)), os_(&file_) {}
+
+void JsonlSink::begin_run(const RunMeta& meta) {
+  *os_ << "{\"event\":\"run_begin\",\"workload\":\""
+       << json_escape(meta.workload) << "\",\"algorithm\":\""
+       << json_escape(meta.algorithm) << "\",\"spec\":\""
+       << json_escape(meta.spec_text) << "\"}\n";
+}
+
+void JsonlSink::point(const RunMeta& meta, const sim::MetricPoint& p) {
+  *os_ << "{\"event\":\"point\",\"workload\":\"" << json_escape(meta.workload)
+       << "\",\"algorithm\":\"" << json_escape(meta.algorithm)
+       << "\",\"round\":" << p.round << ",\"epoch\":" << format_double(p.epoch)
+       << ",\"loss\":" << format_double(p.loss)
+       << ",\"accuracy\":" << format_double(p.accuracy)
+       << ",\"worker_mb\":" << format_double(p.worker_mb)
+       << ",\"comm_seconds\":" << format_double(p.comm_seconds) << "}\n";
+}
+
+void JsonlSink::end_run(const RunMeta& meta) {
+  *os_ << "{\"event\":\"run_end\",\"workload\":\"" << json_escape(meta.workload)
+       << "\",\"algorithm\":\"" << json_escape(meta.algorithm) << "\"}\n";
+  os_->flush();
+}
+
+void SinkList::add(std::unique_ptr<MetricSink> sink) {
+  sinks_.push_back(std::move(sink));
+}
+
+void SinkList::begin_run(const RunMeta& meta) {
+  for (const auto& s : sinks_) s->begin_run(meta);
+}
+
+void SinkList::point(const RunMeta& meta, const sim::MetricPoint& p) {
+  for (const auto& s : sinks_) s->point(meta, p);
+}
+
+void SinkList::end_run(const RunMeta& meta) {
+  for (const auto& s : sinks_) s->end_run(meta);
+}
+
+SinkList make_sinks(const std::string& config) {
+  SinkList out;
+  std::istringstream iss(config);
+  std::string token;
+  while (std::getline(iss, token, ',')) {
+    if (token.empty()) continue;
+    std::string kind = token;
+    std::string path;
+    const auto colon = token.find(':');
+    if (colon != std::string::npos) {
+      kind = token.substr(0, colon);
+      path = token.substr(colon + 1);
+    }
+    if (kind == "table") {
+      out.add(std::make_unique<TableSink>(std::cout));
+    } else if (kind == "csv") {
+      out.add(path.empty() ? std::make_unique<CsvSink>(std::cout)
+                           : std::make_unique<CsvSink>(path));
+    } else if (kind == "jsonl") {
+      out.add(path.empty() ? std::make_unique<JsonlSink>(std::cout)
+                           : std::make_unique<JsonlSink>(path));
+    } else {
+      throw std::invalid_argument(
+          "--sink: unknown sink '" + kind +
+          "' (expected table, csv[:PATH] or jsonl[:PATH])");
+    }
+  }
+  return out;
+}
+
+}  // namespace saps::scenario

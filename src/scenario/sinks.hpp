@@ -1,0 +1,103 @@
+// Pluggable metric sinks: where a Runner streams MetricPoints.
+//
+// Every evaluation point an algorithm produces is forwarded to the attached
+// sinks AS IT IS PRODUCED (the Runner hooks sim::Engine's metric observer),
+// so long runs emit their trajectory incrementally.  Three built-ins:
+//   - TableSink: the classic aligned stdout trajectory table, one per run;
+//   - CsvSink:   one column header + one row per point; each distinct spec
+//     is emitted as a '#'-prefixed comment block before its first run;
+//   - JsonlSink: one JSON object per line ({"event":"run_begin"|"point"|
+//     "run_end",...}; run_begin carries the spec), the machine-readable
+//     BENCH_*.jsonl trajectory format (see docs/BENCHMARKS.md).
+// Numeric fields are printed with shortest-round-trip formatting, so files
+// preserve the metrics bit-exactly.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace saps::scenario {
+
+/// Per-run metadata handed to every sink callback.
+struct RunMeta {
+  std::string workload;   // display name, e.g. "MNIST-CNN"
+  std::string algorithm;  // display name, e.g. "SAPS-PSGD"
+  std::string spec_text;  // lossless reproducibility header (to_spec_text)
+};
+
+class MetricSink {
+ public:
+  virtual ~MetricSink() = default;
+  virtual void begin_run(const RunMeta& meta) { (void)meta; }
+  virtual void point(const RunMeta& meta, const sim::MetricPoint& p) = 0;
+  virtual void end_run(const RunMeta& meta) { (void)meta; }
+};
+
+/// Aligned stdout (or any ostream) trajectory table, printed at end_run.
+class TableSink final : public MetricSink {
+ public:
+  explicit TableSink(std::ostream& os);
+  void begin_run(const RunMeta& meta) override;
+  void point(const RunMeta& meta, const sim::MetricPoint& p) override;
+  void end_run(const RunMeta& meta) override;
+
+ private:
+  std::ostream& os_;
+  std::vector<sim::MetricPoint> buffered_;
+};
+
+/// CSV rows (column header once per stream; every DISTINCT spec — sweep
+/// benches vary knobs between runs — is emitted as '#' comment lines before
+/// its first run, so rows stay attributable to their experiment).
+class CsvSink final : public MetricSink {
+ public:
+  explicit CsvSink(std::ostream& os);
+  explicit CsvSink(const std::string& path);  // throws on open failure
+  void begin_run(const RunMeta& meta) override;
+  void point(const RunMeta& meta, const sim::MetricPoint& p) override;
+
+ private:
+  std::ofstream file_;
+  std::ostream* os_;
+  bool wrote_columns_ = false;
+  std::string last_spec_;
+};
+
+/// JSON-lines trajectory (the BENCH_*.jsonl format; see docs/BENCHMARKS.md).
+class JsonlSink final : public MetricSink {
+ public:
+  explicit JsonlSink(std::ostream& os);
+  explicit JsonlSink(const std::string& path);  // throws on open failure
+  void begin_run(const RunMeta& meta) override;
+  void point(const RunMeta& meta, const sim::MetricPoint& p) override;
+  void end_run(const RunMeta& meta) override;
+
+ private:
+  std::ofstream file_;
+  std::ostream* os_;
+};
+
+/// Owning fan-out list; empty() lists cost nothing on the run path.
+class SinkList {
+ public:
+  void add(std::unique_ptr<MetricSink> sink);
+  [[nodiscard]] bool empty() const { return sinks_.empty(); }
+  void begin_run(const RunMeta& meta);
+  void point(const RunMeta& meta, const sim::MetricPoint& p);
+  void end_run(const RunMeta& meta);
+
+ private:
+  std::vector<std::unique_ptr<MetricSink>> sinks_;
+};
+
+/// Parses a --sink flag value: comma-separated `table`, `csv[:PATH]`,
+/// `jsonl[:PATH]` (no PATH = stdout).  Throws std::invalid_argument on an
+/// unknown sink kind or unopenable path.
+[[nodiscard]] SinkList make_sinks(const std::string& config);
+
+}  // namespace saps::scenario

@@ -1,0 +1,605 @@
+#include "scenario/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/bandwidth.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+
+namespace saps::scenario {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Seed of the benches' shared uniform bandwidth environment (historical
+// constant; the derived default keeps spec-driven runs bit-identical to the
+// pre-refactor bench wiring).
+constexpr std::uint64_t kBandwidthSalt = 0xf16;
+
+std::string trim(std::string s) {
+  const auto is_space = [](char c) { return c == ' ' || c == '\t' ||
+                                            c == '\r' || c == '\n'; };
+  while (!s.empty() && is_space(s.front())) s.erase(s.begin());
+  while (!s.empty() && is_space(s.back())) s.pop_back();
+  return s;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(trim(s.substr(start)));
+      break;
+    }
+    out.push_back(trim(s.substr(start, pos - start)));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& items, char sep) {
+  std::string out;
+  for (const auto& it : items) {
+    if (!out.empty()) out += sep;
+    out += it;
+  }
+  return out;
+}
+
+void assign_core(ScenarioSpec& s, const ParamDesc& d,
+                 const std::string& canonical) {
+  const auto& k = d.name;
+  const auto as_size = [&] {
+    return static_cast<std::size_t>(parse_int(k, canonical));
+  };
+  if (k == "workload") {
+    s.workload = canonical;
+  } else if (k == "algorithm") {
+    if (canonical == "paper") {
+      s.algorithms.clear();
+    } else {
+      s.algorithms = split(canonical, ',');
+    }
+  } else if (k == "workers") {
+    s.workers = as_size();
+  } else if (k == "epochs") {
+    s.epochs = as_size();
+  } else if (k == "samples") {
+    s.samples = as_size();
+  } else if (k == "test-samples") {
+    s.test_samples = as_size();
+  } else if (k == "batch") {
+    s.batch = as_size();
+  } else if (k == "eval-every") {
+    s.eval_every = as_size();
+  } else if (k == "eval-batch") {
+    s.eval_batch = as_size();
+  } else if (k == "seed") {
+    s.seed = parse_uint(k, canonical);
+  } else if (k == "full") {
+    s.full = parse_bool(k, canonical);
+  } else if (k == "threads") {
+    s.threads = as_size();
+  } else if (k == "lr") {
+    s.lr = parse_double(k, canonical);
+  } else if (k == "partition") {
+    s.partition = canonical;
+  } else if (k == "shards-per-worker") {
+    s.shards_per_worker = as_size();
+  } else if (k == "dirichlet-alpha") {
+    s.dirichlet_alpha = parse_double(k, canonical);
+  } else if (k == "bandwidth") {
+    s.bandwidth = canonical;
+  } else if (k == "bandwidth-seed") {
+    s.bandwidth_seed = parse_uint(k, canonical);
+  } else if (k == "latency") {
+    s.latency = parse_double(k, canonical);
+  } else if (k == "compute-base") {
+    s.compute_base = parse_double(k, canonical);
+  } else if (k == "compute-jitter") {
+    s.compute_jitter = parse_double(k, canonical);
+  } else if (k == "latency-matrix") {
+    s.latency_matrix_text = canonical;
+    s.latency_matrix.clear();
+  } else if (k == "failures") {
+    s.failures_text = canonical;
+    s.failures.clear();
+  } else {
+    throw std::logic_error("assign_core: unmapped key '" + k + "'");
+  }
+}
+
+std::vector<double> parse_matrix(const std::string& text) {
+  std::vector<double> out;
+  std::size_t cols = 0;
+  for (const auto& row : split(text, ';')) {
+    const auto entries = split(row, ',');
+    if (cols == 0) {
+      cols = entries.size();
+    } else if (entries.size() != cols) {
+      throw std::invalid_argument(
+          "--latency-matrix rows must all have the same length");
+    }
+    for (const auto& e : entries) {
+      const double v = parse_double("latency-matrix", e);
+      if (v < 0.0) {
+        throw std::invalid_argument("--latency-matrix entries must be >= 0");
+      }
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<FailureEvent> parse_failures(const std::string& text) {
+  std::vector<FailureEvent> out;
+  for (const auto& token : split(text, ',')) {
+    if (token.empty()) continue;
+    const auto at = token.find('@');
+    if (at == std::string::npos) {
+      throw std::invalid_argument("--failures expects W@R[-R2] entries, got '" +
+                                  token + "'");
+    }
+    FailureEvent e;
+    e.worker =
+        static_cast<std::size_t>(parse_int("failures", token.substr(0, at)));
+    const auto window = token.substr(at + 1);
+    const auto dash = window.find('-');
+    if (dash == std::string::npos) {
+      e.drop_round = static_cast<std::size_t>(parse_int("failures", window));
+    } else {
+      e.drop_round = static_cast<std::size_t>(
+          parse_int("failures", window.substr(0, dash)));
+      e.rejoin_round = static_cast<std::size_t>(
+          parse_int("failures", window.substr(dash + 1)));
+      if (e.rejoin_round <= e.drop_round) {
+        throw std::invalid_argument(
+            "--failures rejoin round must be after the drop round in '" +
+            token + "'");
+      }
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+/// --full flips the scale defaults to the paper's Table II values; fast mode
+/// keeps the minutes-not-hours defaults.  Runs BEFORE explicit values apply.
+void apply_scale_preset(ScenarioSpec& s) {
+  if (!s.full) return;
+  if (!s.provided("workers")) s.workers = 32;
+  if (!s.provided("epochs")) s.epochs = 100;
+  if (!s.provided("samples")) s.samples = 1875;  // 60000 / 32
+  if (!s.provided("test-samples")) s.test_samples = 10000;
+  if (!s.provided("batch")) s.batch = 50;
+}
+
+std::optional<bool> scan_full(const std::string& text) {
+  std::istringstream iss(text);
+  std::string line;
+  while (std::getline(iss, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    if (trim(line.substr(0, eq)) == "full") {
+      return parse_bool("full", trim(line.substr(eq + 1)));
+    }
+  }
+  return std::nullopt;
+}
+
+void apply_kv_lines(ScenarioSpec& spec, const std::string& text) {
+  std::istringstream iss(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(iss, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("spec line " + std::to_string(lineno) +
+                                  ": expected key=value, got '" + line + "'");
+    }
+    const auto key = trim(line.substr(0, eq));
+    if (key == "full") continue;  // applied up front by the preset scan
+    spec.set(key, trim(line.substr(eq + 1)));
+  }
+}
+
+std::string read_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("--spec: cannot read '" + path + "'");
+  }
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+}  // namespace
+
+const std::vector<ParamDesc>& core_spec_params() {
+  using enum ParamType;
+  static const std::vector<ParamDesc> descs = {
+      {.name = "workload",
+       .type = kString,
+       .default_value = "mnist",
+       .help = "workload key (benches without an explicit --workload iterate "
+               "the paper set)"},
+      {.name = "algorithm",
+       .type = kString,
+       .default_value = "paper",
+       .help = "algorithm key or comma list ('paper' = the seven-algorithm "
+               "comparison)"},
+      {.name = "workers",
+       .type = kInt,
+       .default_value = "8",
+       .min_value = 2,
+       .max_value = 4096,
+       .help = "worker count (default 8; 32 under --full)"},
+      {.name = "epochs",
+       .type = kInt,
+       .default_value = "6",
+       .min_value = 1,
+       .max_value = 1e9,
+       .help = "training epochs (default 6; 100 under --full)"},
+      {.name = "samples",
+       .type = kInt,
+       .default_value = "150",
+       .min_value = 1,
+       .max_value = 1e12,
+       .help = "training samples per worker (default 150; 1875 under --full)"},
+      {.name = "test-samples",
+       .type = kInt,
+       .default_value = "400",
+       .min_value = 1,
+       .max_value = 1e12,
+       .help = "test-set size (default 400; 10000 under --full)"},
+      {.name = "batch",
+       .type = kInt,
+       .default_value = "10",
+       .min_value = 1,
+       .max_value = 1e9,
+       .help = "mini-batch size (default 10; 50 under --full)"},
+      {.name = "eval-every",
+       .type = kInt,
+       .default_value = "0",
+       .min_value = 0,
+       .max_value = 1e12,
+       .help = "eval cadence in rounds (0 = once per epoch)"},
+      {.name = "eval-batch",
+       .type = kInt,
+       .default_value = "256",
+       .min_value = 1,
+       .max_value = 1e9,
+       .help = "evaluation batch size (default 256)"},
+      {.name = "seed",
+       .type = kUint,
+       .default_value = "42",
+       .help = "top-level RNG seed (default 42)"},
+      {.name = "full",
+       .type = kBool,
+       .default_value = "false",
+       .help = "paper-scale workloads: 32 workers, full-size models"},
+      {.name = "threads",
+       .type = kInt,
+       .default_value = "0",
+       .min_value = 0,
+       .max_value = 1024,
+       .help = "engine thread-pool size for per-worker hot loops (0 = serial; "
+               "results are identical for every value)"},
+      {.name = "lr",
+       .type = kDouble,
+       .default_value = "0",
+       .min_value = 0,
+       .max_value = kInf,
+       .help = "learning rate (0 = the workload's Table II default)"},
+      {.name = "partition",
+       .type = kString,
+       .default_value = "iid",
+       .help = "data partition across workers (default iid)",
+       .choices = {"iid", "shard", "dirichlet"}},
+      {.name = "shards-per-worker",
+       .type = kInt,
+       .default_value = "2",
+       .min_value = 1,
+       .max_value = 1e6,
+       .help = "label shards per worker under partition=shard (default 2)"},
+      {.name = "dirichlet-alpha",
+       .type = kDouble,
+       .default_value = "0.5",
+       .min_value = 1e-9,
+       .max_value = kInf,
+       .help = "Dirichlet concentration under partition=dirichlet "
+               "(default 0.5)"},
+      {.name = "bandwidth",
+       .type = kString,
+       .default_value = "none",
+       .help = "link bandwidths: none = traffic accounting only, uniform = "
+               "random (0,5] MB/s, cities = the measured Fig. 1 matrix "
+               "(requires workers=14)",
+       .choices = {"none", "uniform", "cities"}},
+      {.name = "bandwidth-seed",
+       .type = kUint,
+       .default_value = "0",
+       .help = "RNG seed of bandwidth=uniform (default: derived from seed)"},
+      {.name = "latency",
+       .type = kDouble,
+       .default_value = "0",
+       .min_value = 0,
+       .max_value = kInf,
+       .help = "one-way per-transfer link latency in seconds (default 0 = "
+               "the paper's instantaneous links)"},
+      {.name = "compute-base",
+       .type = kDouble,
+       .default_value = "0",
+       .min_value = 0,
+       .max_value = kInf,
+       .help = "per-round local-compute seconds charged to every worker "
+               "(default 0)"},
+      {.name = "compute-jitter",
+       .type = kDouble,
+       .default_value = "0",
+       .min_value = 0,
+       .max_value = kInf,
+       .help = "straggler jitter amplitude in seconds; worker compute is "
+               "base + jitter*u01(round, worker) (default 0)"},
+      {.name = "latency-matrix",
+       .type = kString,
+       .default_value = "",
+       .help = "per-link one-way latency seconds overriding --latency: N*N "
+               "entries for N workers, rows ';'-joined, entries ','-joined "
+               "(empty = uniform scalar)"},
+      {.name = "failures",
+       .type = kString,
+       .default_value = "",
+       .help = "dropout schedule 'W@R-R2[,...]': worker W leaves at round R "
+               "and rejoins at round R2 (omit -R2 = never)"},
+  };
+  return descs;
+}
+
+void ScenarioSpec::set(const std::string& key, const std::string& value) {
+  for (const auto& d : core_spec_params()) {
+    if (d.name != key) continue;
+    assign_core(*this, d, canonical_value(d, value));
+    provided_.insert(key);
+    return;
+  }
+  const auto& reg = Registry::instance();
+  for (const auto& d : reg.algorithm_params()) {
+    if (d.name != key) continue;
+    params.set(key, canonical_value(d, value));
+    provided_.insert(key);
+    return;
+  }
+  for (const auto& d : reg.workload_params(/*paper_only=*/false)) {
+    if (d.name != key) continue;
+    params.set(key, canonical_value(d, value));
+    provided_.insert(key);
+    return;
+  }
+  throw std::invalid_argument("unknown scenario key '" + key + "'");
+}
+
+std::vector<std::string> ScenarioSpec::effective_algorithms() const {
+  if (!algorithms.empty()) return algorithms;
+  return Registry::instance().algorithm_keys(/*paper_only=*/true);
+}
+
+bool ScenarioSpec::equivalent(const ScenarioSpec& o) const {
+  return workload == o.workload && algorithms == o.algorithms &&
+         workers == o.workers && epochs == o.epochs && samples == o.samples &&
+         test_samples == o.test_samples && batch == o.batch &&
+         eval_every == o.eval_every && eval_batch == o.eval_batch &&
+         seed == o.seed && full == o.full && threads == o.threads &&
+         lr == o.lr && partition == o.partition &&
+         shards_per_worker == o.shards_per_worker &&
+         dirichlet_alpha == o.dirichlet_alpha && bandwidth == o.bandwidth &&
+         bandwidth_seed == o.bandwidth_seed && latency == o.latency &&
+         compute_base == o.compute_base &&
+         compute_jitter == o.compute_jitter &&
+         latency_matrix == o.latency_matrix && failures == o.failures &&
+         params == o.params;
+}
+
+void finalize_spec(ScenarioSpec& spec) {
+  const auto& reg = Registry::instance();
+  const auto& wl = reg.workload(spec.workload);
+  const auto algo_keys = spec.effective_algorithms();
+  for (const auto& key : algo_keys) (void)reg.algorithm(key);
+
+  if (!spec.latency_matrix_text.empty()) {
+    spec.latency_matrix = parse_matrix(spec.latency_matrix_text);
+    spec.latency_matrix_text.clear();
+  }
+  if (!spec.latency_matrix.empty() &&
+      spec.latency_matrix.size() != spec.workers * spec.workers) {
+    throw std::invalid_argument(
+        "--latency-matrix needs workers*workers = " +
+        std::to_string(spec.workers * spec.workers) + " entries, got " +
+        std::to_string(spec.latency_matrix.size()));
+  }
+  for (const double v : spec.latency_matrix) {
+    if (v < 0.0) {
+      throw std::invalid_argument("--latency-matrix entries must be >= 0");
+    }
+  }
+
+  if (!spec.failures_text.empty()) {
+    spec.failures = parse_failures(spec.failures_text);
+    spec.failures_text.clear();
+  }
+  for (const auto& e : spec.failures) {
+    if (e.worker >= spec.workers) {
+      throw std::invalid_argument("--failures names worker " +
+                                  std::to_string(e.worker) + " but only " +
+                                  std::to_string(spec.workers) + " exist");
+    }
+  }
+
+  if (spec.bandwidth == "cities" &&
+      spec.workers != net::fig1_city_bandwidth().size()) {
+    throw std::invalid_argument(
+        "bandwidth=cities is the 14-city Fig. 1 matrix; set workers=14");
+  }
+
+  // Fast mode shrinks the paper's compression ratios: the scaled-down models
+  // are ~500x smaller, so k = N/c must stay meaningful.
+  if (!spec.full) {
+    if (!spec.params.has("topk-c")) spec.params.set("topk-c", "100");
+    if (!spec.params.has("sfedavg-c")) spec.params.set("sfedavg-c", "20");
+  }
+  // FedAvg-family round granularity, derived from the RESOLVED samples/batch
+  // pair so overriding EITHER flag re-derives (the old harness re-derived
+  // only under --samples, leaving a stale step count on --batch-only runs).
+  if (!spec.full && wl.scales_with_samples &&
+      !spec.params.has("fedavg-steps")) {
+    spec.params.set(
+        "fedavg-steps",
+        format_int(static_cast<std::int64_t>(std::max<std::size_t>(
+            1, spec.samples / spec.batch / 5))));
+  }
+  if (!spec.provided("bandwidth-seed")) {
+    spec.bandwidth_seed = derive_seed(spec.seed, kBandwidthSalt);
+  }
+
+  // Materialize the remaining defaults so to_spec_text prints a COMPLETE,
+  // reproducible description.
+  for (const auto& d : wl.params) {
+    if (!spec.params.has(d.name)) {
+      spec.params.set(d.name, canonical_value(d, d.default_value));
+    }
+  }
+  for (const auto& key : algo_keys) {
+    for (const auto& d : reg.algorithm(key).params) {
+      if (!spec.params.has(d.name)) {
+        spec.params.set(d.name, canonical_value(d, d.default_value));
+      }
+    }
+  }
+}
+
+ScenarioSpec parse_spec_text(const std::string& text) {
+  ScenarioSpec spec;
+  if (const auto f = scan_full(text)) {
+    spec.full = *f;
+    spec.provided_.insert("full");
+  }
+  apply_scale_preset(spec);
+  apply_kv_lines(spec, text);
+  finalize_spec(spec);
+  return spec;
+}
+
+std::string format_failures(const std::vector<FailureEvent>& failures) {
+  std::vector<std::string> tokens;
+  for (const auto& e : failures) {
+    std::string t = format_int(static_cast<std::int64_t>(e.worker));
+    t += '@';
+    t += format_int(static_cast<std::int64_t>(e.drop_round));
+    if (e.rejoin_round != 0) {
+      t += '-';
+      t += format_int(static_cast<std::int64_t>(e.rejoin_round));
+    }
+    tokens.push_back(std::move(t));
+  }
+  return join(tokens, ',');
+}
+
+std::string format_latency_matrix(const std::vector<double>& matrix) {
+  if (matrix.empty()) return "";
+  const auto side = static_cast<std::size_t>(
+      std::llround(std::sqrt(static_cast<double>(matrix.size()))));
+  std::vector<std::string> rows;
+  for (std::size_t i = 0; i < side; ++i) {
+    std::vector<std::string> entries;
+    for (std::size_t j = 0; j < side; ++j) {
+      entries.push_back(format_double(matrix[i * side + j]));
+    }
+    rows.push_back(join(entries, ','));
+  }
+  return join(rows, ';');
+}
+
+std::string to_spec_text(const ScenarioSpec& s) {
+  std::ostringstream oss;
+  oss << "workload=" << s.workload << "\n";
+  oss << "algorithm=" << (s.algorithms.empty() ? "paper"
+                                               : join(s.algorithms, ','))
+      << "\n";
+  oss << "workers=" << s.workers << "\n";
+  oss << "epochs=" << s.epochs << "\n";
+  oss << "samples=" << s.samples << "\n";
+  oss << "test-samples=" << s.test_samples << "\n";
+  oss << "batch=" << s.batch << "\n";
+  oss << "eval-every=" << s.eval_every << "\n";
+  oss << "eval-batch=" << s.eval_batch << "\n";
+  oss << "seed=" << s.seed << "\n";
+  oss << "full=" << format_bool(s.full) << "\n";
+  oss << "threads=" << s.threads << "\n";
+  oss << "lr=" << format_double(s.lr) << "\n";
+  oss << "partition=" << s.partition << "\n";
+  oss << "shards-per-worker=" << s.shards_per_worker << "\n";
+  oss << "dirichlet-alpha=" << format_double(s.dirichlet_alpha) << "\n";
+  oss << "bandwidth=" << s.bandwidth << "\n";
+  oss << "bandwidth-seed=" << s.bandwidth_seed << "\n";
+  oss << "latency=" << format_double(s.latency) << "\n";
+  oss << "compute-base=" << format_double(s.compute_base) << "\n";
+  oss << "compute-jitter=" << format_double(s.compute_jitter) << "\n";
+  if (!s.latency_matrix.empty()) {
+    oss << "latency-matrix=" << format_latency_matrix(s.latency_matrix)
+        << "\n";
+  }
+  if (!s.failures.empty()) {
+    oss << "failures=" << format_failures(s.failures) << "\n";
+  }
+  for (const auto& [k, v] : s.params.items()) {
+    oss << k << "=" << v << "\n";
+  }
+  return oss.str();
+}
+
+ScenarioSpec spec_from_flags(const Flags& flags) {
+  ScenarioSpec spec;
+  std::string file_text;
+  if (flags.has("spec")) {
+    file_text = read_spec_file(flags.get_string("spec", ""));
+  }
+  if (flags.has("full")) {
+    spec.full = parse_bool("full", flags.get_string("full", "true"));
+    spec.provided_.insert("full");
+  } else if (const auto f = scan_full(file_text)) {
+    spec.full = *f;
+    spec.provided_.insert("full");
+  }
+  apply_scale_preset(spec);
+  apply_kv_lines(spec, file_text);
+
+  const auto& reg = Registry::instance();
+  const auto apply_flag = [&](const ParamDesc& d) {
+    if (d.name == "full" || !flags.has(d.name)) return;
+    spec.set(d.name, flags.get_string(d.name, ""));
+  };
+  for (const auto& d : core_spec_params()) apply_flag(d);
+  for (const auto& d : reg.algorithm_params()) apply_flag(d);
+  for (const auto& d : reg.workload_params(/*paper_only=*/false)) {
+    apply_flag(d);
+  }
+  finalize_spec(spec);
+  return spec;
+}
+
+}  // namespace saps::scenario

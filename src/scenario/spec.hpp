@@ -1,0 +1,122 @@
+// Declarative experiment specification.
+//
+// A ScenarioSpec composes workload × algorithm(+params) × engine config ×
+// link model (latency / compute / jitter, optional per-link latency matrix)
+// × failure schedule (dropout/rejoin rounds) into one value that can be
+//   - parsed from CLI flags (spec_from_flags; flag names = spec keys),
+//   - parsed from a `key=value` spec file (parse_spec_text),
+//   - printed back LOSSLESSLY for reproducibility headers (to_spec_text;
+//     parse_spec_text(to_spec_text(s)) is equivalent(s) by construction),
+//   - executed by scenario::Runner.
+//
+// Resolution order (later wins): struct defaults → --full/fast scale preset
+// → spec-file entries → CLI flags → derivations (fast-mode FedAvg local
+// steps from the RESOLVED samples/batch pair, bandwidth seed from the
+// top-level seed).  Derivations only fill values never explicitly set, so a
+// printed spec re-parses to itself.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+
+namespace saps {
+class Flags;
+}
+
+namespace saps::scenario {
+
+struct ScenarioSpec {
+  // Run plan.
+  std::string workload = "mnist";
+  std::vector<std::string> algorithms;  // empty = the paper's seven
+
+  // Engine / schedule (fast-mode defaults; --full switches to Table II).
+  std::size_t workers = 8;
+  std::size_t epochs = 6;
+  std::size_t samples = 150;  // training samples per worker
+  std::size_t test_samples = 400;
+  std::size_t batch = 10;
+  std::size_t eval_every = 0;  // 0 = once per epoch
+  std::size_t eval_batch = 256;
+  std::uint64_t seed = 42;
+  bool full = false;  // paper-scale preset
+  std::size_t threads = 0;
+  double lr = 0.0;  // 0 = the workload's Table II default
+  std::string partition = "iid";  // iid|shard|dirichlet
+  std::size_t shards_per_worker = 2;
+  double dirichlet_alpha = 0.5;
+
+  // Link model.
+  std::string bandwidth = "none";    // none|uniform|cities
+  std::uint64_t bandwidth_seed = 0;  // derived from `seed` when never set
+  double latency = 0.0;
+  double compute_base = 0.0;
+  double compute_jitter = 0.0;
+  // Per-link one-way latency (row-major workers×workers; empty = scalar).
+  std::vector<double> latency_matrix;
+
+  // Failure schedule (dropout at round R, rejoin at R').
+  std::vector<FailureEvent> failures;
+
+  // Workload + algorithm parameter values, canonical (see ParamDesc).
+  ParamSet params;
+
+  /// Applies one `key=value` entry (a core key above or any registered
+  /// algorithm/workload parameter) and marks it explicitly provided.
+  /// Throws std::invalid_argument on unknown keys / invalid values.
+  void set(const std::string& key, const std::string& value);
+
+  /// True when `key` was explicitly set (spec file, CLI, or set()) — the
+  /// benches use this to install per-bench defaults without overriding the
+  /// user, and derivations use it to never clobber explicit values.
+  [[nodiscard]] bool provided(const std::string& key) const {
+    return provided_.contains(key);
+  }
+
+  /// Field-wise equality ignoring provenance (the provided-key set).
+  [[nodiscard]] bool equivalent(const ScenarioSpec& other) const;
+
+  /// The algorithm keys this spec runs (paper seven when unset).
+  [[nodiscard]] std::vector<std::string> effective_algorithms() const;
+
+  // Raw texts held between set() and finalize_spec() (which parses them
+  // against the resolved worker count).
+  std::string latency_matrix_text;
+  std::string failures_text;
+  std::set<std::string> provided_;
+};
+
+/// Descriptors of the spec's own keys (drives --help and validation).
+[[nodiscard]] const std::vector<ParamDesc>& core_spec_params();
+
+/// Validates keys, parses the latency matrix / failure schedule against the
+/// resolved worker count, applies the fast-mode derivations, and fills in
+/// the selected workload's + effective algorithms' parameter defaults so the
+/// spec prints complete.  Idempotent; Runner calls it on its copy.
+void finalize_spec(ScenarioSpec& spec);
+
+/// Parses a spec file's text (one key=value per line; '#' comments, blank
+/// lines ignored) and finalizes.  Throws std::invalid_argument with a
+/// friendly message on any violation.
+[[nodiscard]] ScenarioSpec parse_spec_text(const std::string& text);
+
+/// Lossless reproducibility header.
+[[nodiscard]] std::string to_spec_text(const ScenarioSpec& spec);
+
+/// Formats spec.failures / spec.latency_matrix back to their spec-file
+/// grammar ("2@5-25,7@30" / rows ';'-joined, entries ','-joined).
+[[nodiscard]] std::string format_failures(
+    const std::vector<FailureEvent>& failures);
+[[nodiscard]] std::string format_latency_matrix(
+    const std::vector<double>& matrix);
+
+/// Full CLI pipeline: defaults → preset → --spec file → flags → finalize.
+/// Throws std::invalid_argument (benches wrap via scenario_from_flags_or_exit
+/// in cli.hpp for the exit-2 contract).
+[[nodiscard]] ScenarioSpec spec_from_flags(const Flags& flags);
+
+}  // namespace saps::scenario

@@ -23,6 +23,13 @@ net::LinkModel make_link(const SimConfig& config,
   }
   net::LinkOptions opts;
   opts.latency_seconds = config.link_latency_seconds;
+  if (!config.link_latency_matrix.empty() &&
+      config.link_latency_matrix.size() !=
+          config.workers * config.workers) {
+    throw std::invalid_argument(
+        "Engine: link_latency_matrix must be workers*workers");
+  }
+  opts.latency_matrix = config.link_latency_matrix;
   opts.compute_base_seconds = config.compute_base_seconds;
   opts.compute_jitter_seconds = config.compute_jitter_seconds;
   opts.compute_seed = derive_seed(config.seed, 0xc0de);
@@ -313,6 +320,7 @@ MetricPoint Engine::eval_point(std::size_t round, double epoch,
   p.accuracy = static_cast<double>(correct) / static_cast<double>(seen);
   p.worker_mb = fabric_.link().mean_worker_bytes() / 1e6;
   p.comm_seconds = fabric_.link().total_seconds();
+  if (metric_observer_) metric_observer_(p);
   return p;
 }
 

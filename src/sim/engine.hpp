@@ -58,6 +58,10 @@ struct SimConfig {
   double link_latency_seconds = 0.0;    // one-way per-transfer latency
   double compute_base_seconds = 0.0;    // per-round local-compute cost
   double compute_jitter_seconds = 0.0;  // straggler jitter amplitude
+  // Optional per-link one-way latency overriding the scalar: row-major
+  // workers×workers seconds (the virtual server's links keep the scalar).
+  // Empty = uniform scalar, bit-identical to the pre-matrix accounting.
+  std::vector<double> link_latency_matrix;
 };
 
 /// One point of a training curve — the row format behind Figs. 3, 4, 6 and
@@ -186,6 +190,14 @@ class Engine {
   MetricPoint eval_point(std::size_t round, double epoch,
                          std::span<const float> params = {});
 
+  /// Installs an observer invoked with every MetricPoint eval_point
+  /// produces, AS it is produced — the streaming hook scenario::Runner uses
+  /// to feed metric sinks during long runs.  Pass an empty function to
+  /// detach.  Observation is read-only and does not affect results.
+  void set_metric_observer(std::function<void(const MetricPoint&)> observer) {
+    metric_observer_ = std::move(observer);
+  }
+
   /// Consensus distance (1/n)Σ‖x_i − x̄‖² — Theorem 1's left-hand side.
   [[nodiscard]] double consensus_distance() const;
 
@@ -215,6 +227,7 @@ class Engine {
   // path bit-for-bit.
   static constexpr std::size_t kMaxEvalClones = 4;
   std::vector<std::unique_ptr<nn::Model>> eval_models_;
+  std::function<void(const MetricPoint&)> metric_observer_;
 
   // Per-worker batch scratch (needed for thread-parallel local steps).
   std::vector<Tensor> batch_x_;

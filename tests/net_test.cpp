@@ -119,6 +119,88 @@ TEST(LinkModel, LatencyCountsWithoutBandwidthMatrix) {
   EXPECT_DOUBLE_EQ(sim.round_bottleneck_mbps().back(), 0.0);
 }
 
+TEST(LinkModel, LatencyMatrixOverridesScalarPerLink) {
+  LinkOptions opts;
+  opts.latency_seconds = 9.0;  // must be ignored for matrix-covered links
+  opts.latency_matrix = {0.0, 0.25, 0.5,   //
+                         0.25, 0.0, 0.75,  //
+                         0.5, 0.75, 0.0};
+  LinkModel sim(three_node_matrix(), opts);
+  sim.start_round();
+  sim.transfer(0, 1, 1e6);  // 0.25 + 1.0
+  sim.transfer(0, 2, 1e6);  // 0.5 + 0.1
+  EXPECT_NEAR(sim.finish_round(), 1.25, 1e-12);
+  sim.start_round();
+  sim.transfer(1, 2, 1e6);  // 0.75 + 0.1
+  EXPECT_NEAR(sim.finish_round(), 0.85, 1e-12);
+}
+
+TEST(LinkModel, LatencyMatrixCanBeAsymmetric) {
+  LinkOptions opts;
+  opts.latency_matrix = {0.0, 2.0, 0.0,  //
+                         0.5, 0.0, 0.0,  //
+                         0.0, 0.0, 0.0};
+  LinkModel sim(three_node_matrix(), opts);
+  sim.start_round();
+  sim.transfer(0, 1, 1e6);  // 2.0 + 1.0
+  EXPECT_NEAR(sim.finish_round(), 3.0, 1e-12);
+  sim.start_round();
+  sim.transfer(1, 0, 1e6);  // 0.5 + 1.0
+  EXPECT_NEAR(sim.finish_round(), 1.5, 1e-12);
+}
+
+TEST(LinkModel, LatencyMatrixVirtualServerFallsBackToScalar) {
+  // A matrix narrower than the node set (the engine appends a virtual
+  // parameter server) keeps the scalar latency for uncovered endpoints.
+  LinkOptions opts;
+  opts.latency_seconds = 0.5;
+  opts.latency_matrix = {0.0, 0.1,  //
+                         0.1, 0.0};
+  LinkModel sim(three_node_matrix(), opts);
+  sim.start_round();
+  sim.transfer(0, 1, 1e6);  // covered: 0.1 + 1.0
+  EXPECT_NEAR(sim.finish_round(), 1.1, 1e-12);
+  sim.start_round();
+  sim.transfer(0, 2, 1e6);  // node 2 uncovered: 0.5 + 0.1
+  EXPECT_NEAR(sim.finish_round(), 0.6, 1e-12);
+}
+
+TEST(LinkModel, AllZeroLatencyMatrixMatchesScalarZero) {
+  // A matrix of zeros must be bit-identical to the legacy scalar path.
+  LinkOptions opts;
+  opts.latency_matrix = std::vector<double>(9, 0.0);
+  LinkModel with_matrix(three_node_matrix(), opts);
+  LinkModel scalar(three_node_matrix());
+  for (auto* sim : {&with_matrix, &scalar}) {
+    sim->start_round();
+    sim->transfer(0, 1, 1e6);
+    sim->transfer(0, 2, 1e6);
+  }
+  EXPECT_EQ(with_matrix.finish_round(), scalar.finish_round());
+  EXPECT_EQ(with_matrix.total_seconds(), scalar.total_seconds());
+}
+
+TEST(LinkModel, LatencyMatrixCountsWithoutBandwidthMatrix) {
+  LinkOptions opts;
+  opts.latency_matrix = {0.0, 0.4, 0.2,  //
+                         0.4, 0.0, 0.2,  //
+                         0.2, 0.2, 0.0};
+  LinkModel sim(std::size_t{3}, opts);
+  sim.start_round();
+  sim.transfer(0, 1, 123.0);
+  EXPECT_NEAR(sim.finish_round(), 0.4, 1e-12);
+}
+
+TEST(LinkModel, LatencyMatrixRejects) {
+  LinkOptions opts;
+  opts.latency_matrix = {0.0, 0.1, 0.1};  // not square
+  EXPECT_THROW(LinkModel(three_node_matrix(), opts), std::invalid_argument);
+  opts.latency_matrix = std::vector<double>(16, 0.0);  // wider than nodes
+  EXPECT_THROW(LinkModel(three_node_matrix(), opts), std::invalid_argument);
+  opts.latency_matrix = {0.0, -0.1, 0.1, 0.0};  // negative entry
+  EXPECT_THROW(LinkModel(three_node_matrix(), opts), std::invalid_argument);
+}
+
 TEST(LinkModel, ComputeDelaysTransferStart) {
   LinkModel sim(three_node_matrix());
   sim.start_round();

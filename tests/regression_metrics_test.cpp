@@ -21,6 +21,7 @@
 #include "core/saps.hpp"
 #include "net/bandwidth.hpp"
 #include "nn/models.hpp"
+#include "scenario/runner.hpp"
 #include "test_util.hpp"
 
 namespace saps {
@@ -116,6 +117,42 @@ TEST(MessagePlaneRegression, AllSevenAlgorithmsMatchSeedAccountingBitForBit) {
     EXPECT_EQ(link.mean_worker_bytes(), golden.mean_bytes);
     EXPECT_EQ(link.worker_bytes(1), golden.worker1_bytes);
     EXPECT_EQ(link.total_seconds(), golden.seconds);
+  }
+}
+
+// The declarative path must construct the EXACT experiment the direct path
+// does: a spec text naming the same workload, engine knobs and algorithm
+// parameters lands on the seed-captured goldens bit for bit.  This pins the
+// whole Scenario API stack — registry factories, spec parsing, Runner
+// engine construction — to the pre-refactor accounting (and is what makes
+// bench/specs/* reproductions trustworthy).
+TEST(MessagePlaneRegression, SpecDrivenRunsMatchSeedGoldensBitForBit) {
+  for (const auto& [key, golden] : kGoldens) {
+    SCOPED_TRACE(key);
+    auto spec = scenario::parse_spec_text(
+        "workload=blob\n"
+        "algorithm=" + key + "\n"
+        "workers=4\n"
+        "epochs=2\n"
+        "batch=16\n"
+        "lr=0.1\n"
+        "seed=42\n"
+        "bandwidth=uniform\n"
+        "bandwidth-seed=123\n"
+        "topk-c=10\n"
+        "sfedavg-c=5\n"
+        "dcd-c=4\n"
+        "saps-c=10\n"
+        "qsgd-levels=4\n");
+    spec.threads = test_util::env_threads();
+    scenario::Runner runner(spec);
+    const auto record = runner.run(key);
+    EXPECT_EQ(record.result.final().accuracy, golden.accuracy);
+    EXPECT_EQ(record.result.final().loss, golden.loss);
+    // traffic_mb is mean_worker_bytes / 1e6; compare in the same unit so
+    // the check stays bit-exact.
+    EXPECT_EQ(record.traffic_mb, golden.mean_bytes / 1e6);
+    EXPECT_EQ(record.comm_seconds, golden.seconds);
   }
 }
 

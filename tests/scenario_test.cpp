@@ -1,0 +1,305 @@
+// Scenario API coverage: the self-registering registry (every key
+// constructs), ScenarioSpec parse→print→parse losslessness, the friendly
+// exit-2 contract on unknown keys / out-of-range parameters, the fast-mode
+// derivations (including the --batch-only stale-step-count fix), and the
+// CSV/JSONL metric sinks.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "scenario/cli.hpp"
+#include "scenario/runner.hpp"
+#include "util/flags.hpp"
+
+namespace saps {
+namespace {
+
+using scenario::ParamDesc;
+using scenario::ParamType;
+using scenario::Registry;
+using scenario::ScenarioSpec;
+
+// Builds a Flags object from literal tokens (argv[0] implied).
+Flags make_flags(std::vector<std::string> args) {
+  static std::vector<std::vector<std::string>> keepalive;
+  keepalive.push_back(std::move(args));
+  auto& stored = keepalive.back();
+  std::vector<char*> argv;
+  static std::string prog = "scenario_test";
+  argv.push_back(prog.data());
+  for (auto& a : stored) argv.push_back(a.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Registry, PaperKeysInPaperOrder) {
+  const auto& reg = Registry::instance();
+  const std::vector<std::string> expect = {"psgd", "topk", "fedavg",
+                                           "sfedavg", "dpsgd", "dcd", "saps"};
+  EXPECT_EQ(reg.algorithm_keys(/*paper_only=*/true), expect);
+  const std::vector<std::string> workloads = {"mnist", "cifar", "resnet"};
+  EXPECT_EQ(reg.workload_keys(/*paper_only=*/true), workloads);
+  // QSGD is registered (ablation bench) but outside the comparison.
+  EXPECT_TRUE(reg.has_algorithm("qsgd"));
+  EXPECT_FALSE(reg.algorithm("qsgd").in_paper_comparison);
+}
+
+TEST(Registry, EveryAlgorithmKeyConstructsFromDefaults) {
+  const auto& reg = Registry::instance();
+  for (const auto& key : reg.algorithm_keys()) {
+    SCOPED_TRACE(key);
+    const auto& entry = reg.algorithm(key);
+    const auto params =
+        scenario::resolve_entry_params(entry.params, scenario::ParamSet{});
+    const auto algo = entry.make(params, scenario::AlgoBuildContext{});
+    ASSERT_NE(algo, nullptr);
+    EXPECT_STRNE(algo->name(), "");
+  }
+}
+
+TEST(Registry, EveryWorkloadKeyBuildsDeterministically) {
+  const auto& reg = Registry::instance();
+  scenario::WorkloadContext ctx;
+  ctx.workers = 2;
+  ctx.samples_per_worker = 10;
+  ctx.test_samples = 10;
+  for (const auto& key : reg.workload_keys()) {
+    SCOPED_TRACE(key);
+    const auto& entry = reg.workload(key);
+    const auto params =
+        scenario::resolve_entry_params(entry.params, scenario::ParamSet{});
+    const auto w = entry.make(params, ctx);
+    EXPECT_FALSE(w.display_name.empty());
+    EXPECT_GT(w.train.size(), 0u);
+    EXPECT_GT(w.test.size(), 0u);
+    EXPECT_GT(w.default_lr, 0.0);
+    // The factory must be deterministic (all replicas start identical).
+    auto a = w.factory();
+    auto b = w.factory();
+    ASSERT_EQ(a.param_count(), b.param_count());
+    const auto pa = a.parameters();
+    const auto pb = b.parameters();
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      ASSERT_EQ(pa[i], pb[i]) << "param " << i;
+    }
+  }
+}
+
+TEST(Registry, UnknownKeysThrowFriendly) {
+  const auto& reg = Registry::instance();
+  EXPECT_THROW((void)reg.algorithm("nope"), std::invalid_argument);
+  EXPECT_THROW((void)reg.workload("nope"), std::invalid_argument);
+  try {
+    (void)reg.algorithm("nope");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("saps"), std::string::npos)
+        << "error should list the known keys: " << e.what();
+  }
+}
+
+TEST(ScenarioSpec, DefaultRoundTripsLosslessly) {
+  ScenarioSpec spec;
+  scenario::finalize_spec(spec);
+  const auto text = scenario::to_spec_text(spec);
+  const auto reparsed = scenario::parse_spec_text(text);
+  EXPECT_TRUE(spec.equivalent(reparsed)) << text;
+  // And printing the reparse is byte-identical (canonical forms).
+  EXPECT_EQ(text, scenario::to_spec_text(reparsed));
+}
+
+TEST(ScenarioSpec, RichSpecRoundTripsLosslessly) {
+  ScenarioSpec spec;
+  spec.set("workload", "blob");
+  spec.set("algorithm", "saps,dcd");
+  spec.set("workers", "4");
+  spec.set("epochs", "3");
+  spec.set("batch", "16");
+  spec.set("lr", "0.125");
+  spec.set("partition", "shard");
+  spec.set("bandwidth", "uniform");
+  spec.set("bandwidth-seed", "123");
+  spec.set("latency", "0.0015");
+  spec.set("latency-matrix",
+           "0,0.001,0.002,0.003;0.001,0,0.004,0.005;"
+           "0.002,0.004,0,0.006;0.003,0.005,0.006,0");
+  spec.set("failures", "2@5-25,3@40");
+  spec.set("saps-c", "12.5");
+  spec.set("blob-noise", "0.35");
+  scenario::finalize_spec(spec);
+
+  ASSERT_EQ(spec.latency_matrix.size(), 16u);
+  EXPECT_EQ(spec.latency_matrix[1], 0.001);
+  ASSERT_EQ(spec.failures.size(), 2u);
+  EXPECT_EQ(spec.failures[0],
+            (scenario::FailureEvent{.worker = 2, .drop_round = 5,
+                                    .rejoin_round = 25}));
+  EXPECT_EQ(spec.failures[1].rejoin_round, 0u);  // never rejoins
+
+  const auto text = scenario::to_spec_text(spec);
+  const auto reparsed = scenario::parse_spec_text(text);
+  EXPECT_TRUE(spec.equivalent(reparsed)) << text;
+  EXPECT_EQ(text, scenario::to_spec_text(reparsed));
+}
+
+TEST(ScenarioSpec, UnknownAndInvalidKeysThrow) {
+  ScenarioSpec spec;
+  EXPECT_THROW(spec.set("no-such-knob", "1"), std::invalid_argument);
+  EXPECT_THROW(spec.set("workers", "1"), std::invalid_argument);   // < 2
+  EXPECT_THROW(spec.set("saps-c", "0.5"), std::invalid_argument);  // < 1
+  EXPECT_THROW(spec.set("partition", "zebra"), std::invalid_argument);
+  EXPECT_THROW(spec.set("epochs", "many"), std::invalid_argument);
+  EXPECT_THROW(scenario::parse_spec_text("workload"), std::invalid_argument);
+  EXPECT_THROW(scenario::parse_spec_text("algorithm=warp-drive"),
+               std::invalid_argument);
+  EXPECT_THROW(scenario::parse_spec_text("failures=1@9-5\nworkers=4"),
+               std::invalid_argument);  // rejoin before drop
+  EXPECT_THROW(scenario::parse_spec_text("failures=9@5\nworkers=4"),
+               std::invalid_argument);  // worker out of range
+  EXPECT_THROW(scenario::parse_spec_text("latency-matrix=1,2;3"),
+               std::invalid_argument);  // ragged rows
+  EXPECT_THROW(scenario::parse_spec_text("latency-matrix=0,0;0,0\nworkers=4"),
+               std::invalid_argument);  // wrong arity for 4 workers
+  EXPECT_THROW(scenario::parse_spec_text("bandwidth=cities\nworkers=8"),
+               std::invalid_argument);  // cities matrix is 14 workers
+}
+
+using ScenarioSpecDeathTest = ::testing::Test;
+
+TEST(ScenarioSpecDeathTest, CliViolationsExitTwoWithFriendlyMessage) {
+  // The util/flags exit-2 contract, preserved by the generated CLI layer.
+  EXPECT_EXIT(
+      { (void)scenario::scenario_from_flags_or_exit(
+            make_flags({"--saps-c=0.5"})); },
+      ::testing::ExitedWithCode(2), "saps-c");
+  EXPECT_EXIT(
+      { (void)scenario::scenario_from_flags_or_exit(
+            make_flags({"--threads=9999"})); },
+      ::testing::ExitedWithCode(2), "threads");
+  EXPECT_EXIT(
+      { (void)scenario::scenario_from_flags_or_exit(
+            make_flags({"--spec=/no/such/file.spec"})); },
+      ::testing::ExitedWithCode(2), "cannot read");
+  EXPECT_EXIT(
+      { (void)scenario::sinks_from_flags_or_exit(
+            make_flags({"--sink=carrier-pigeon"})); },
+      ::testing::ExitedWithCode(2), "unknown sink");
+}
+
+TEST(ScenarioSpec, FastModeDerivesFedavgStepsFromResolvedPair) {
+  // Defaults: 150 samples / batch 10 → 3 local steps.
+  const auto base = scenario::spec_from_flags(make_flags({}));
+  EXPECT_EQ(base.params.raw("fedavg-steps"), "3");
+  // Overriding --samples re-derives (the behavior the old harness had)...
+  const auto more = scenario::spec_from_flags(make_flags({"--samples=300"}));
+  EXPECT_EQ(more.params.raw("fedavg-steps"), "6");
+  // ...and overriding ONLY --batch re-derives too (the old harness left a
+  // stale count computed from the default batch size here).
+  const auto batch = scenario::spec_from_flags(make_flags({"--batch=30"}));
+  EXPECT_EQ(batch.params.raw("fedavg-steps"), "1");
+  // An explicit flag always wins over the derivation.
+  const auto expl = scenario::spec_from_flags(
+      make_flags({"--batch=30", "--fedavg-steps=7"}));
+  EXPECT_EQ(expl.params.raw("fedavg-steps"), "7");
+}
+
+TEST(ScenarioSpec, FullPresetAppliesUnlessOverridden) {
+  const auto full = scenario::spec_from_flags(make_flags({"--full"}));
+  EXPECT_EQ(full.workers, 32u);
+  EXPECT_EQ(full.epochs, 100u);
+  EXPECT_EQ(full.samples, 1875u);
+  EXPECT_EQ(full.batch, 50u);
+  EXPECT_EQ(full.params.raw("topk-c"), "1000");   // paper ratio
+  EXPECT_EQ(full.params.raw("fedavg-steps"), "0");  // E=1 local epochs
+  const auto mixed =
+      scenario::spec_from_flags(make_flags({"--full", "--workers=16"}));
+  EXPECT_EQ(mixed.workers, 16u);
+  EXPECT_EQ(mixed.epochs, 100u);
+  // Fast mode shrinks the compression ratios.
+  const auto fast = scenario::spec_from_flags(make_flags({}));
+  EXPECT_EQ(fast.params.raw("topk-c"), "100");
+  EXPECT_EQ(fast.params.raw("sfedavg-c"), "20");
+}
+
+TEST(ScenarioSpec, FlagsOverrideSpecFileWhichOverridesDefaults) {
+  const auto path = ::testing::TempDir() + "/scenario_test_layering.spec";
+  {
+    std::ofstream out(path);
+    out << "# layering test\nworkers=6\nepochs=9\nsaps-c=33\n";
+  }
+  const auto spec = scenario::spec_from_flags(
+      make_flags({"--spec=" + path, "--epochs=2"}));
+  EXPECT_EQ(spec.workers, 6u);                  // file value
+  EXPECT_EQ(spec.epochs, 2u);                   // CLI wins
+  EXPECT_EQ(spec.params.raw("saps-c"), "33");   // file value
+  EXPECT_EQ(spec.batch, 10u);                   // default survives
+}
+
+TEST(Sinks, CsvAndJsonlCarryEveryPointAndTheSpecHeader) {
+  ScenarioSpec spec;
+  spec.set("workload", "blob");
+  spec.set("algorithm", "saps");
+  spec.set("workers", "4");
+  spec.set("epochs", "1");
+  spec.set("batch", "16");
+  spec.set("lr", "0.1");
+  spec.set("blob-train", "64");
+  spec.set("blob-test", "32");
+  spec.set("saps-c", "4");
+
+  std::ostringstream csv_out, jsonl_out;
+  scenario::SinkList sinks;
+  sinks.add(std::make_unique<scenario::CsvSink>(csv_out));
+  sinks.add(std::make_unique<scenario::JsonlSink>(jsonl_out));
+
+  scenario::Runner runner(spec);
+  const auto record = runner.run("saps", &sinks);
+
+  const auto csv = csv_out.str();
+  EXPECT_NE(csv.find("# workload=blob"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("workload,algorithm,round,epoch,loss,accuracy,"
+                     "worker_mb,comm_seconds"),
+            std::string::npos);
+  const auto jsonl = jsonl_out.str();
+  EXPECT_NE(jsonl.find("\"event\":\"run_begin\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"algorithm\":\"SAPS-PSGD\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"event\":\"run_end\""), std::string::npos);
+  // One CSV row and one JSONL point per history entry.
+  const auto count = [](const std::string& hay, const std::string& needle) {
+    std::size_t n = 0, pos = 0;
+    while ((pos = hay.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += needle.size();
+    }
+    return n;
+  };
+  EXPECT_EQ(count(jsonl, "\"event\":\"point\""),
+            record.result.history.size());
+  EXPECT_EQ(count(csv, "Blob-MLP,SAPS-PSGD,"),
+            record.result.history.size());
+}
+
+TEST(Runner, FailureScheduleRequiresSupportingAlgorithm) {
+  ScenarioSpec spec;
+  spec.set("workload", "blob");
+  spec.set("workers", "4");
+  spec.set("epochs", "1");
+  spec.set("blob-train", "64");
+  spec.set("blob-test", "32");
+  spec.set("failures", "1@2-4");
+  scenario::Runner runner(spec);
+  EXPECT_THROW((void)runner.run("dpsgd"), std::invalid_argument);
+}
+
+TEST(Runner, MakeSinksParsesKindsAndRejectsUnknown) {
+  auto list = scenario::make_sinks("table,csv,jsonl");
+  EXPECT_FALSE(list.empty());
+  EXPECT_TRUE(scenario::make_sinks("").empty());
+  EXPECT_THROW((void)scenario::make_sinks("xml"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saps

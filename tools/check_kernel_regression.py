@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Gate bench_micro_kernels output against a committed baseline.
+
+Compares the `items_per_second` of every benchmark matching --filter in a
+fresh Google-Benchmark JSON capture against bench/baselines/BENCH_kernels.json
+and fails (exit 1) when any throughput ratio current/baseline drops below
+--min-ratio.
+
+The committed baseline was captured on different hardware than the CI
+runner, so the default gate is deliberately loose: it exists to catch SILENT
+order-of-magnitude GEMM regressions (a dropped vector path, an accidental
+debug build), not single-digit drift.  A PR that intentionally changes
+kernel performance refreshes the baseline in the same commit (see
+docs/BENCHMARKS.md, "Kernel baselines").
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_throughputs(path, name_re):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name", "")
+        if not name_re.search(name):
+            continue
+        ips = bench.get("items_per_second")
+        if ips:
+            out[name] = float(ips)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("current", help="freshly captured JSON")
+    ap.add_argument(
+        "--filter",
+        default=r"^BM_Gemm",
+        help="regex selecting the gated benchmarks (default: the GEMM family)",
+    )
+    ap.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.35,
+        help="fail when current/baseline items_per_second drops below this",
+    )
+    args = ap.parse_args()
+
+    name_re = re.compile(args.filter)
+    baseline = load_throughputs(args.baseline, name_re)
+    current = load_throughputs(args.current, name_re)
+    if not baseline:
+        print(f"error: no benchmarks matching {args.filter!r} in baseline")
+        return 2
+
+    failed = []
+    missing = []
+    print(f"{'benchmark':48} {'baseline':>14} {'current':>14} {'ratio':>7}")
+    for name, base_ips in sorted(baseline.items()):
+        cur_ips = current.get(name)
+        if cur_ips is None:
+            missing.append(name)
+            print(f"{name:48} {base_ips:14.4g} {'MISSING':>14} {'-':>7}")
+            continue
+        ratio = cur_ips / base_ips
+        flag = "" if ratio >= args.min_ratio else "  << REGRESSION"
+        print(f"{name:48} {base_ips:14.4g} {cur_ips:14.4g} {ratio:7.2f}"
+              f"{flag}")
+        if ratio < args.min_ratio:
+            failed.append((name, ratio))
+
+    if missing:
+        print(f"\nerror: {len(missing)} gated benchmark(s) missing from the "
+              "current capture (renamed or skipped?)")
+        return 1
+    if failed:
+        print(f"\nFAIL: {len(failed)} benchmark(s) below min-ratio "
+              f"{args.min_ratio} vs bench/baselines — see docs/BENCHMARKS.md")
+        return 1
+    print(f"\nOK: all {len(baseline)} gated benchmarks within tolerance "
+          f"(min-ratio {args.min_ratio})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
