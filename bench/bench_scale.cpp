@@ -1,0 +1,228 @@
+// Population-scale sweep — rounds/sec and peak RSS vs. population size.
+//
+// The engine's replica pool (docs/ARCHITECTURE.md, "Cohort sampling &
+// replica pool") keeps only the per-round cohort materialized, so memory
+// should be bounded by the cohort while the population grows by orders of
+// magnitude.  This bench charts both claims at once: throughput (rounds/sec,
+// the cost of the per-round freeze/thaw traffic) and peak RSS (VmHWM) across
+// a population sweep at a fixed cohort.  The first sweep entry defaults to
+// population == workers, i.e. the legacy fully-materialized engine, as the
+// reference point.
+//
+// Shape to observe: replica state stays bounded by the cohort (the pool
+// owns `cohort` replicas regardless of population), so peak RSS grows only
+// with the O(population) bookkeeping residue — slot map, frozen records,
+// fabric mailboxes — a few hundred bytes per logical client instead of a
+// full model+optimizer+workspace.  Compare a --cohort=<population> point at
+// the same population to see the materialized cost.  Rounds/sec falls with
+// the per-round O(population) sweeps, not with replica count.
+//
+// --json=PATH writes a google-benchmark-compatible report so the CI gate
+// (tools/check_kernel_regression.py --filter '^BM_Scale') can compare
+// items_per_second (= rounds/sec) against bench/baselines/BENCH_scale.json.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/cli.hpp"
+#include "scenario/params.hpp"
+#include "scenario/runner.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// Peak resident set in MB.  VmHWM is process-lifetime monotonic, which is
+// exactly what the sweep wants: populations run in ascending order, so a
+// flat column means the larger populations allocated no more than the
+// smaller ones.
+double peak_rss_mb() {
+  std::ifstream f("/proc/self/status");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream iss(line.substr(6));
+      double kb = 0.0;
+      iss >> kb;
+      if (kb > 0.0) return kb / 1024.0;
+    }
+  }
+  struct rusage ru = {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: kilobytes
+}
+
+std::vector<std::size_t> parse_populations(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::istringstream iss(csv);
+  std::string token;
+  while (std::getline(iss, token, ',')) {
+    if (token.empty()) continue;
+    std::size_t pos = 0;
+    unsigned long long v = 0;
+    try {
+      v = std::stoull(token, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != token.size() || v == 0) {
+      std::cerr << "--populations: '" << token
+                << "' is not a positive integer\n";
+      std::exit(2);
+    }
+    out.push_back(static_cast<std::size_t>(v));
+  }
+  if (out.empty()) {
+    std::cerr << "--populations: empty sweep\n";
+    std::exit(2);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  saps::Flags flags(argc, argv);
+  saps::scenario::describe_scenario_flags(flags);
+  flags.describe("populations",
+                 "comma-separated population sweep, ascending (default "
+                 "8,1000,10000,100000); entries below --workers are clamped "
+                 "up to the worker count (legacy materialized engine)");
+  flags.describe("json",
+                 "write a google-benchmark-compatible JSON report to PATH "
+                 "(names BM_Scale/<algo>/<population>, items_per_second = "
+                 "rounds/sec) for tools/check_kernel_regression.py");
+  flags.describe("min-seconds",
+                 "repeat each (population, algorithm) run until this much "
+                 "wall time accumulates (default 0.2) so the small sweep "
+                 "entries aren't timed from one sub-millisecond run");
+  saps::exit_on_help_or_unknown(flags, argv[0]);
+  std::vector<std::size_t> populations;
+  if (flags.has("populations")) {
+    populations = parse_populations(flags.get_string("populations", ""));
+  }
+
+  // `--cohort=64` alone is legal for the sweep (each entry clamps the cohort
+  // to its population), but spec finalization validates cohort against the
+  // CLI-resolved population before the sweep runs — seed the base spec with
+  // the sweep maximum so it parses, then override population per entry.
+  std::vector<std::string> args(argv, argv + argc);
+  bool injected_population = false;
+  if (flags.has("cohort") && !flags.has("population")) {
+    auto seed_population = static_cast<std::size_t>(flags.get_int("cohort", 2));
+    for (const auto p : populations) {
+      seed_population = std::max(seed_population, p);
+    }
+    args.push_back("--population=" + std::to_string(seed_population));
+    injected_population = true;
+  }
+  std::vector<char*> argp;
+  argp.reserve(args.size());
+  for (auto& a : args) argp.push_back(a.data());
+  saps::Flags spec_flags(static_cast<int>(argp.size()), argp.data());
+  saps::scenario::describe_scenario_flags(spec_flags);
+  auto spec = saps::scenario::scenario_from_flags_or_exit(spec_flags);
+  auto sinks = saps::scenario::sinks_from_flags_or_exit(flags);
+
+  // Bench defaults (overridable): the synthetic blob workload keeps the
+  // sweep about the engine, not dataset I/O; fedavg + saps are the two
+  // cohort-capable protocol shapes (server round-trip vs. pairwise gossip);
+  // cohort=64 matches the acceptance scenario `population=100000 cohort=64`.
+  if (!spec.provided("workload")) spec.workload = "blob";
+  if (!spec.provided("algorithm")) spec.algorithms = {"fedavg", "saps"};
+  if (!spec.provided("epochs")) spec.epochs = 2;
+  const std::size_t cohort = spec.provided("cohort") ? spec.cohort : 64;
+  const std::string json_path = flags.get_string("json", "");
+  const double min_seconds = flags.get_double("min-seconds", 0.2);
+  if (populations.empty()) {
+    // No --populations: a spec-provided population runs alone (the CI smoke
+    // path); otherwise sweep from the legacy materialized engine up to the
+    // acceptance scale.
+    if (spec.provided("population") && !injected_population) {
+      populations = {spec.population};
+    } else {
+      populations = {8, 1000, 10000, 100000};
+    }
+  }
+
+  saps::scenario::Runner base(spec);
+  const auto& workload = base.workload();
+  std::cout << "=== Population sweep (" << workload.display_name
+            << ", cohort<=" << cohort << "): rounds/sec and peak RSS ===\n";
+
+  struct Row {
+    std::size_t population, cohort, rounds;
+    std::string algo;
+    double seconds, rps, rss_mb;
+  };
+  std::vector<Row> rows;
+  for (const auto p : populations) {
+    auto s = spec;
+    // The dataset is sharded by --workers regardless of population, so the
+    // workload stays shareable; population only widens the sampling frame.
+    s.population = std::max(p, s.workers);
+    s.cohort = std::min(cohort, s.population);
+    saps::scenario::Runner runner(s, workload);
+    for (const auto& algo : s.effective_algorithms()) {
+      // Runs are deterministic (fresh engine per run), so repetitions are
+      // pure timing samples; only the first streams to the sinks.
+      double total = 0.0;
+      std::size_t reps = 0, rounds = 0;
+      std::string name;
+      while (reps == 0 || (total < min_seconds && reps < 1000)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto rec = runner.run(algo, reps == 0 ? &sinks : nullptr);
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        total += dt.count();
+        ++reps;
+        rounds = rec.result.final().round;
+        name = rec.name;
+      }
+      const auto done = static_cast<double>(rounds * reps);
+      rows.push_back({s.population, s.cohort, rounds, name, total / reps,
+                      total > 0.0 ? done / total : 0.0, peak_rss_mb()});
+    }
+  }
+
+  saps::Table table({"population", "cohort", "algorithm", "rounds", "seconds",
+                     "rounds_per_sec", "peak_rss_mb"});
+  for (const auto& r : rows) {
+    table.add_row({saps::Table::num(static_cast<long long>(r.population)),
+                   saps::Table::num(static_cast<long long>(r.cohort)), r.algo,
+                   saps::Table::num(static_cast<long long>(r.rounds)),
+                   saps::Table::num(r.seconds, 3), saps::Table::num(r.rps, 2),
+                   saps::Table::num(r.rss_mb, 1)});
+  }
+  std::cout << table.to_aligned() << "\n";
+  std::cout << "peak_rss_mb = VmHWM (monotonic; sweep runs ascending): "
+               "replica state is bounded by\nthe cohort, so the column grows "
+               "only with O(population) bookkeeping, not with\nmodel state — "
+               "compare a --cohort=<population> point to see the "
+               "materialized cost.\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "--json: cannot open '" << json_path << "' for writing\n";
+      return 2;
+    }
+    out << "{\"context\":{\"bench\":\"bench_scale\"},\"benchmarks\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      out << (i ? "," : "") << "\n  {\"name\":\"BM_Scale/" << r.algo << "/"
+          << r.population << "\",\"run_type\":\"iteration\""
+          << ",\"items_per_second\":" << saps::scenario::format_double(r.rps)
+          << ",\"peak_rss_mb\":" << saps::scenario::format_double(r.rss_mb)
+          << "}";
+    }
+    out << "\n]}\n";
+  }
+  return 0;
+}

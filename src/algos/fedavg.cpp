@@ -54,12 +54,20 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
   std::vector<std::vector<float>> uploads(n);
   while (epoch_progress < static_cast<double>(cfg.epochs)) {
     ++round;
-    // Sample participants without replacement.
-    for (std::size_t i = n; i > 1; --i) {
-      std::swap(order[i - 1], order[rng.next_below(i)]);
+    // Sample participants without replacement.  In pooled (cohort) mode the
+    // engine's per-round draw IS the participant set — FedAvg's client
+    // sampling and the population cohort are the same mechanism, so the
+    // fraction knob defers to the spec's cohort size.
+    std::span<const std::size_t> chosen;
+    if (engine.cohort_mode()) {
+      chosen = engine.begin_round_cohort(round);
+    } else {
+      for (std::size_t i = n; i > 1; --i) {
+        std::swap(order[i - 1], order[rng.next_below(i)]);
+      }
+      chosen = std::span<const std::size_t>(order.data(),
+                                            participants_per_round);
     }
-    const std::span<const std::size_t> chosen(order.data(),
-                                              participants_per_round);
 
     // Download phase: server → participants, one FullModelMsg each (encoded
     // once, fanned out).
@@ -231,6 +239,7 @@ void register_fedavg(Registry& r) {
   r.add_algorithm(
       {.key = "fedavg",
        .summary = "FedAvg: server-coordinated local SGD (McMahan et al.)",
+       .supports_cohort = true,
        .params = fedavg_shared_params(),
        .make = [](const ParamSet& p, const AlgoBuildContext&) {
          return std::make_unique<algos::FedAvg>(fedavg_config(p));
@@ -247,6 +256,7 @@ void register_fedavg(Registry& r) {
   r.add_algorithm(
       {.key = "sfedavg",
        .summary = "S-FedAvg: FedAvg with seeded-random-masked uploads",
+       .supports_cohort = true,
        .params = std::move(sfedavg_params),
        .make = [](const ParamSet& p, const AlgoBuildContext&) {
          auto cfg = fedavg_config(p);

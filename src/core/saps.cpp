@@ -42,10 +42,21 @@ sim::RunResult SapsPsgd::run(sim::Engine& engine) {
   result.algorithm = name();
   result.history.push_back(engine.eval_point(0, 0.0));
 
+  const bool pooled = engine.cohort_mode();
   std::size_t round = 0;
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
     for (std::size_t step = 0; step < steps; ++step) {
+      // Population runs: draw this round's cohort first (it resets the
+      // engine's active flags), then let the failure schedule re-assert its
+      // flips, then mirror residency ∩ liveness into the coordinator so the
+      // match never names a worker without a live replica.
+      if (pooled) engine.begin_round_cohort(round);
       if (config_.on_round) config_.on_round(round, coordinator, engine);
+      if (pooled) {
+        for (std::size_t w = 0; w < n; ++w) {
+          coordinator.set_active(w, engine.resident(w) && engine.active(w));
+        }
+      }
 
       // Algorithm 1 lines 4-6: the coordinator decides (W_t, t, s) and
       // broadcasts one NotifyMsg per worker over the control plane.
@@ -55,6 +66,9 @@ sim::RunResult SapsPsgd::run(sim::Engine& engine) {
             coordinator.bottleneck_bandwidth(plan.gossip));
       }
       for (std::size_t w = 0; w < n; ++w) {
+        // Non-resident workers never drain their mailbox; notifying them
+        // would grow it without bound over a population-scale run.
+        if (pooled && !engine.resident(w)) continue;
         net::NotifyMsg note;
         note.round = static_cast<std::uint32_t>(plan.round);
         note.mask_seed = plan.mask_seed;
@@ -127,11 +141,14 @@ sim::RunResult SapsPsgd::run(sim::Engine& engine) {
   // full model at the end of training (Table I's server cost of N).
   fabric.begin_round();
   {
+    // The collecting worker must be resident; the roster front is worker 0
+    // in legacy runs and the lowest cohort member in population runs.
+    const std::size_t src = engine.roster().front();
     net::FullModelMsg final_model;
-    final_model.rank = 0;
-    const auto p = engine.params(0);
+    final_model.rank = static_cast<std::uint32_t>(src);
+    const auto p = engine.params(src);
     final_model.params.assign(p.begin(), p.end());
-    fabric.send(0, coord_node, final_model);
+    fabric.send(src, coord_node, final_model);
   }
   fabric.end_round();
   if (const auto env = fabric.recv(coord_node)) {
@@ -157,6 +174,7 @@ void register_saps(Registry& r) {
        .summary = "SAPS-PSGD: sparsified gossip with adaptive peer selection "
                   "(the paper's algorithm)",
        .supports_failures = true,
+       .supports_cohort = true,
        .params =
            {{.name = "saps-c",
              .type = ParamType::kDouble,

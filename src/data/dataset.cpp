@@ -82,6 +82,16 @@ void BatchSampler::reshuffle() {
   cursor_ = 0;
 }
 
+void BatchSampler::restore_state(const State& state) {
+  if (state.order.size() != dataset_->size() ||
+      state.cursor > state.order.size()) {
+    throw std::invalid_argument("BatchSampler: state/dataset size mismatch");
+  }
+  rng_ = state.rng;
+  order_ = state.order;
+  cursor_ = state.cursor;
+}
+
 std::size_t BatchSampler::batches_per_epoch() const noexcept {
   return (dataset_->size() + batch_size_ - 1) / batch_size_;
 }

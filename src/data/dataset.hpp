@@ -67,6 +67,21 @@ class BatchSampler {
   [[nodiscard]] std::size_t batches_per_epoch() const noexcept;
   [[nodiscard]] std::size_t batch_size() const noexcept { return batch_size_; }
 
+  /// Complete iteration state: the RNG, the current epoch's shuffled order
+  /// and the position within it.  save_state/restore_state round-trip a
+  /// sampler exactly — the engine's replica pool uses them so a worker that
+  /// leaves and rejoins the cohort resumes its batch stream mid-epoch as if
+  /// it had never been evicted.
+  struct State {
+    Rng rng;
+    std::vector<std::size_t> order;
+    std::size_t cursor = 0;
+  };
+  [[nodiscard]] State save_state() const { return {rng_, order_, cursor_}; }
+  /// Restores a save_state() snapshot taken from a sampler over an
+  /// identically sized dataset; throws on size mismatch.
+  void restore_state(const State& state);
+
  private:
   const Dataset* dataset_;
   std::size_t batch_size_;

@@ -43,6 +43,18 @@ class Sgd {
 
   [[nodiscard]] const SgdConfig& config() const noexcept { return config_; }
 
+  /// The momentum velocity buffer (empty when momentum is 0 or before the
+  /// first step).  Together with the config, this is the optimizer's whole
+  /// state — the engine's replica pool snapshots it when a worker leaves the
+  /// active cohort.
+  [[nodiscard]] const std::vector<float>& velocity() const noexcept {
+    return velocity_;
+  }
+  /// Restores (or clears, for a fresh worker) a velocity() snapshot.
+  void set_velocity(std::vector<float> velocity) {
+    velocity_ = std::move(velocity);
+  }
+
  private:
   SgdConfig config_;
   std::vector<float> velocity_;

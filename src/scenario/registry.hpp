@@ -56,6 +56,9 @@ struct AlgorithmEntry {
   bool in_paper_comparison = true;
   // Can honor an AlgoBuildContext failure schedule (dropout/rejoin rounds)?
   bool supports_failures = false;
+  // Can consume the engine's per-round cohort draw (population runs where
+  // cohort < population and only the cohort owns live replicas)?
+  bool supports_cohort = false;
   std::vector<ParamDesc> params;
   std::function<std::unique_ptr<algos::Algorithm>(const ParamSet&,
                                                   const AlgoBuildContext&)>

@@ -29,7 +29,13 @@ Runner::Runner(ScenarioSpec spec, const Workload& workload)
 
 sim::SimConfig Runner::sim_config() const {
   sim::SimConfig cfg;
-  cfg.workers = spec_.workers;
+  // Population runs: the engine's logical worker count is the population;
+  // the spec's `workers` becomes the shard-group count so the dataset stays
+  // sized by `workers` (each population worker trains on shard w % workers).
+  cfg.workers = spec_.population;
+  cfg.cohort = spec_.cohort;
+  cfg.sample_seed = spec_.sample_seed;
+  cfg.shard_groups = spec_.workers;
   cfg.epochs = spec_.epochs;
   cfg.batch_size = spec_.batch;
   // Real-data workloads restore the paper's Table II batch when the spec
@@ -78,6 +84,11 @@ RunRecord Runner::run(const std::string& algo_key, SinkList* sinks) {
         "algorithm '" + algo_key +
         "' does not support a failure schedule (only saps honors dropout/"
         "rejoin rounds)");
+  }
+  if (spec_.cohort < spec_.population && !entry.supports_cohort) {
+    throw std::invalid_argument(
+        "algorithm '" + algo_key +
+        "' does not support per-round cohort sampling (cohort < population)");
   }
   AlgoBuildContext ctx;
   ctx.failures = spec_.failures;

@@ -1,5 +1,6 @@
 #include "scenario/sinks.hpp"
 
+#include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
@@ -32,7 +33,17 @@ std::string json_escape(const std::string& s) {
         out += "\\r";
         break;
       default:
-        out += c;
+        // RFC 8259: all other control characters MUST be \u-escaped; emitting
+        // them raw (e.g. a \f or \v smuggled in via spec_text) breaks every
+        // JSON parser reading the stream.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -20,6 +21,9 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // constant; the derived default keeps spec-driven runs bit-identical to the
 // pre-refactor bench wiring).
 constexpr std::uint64_t kBandwidthSalt = 0xf16;
+// Seed salt of the per-round cohort draw (mirrors the bandwidth-seed
+// derivation: filled from the top-level seed when never set explicitly).
+constexpr std::uint64_t kSampleSalt = 0x5a3d;
 
 std::string trim(std::string s) {
   const auto is_space = [](char c) { return c == ' ' || c == '\t' ||
@@ -69,6 +73,12 @@ void assign_core(ScenarioSpec& s, const ParamDesc& d,
     }
   } else if (k == "workers") {
     s.workers = as_size();
+  } else if (k == "population") {
+    s.population = as_size();
+  } else if (k == "cohort") {
+    s.cohort = as_size();
+  } else if (k == "sample-seed") {
+    s.sample_seed = parse_uint(k, canonical);
   } else if (k == "epochs") {
     s.epochs = as_size();
   } else if (k == "samples") {
@@ -201,6 +211,7 @@ void apply_kv_lines(ScenarioSpec& spec, const std::string& text) {
   std::istringstream iss(text);
   std::string line;
   std::size_t lineno = 0;
+  std::map<std::string, std::size_t> first_line;  // duplicate detection
   while (std::getline(iss, line)) {
     ++lineno;
     const auto hash = line.find('#');
@@ -213,6 +224,12 @@ void apply_kv_lines(ScenarioSpec& spec, const std::string& text) {
                                   ": expected key=value, got '" + line + "'");
     }
     const auto key = trim(line.substr(0, eq));
+    const auto [it, inserted] = first_line.emplace(key, lineno);
+    if (!inserted) {
+      throw std::invalid_argument(
+          "spec line " + std::to_string(lineno) + ": duplicate key '" + key +
+          "' (first set on line " + std::to_string(it->second) + ")");
+    }
     if (key == "full") continue;  // applied up front by the preset scan
     spec.set(key, trim(line.substr(eq + 1)));
   }
@@ -249,6 +266,26 @@ const std::vector<ParamDesc>& core_spec_params() {
        .min_value = 2,
        .max_value = 4096,
        .help = "worker count (default 8; 32 under --full)"},
+      {.name = "population",
+       .type = kInt,
+       .default_value = "0",
+       .min_value = 0,
+       .max_value = 1e9,
+       .help = "logical client population workers are sampled from (0 = "
+               "workers; larger values enable per-round cohort sampling with "
+               "pooled model state)"},
+      {.name = "cohort",
+       .type = kInt,
+       .default_value = "0",
+       .min_value = 0,
+       .max_value = 4096,
+       .help = "participants drawn (and model replicas materialized) per "
+               "round (0 = workers; must be in [2, population])"},
+      {.name = "sample-seed",
+       .type = kUint,
+       .default_value = "0",
+       .help = "RNG seed of the per-round cohort draw (default: derived "
+               "from seed)"},
       {.name = "epochs",
        .type = kInt,
        .default_value = "6",
@@ -401,7 +438,9 @@ std::vector<std::string> ScenarioSpec::effective_algorithms() const {
 
 bool ScenarioSpec::equivalent(const ScenarioSpec& o) const {
   return workload == o.workload && algorithms == o.algorithms &&
-         workers == o.workers && epochs == o.epochs && samples == o.samples &&
+         workers == o.workers && population == o.population &&
+         cohort == o.cohort && sample_seed == o.sample_seed &&
+         epochs == o.epochs && samples == o.samples &&
          test_samples == o.test_samples && batch == o.batch &&
          eval_every == o.eval_every && eval_batch == o.eval_batch &&
          seed == o.seed && full == o.full && threads == o.threads &&
@@ -421,9 +460,40 @@ void finalize_spec(ScenarioSpec& spec) {
   const auto algo_keys = spec.effective_algorithms();
   for (const auto& key : algo_keys) (void)reg.algorithm(key);
 
+  // Participant sampling: resolve the population/cohort pair (0 = workers)
+  // and gate the combinations the engine cannot honor.  The resolved
+  // defaults (population=workers, cohort=workers) are the legacy
+  // fully-materialized engine.
+  if (spec.population == 0) spec.population = spec.workers;
+  if (spec.population < spec.workers) {
+    throw std::invalid_argument(
+        "--population must be >= workers (" + std::to_string(spec.workers) +
+        "), got " + std::to_string(spec.population));
+  }
+  if (spec.cohort == 0) spec.cohort = spec.workers;
+  if (spec.cohort < 2 || spec.cohort > spec.population) {
+    throw std::invalid_argument(
+        "--cohort must be in [2, population=" +
+        std::to_string(spec.population) + "], got " +
+        std::to_string(spec.cohort));
+  }
+  if (spec.population != spec.workers && spec.bandwidth != "none") {
+    throw std::invalid_argument(
+        "--bandwidth matrices are sized by workers; population runs require "
+        "bandwidth=none");
+  }
+  // Algorithm support for cohort < population is checked per run
+  // (Runner::run), like the failure schedule: a spec may carry a population
+  // while the caller runs only the supporting algorithms by key.
+
   if (!spec.latency_matrix_text.empty()) {
     spec.latency_matrix = parse_matrix(spec.latency_matrix_text);
     spec.latency_matrix_text.clear();
+  }
+  if (!spec.latency_matrix.empty() && spec.population != spec.workers) {
+    throw std::invalid_argument(
+        "--latency-matrix is sized by workers; population runs require the "
+        "scalar --latency");
   }
   if (!spec.latency_matrix.empty() &&
       spec.latency_matrix.size() != spec.workers * spec.workers) {
@@ -442,11 +512,16 @@ void finalize_spec(ScenarioSpec& spec) {
     spec.failures = parse_failures(spec.failures_text);
     spec.failures_text.clear();
   }
+  // Failure worker indices are validated here, at spec-resolution time, so a
+  // bad spec file fails before any engine is built — against the RESOLVED
+  // population (== workers outside population runs).  Algorithm support is
+  // checked per run (Runner::run), because a spec may carry a schedule while
+  // the caller runs only the supporting algorithms by key.
   for (const auto& e : spec.failures) {
-    if (e.worker >= spec.workers) {
+    if (e.worker >= spec.population) {
       throw std::invalid_argument("--failures names worker " +
                                   std::to_string(e.worker) + " but only " +
-                                  std::to_string(spec.workers) + " exist");
+                                  std::to_string(spec.population) + " exist");
     }
   }
 
@@ -474,6 +549,9 @@ void finalize_spec(ScenarioSpec& spec) {
   }
   if (!spec.provided("bandwidth-seed")) {
     spec.bandwidth_seed = derive_seed(spec.seed, kBandwidthSalt);
+  }
+  if (!spec.provided("sample-seed")) {
+    spec.sample_seed = derive_seed(spec.seed, kSampleSalt);
   }
 
   // Materialize the remaining defaults so to_spec_text prints a COMPLETE,
@@ -541,6 +619,9 @@ std::string to_spec_text(const ScenarioSpec& s) {
                                                : join(s.algorithms, ','))
       << "\n";
   oss << "workers=" << s.workers << "\n";
+  oss << "population=" << s.population << "\n";
+  oss << "cohort=" << s.cohort << "\n";
+  oss << "sample-seed=" << s.sample_seed << "\n";
   oss << "epochs=" << s.epochs << "\n";
   oss << "samples=" << s.samples << "\n";
   oss << "test-samples=" << s.test_samples << "\n";

@@ -36,6 +36,14 @@ struct ScenarioSpec {
 
   // Engine / schedule (fast-mode defaults; --full switches to Table II).
   std::size_t workers = 8;
+  // Participant sampling: `population` (0 = workers) is the logical client
+  // count; `cohort` (0 = workers) is how many of them are drawn — and own a
+  // live model replica — each round.  `sample-seed` drives the per-round
+  // draw (derived from `seed` when never set).  The defaults reproduce the
+  // legacy fully-materialized engine bit-for-bit.
+  std::size_t population = 0;
+  std::size_t cohort = 0;
+  std::uint64_t sample_seed = 0;
   std::size_t epochs = 6;
   std::size_t samples = 150;  // training samples per worker
   std::size_t test_samples = 400;

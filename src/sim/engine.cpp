@@ -15,6 +15,9 @@ const MetricPoint* RunResult::first_reaching(double accuracy) const {
 }
 
 namespace {
+// Salt of the per-round cohort draw stream (see begin_round_cohort).
+constexpr std::uint64_t kCohortSalt = 0xc047;
+
 net::LinkModel make_link(const SimConfig& config,
                          const std::optional<net::BandwidthMatrix>& bandwidth) {
   if (config.link_latency_seconds < 0.0 || config.compute_base_seconds < 0.0 ||
@@ -45,7 +48,7 @@ Engine::Engine(SimConfig config, const data::Dataset& train,
     : config_(std::move(config)),
       factory_(factory),
       test_(&test),
-      active_(config_.workers, 1),
+      active_(config_.workers, 0),
       fabric_(make_link(config_, bandwidth)) {
   if (config_.workers < 2) throw std::invalid_argument("Engine: workers < 2");
   if (fabric_.nodes() != config_.workers + 1) {
@@ -53,28 +56,56 @@ Engine::Engine(SimConfig config, const data::Dataset& train,
   }
   network().set_stat_worker_count(config_.workers);
 
-  // Partition the training data.
+  shard_groups_ =
+      config_.shard_groups == 0 ? config_.workers : config_.shard_groups;
+  if (shard_groups_ < 2 || shard_groups_ > config_.workers) {
+    throw std::invalid_argument("Engine: shard_groups out of [2, workers]");
+  }
+  cohort_size_ = config_.cohort == 0 ? config_.workers : config_.cohort;
+  if (cohort_size_ < 2 || cohort_size_ > config_.workers) {
+    throw std::invalid_argument("Engine: cohort out of [2, workers]");
+  }
+  pooled_ = cohort_size_ < config_.workers;
+  sample_seed_ = config_.sample_seed;
+
+  // Partition the training data over the shard groups (== workers outside
+  // population mode, preserving the legacy per-worker partition exactly).
   std::vector<std::vector<std::size_t>> parts;
   switch (config_.partition) {
     case PartitionKind::kIid:
-      parts = data::iid_partition(train, config_.workers, config_.seed);
+      parts = data::iid_partition(train, shard_groups_, config_.seed);
       break;
     case PartitionKind::kShard:
-      parts = data::shard_partition(train, config_.workers,
+      parts = data::shard_partition(train, shard_groups_,
                                     config_.shards_per_worker, config_.seed);
       break;
     case PartitionKind::kDirichlet:
-      parts = data::dirichlet_partition(train, config_.workers,
+      parts = data::dirichlet_partition(train, shard_groups_,
                                         config_.dirichlet_alpha, config_.seed);
       break;
   }
+  shards_.reserve(shard_groups_);
+  std::size_t max_batches = 0;
+  for (std::size_t g = 0; g < shard_groups_; ++g) {
+    shards_.push_back(train.subset(parts[g]));
+    if (shards_.back().empty()) {
+      throw std::invalid_argument("Engine: empty shard group");
+    }
+    max_batches = std::max(
+        max_batches, (shards_.back().size() + config_.batch_size - 1) /
+                         config_.batch_size);
+  }
+  steps_per_epoch_ = max_batches;
 
-  shards_.reserve(config_.workers);
-  samplers_.reserve(config_.workers);
-  models_.reserve(config_.workers);
-  optimizers_.reserve(config_.workers);
-  batch_x_.resize(config_.workers);
-  batch_y_.resize(config_.workers);
+  // The replica pool: cohort_size_ slots, initially owned by workers
+  // 0..cohort-1 (== every worker outside cohort mode).
+  samplers_.reserve(cohort_size_);
+  models_.reserve(cohort_size_);
+  optimizers_.reserve(cohort_size_);
+  batch_x_.resize(cohort_size_);
+  batch_y_.resize(cohort_size_);
+  slot_of_.assign(config_.workers, kNoSlot);
+  slot_worker_.assign(cohort_size_, kNoSlot);
 
   nn::SgdConfig sgd_config;
   sgd_config.lr = config_.lr;
@@ -83,26 +114,33 @@ Engine::Engine(SimConfig config, const data::Dataset& train,
   sgd_config.decay_epochs = config_.decay_epochs;
   sgd_config.decay_factor = config_.decay_factor;
 
-  std::size_t max_batches = 0;
-  for (std::size_t w = 0; w < config_.workers; ++w) {
-    shards_.push_back(train.subset(parts[w]));
+  for (std::size_t s = 0; s < cohort_size_; ++s) {
+    const std::size_t w = s;  // initial identity assignment
     samplers_.push_back(std::make_unique<data::BatchSampler>(
-        shards_.back(), config_.batch_size,
+        shards_[w % shard_groups_], config_.batch_size,
         derive_seed(config_.seed, 0xda7a, w)));
-    max_batches = std::max(max_batches, samplers_.back()->batches_per_epoch());
     models_.push_back(std::make_unique<nn::Model>(factory()));
     optimizers_.push_back(std::make_unique<nn::Sgd>(sgd_config));
+    slot_of_[w] = s;
+    slot_worker_[s] = w;
+    active_[w] = 1;
+    roster_.push_back(w);
   }
-  steps_per_epoch_ = max_batches;
 
   // All replicas must start identical (‖X₀ − X̄₀1ᵀ‖² = 0, Section III-C).
   const auto ref = models_.front()->parameters();
-  for (std::size_t w = 1; w < config_.workers; ++w) {
-    const auto p = models_[w]->parameters();
+  for (std::size_t s = 1; s < cohort_size_; ++s) {
+    const auto p = models_[s]->parameters();
     if (p.size() != ref.size()) {
       throw std::invalid_argument("Engine: model factory is not deterministic");
     }
     std::copy(ref.begin(), ref.end(), p.begin());
+  }
+  if (pooled_) {
+    // First-time arrivals start from the common initialization.
+    init_params_.assign(ref.begin(), ref.end());
+    init_buffers_ = models_.front()->buffers();
+    frozen_.resize(config_.workers);
   }
 
   if (config_.threads > 0) {
@@ -111,7 +149,87 @@ Engine::Engine(SimConfig config, const data::Dataset& train,
 }
 
 std::size_t Engine::shard_size(std::size_t w) const {
-  return shards_.at(w).size();
+  if (w >= config_.workers) throw std::out_of_range("Engine::shard_size");
+  return shards_[w % shard_groups_].size();
+}
+
+void Engine::freeze_worker(std::size_t w) {
+  const std::size_t s = slot_of_[w];
+  auto f = std::make_unique<FrozenWorker>();
+  const auto p = models_[s]->parameters();
+  f->params.assign(p.begin(), p.end());
+  f->buffers = models_[s]->buffers();
+  f->velocity = optimizers_[s]->velocity();
+  f->sampler = samplers_[s]->save_state();
+  frozen_[w] = std::move(f);
+  slot_worker_[s] = kNoSlot;
+  slot_of_[w] = kNoSlot;
+}
+
+void Engine::thaw_worker(std::size_t w, std::size_t s) {
+  // Rebind the slot's sampler to the worker's shard and seed; a rejoining
+  // worker then resumes its exact saved batch stream.
+  samplers_[s] = std::make_unique<data::BatchSampler>(
+      shards_[w % shard_groups_], config_.batch_size,
+      derive_seed(config_.seed, 0xda7a, w));
+  const auto p = models_[s]->parameters();
+  if (auto& f = frozen_[w]) {
+    samplers_[s]->restore_state(f->sampler);
+    std::copy(f->params.begin(), f->params.end(), p.begin());
+    models_[s]->set_buffers(f->buffers);
+    optimizers_[s]->set_velocity(std::move(f->velocity));
+    f.reset();  // resident state lives in the slot again
+  } else {
+    std::copy(init_params_.begin(), init_params_.end(), p.begin());
+    models_[s]->set_buffers(init_buffers_);
+    optimizers_[s]->set_velocity({});
+  }
+  slot_worker_[s] = w;
+  slot_of_[w] = s;
+}
+
+std::span<const std::size_t> Engine::begin_round_cohort(std::size_t round) {
+  if (!pooled_) return roster_;
+
+  // Floyd's algorithm: cohort_size_ distinct uniform draws from the
+  // population in O(cohort) — a pure function of (sample_seed, round), so
+  // the draw is identical across reruns, thread counts and call history.
+  Rng rng(derive_seed(sample_seed_, kCohortSalt, round));
+  std::vector<std::size_t> cohort;
+  cohort.reserve(cohort_size_);
+  for (std::size_t j = config_.workers - cohort_size_; j < config_.workers;
+       ++j) {
+    const std::size_t t = rng.next_below(j + 1);
+    if (std::find(cohort.begin(), cohort.end(), t) == cohort.end()) {
+      cohort.push_back(t);
+    } else {
+      cohort.push_back(j);
+    }
+  }
+  std::sort(cohort.begin(), cohort.end());
+
+  const auto selected = [&](std::size_t w) {
+    return std::binary_search(cohort.begin(), cohort.end(), w);
+  };
+  // Freeze departures first (ascending worker order), freeing their slots...
+  for (const auto w : roster_) {
+    if (!selected(w)) {
+      freeze_worker(w);
+      active_[w] = 0;
+    }
+  }
+  // ...then thaw arrivals into the free slots, lowest slot to lowest new
+  // worker.  Both sweeps are serial and ordered — determinism by
+  // construction.
+  std::size_t next_free = 0;
+  for (const auto w : cohort) {
+    if (slot_of_[w] != kNoSlot) continue;  // stayed resident
+    while (slot_worker_[next_free] != kNoSlot) ++next_free;
+    thaw_worker(w, next_free);
+  }
+  for (const auto w : cohort) active_[w] = 1;
+  roster_ = std::move(cohort);
+  return roster_;
 }
 
 std::optional<net::BandwidthMatrix> Engine::worker_bandwidth() const {
@@ -129,32 +247,36 @@ std::optional<net::BandwidthMatrix> Engine::worker_bandwidth() const {
 
 double Engine::sgd_step(std::size_t w, std::size_t epoch) {
   const double loss = compute_gradient(w, epoch);
-  optimizers_.at(w)->step(models_[w]->parameters(), models_[w]->gradients(),
-                          epoch);
+  const std::size_t s = slot(w);
+  optimizers_[s]->step(models_[s]->parameters(), models_[s]->gradients(),
+                       epoch);
   return loss;
 }
 
 double Engine::compute_gradient(std::size_t w, std::size_t epoch) {
   (void)epoch;
-  auto& model = *models_.at(w);
-  samplers_.at(w)->next(batch_x_[w], batch_y_[w]);
+  const std::size_t s = slot(w);
+  auto& model = *models_[s];
+  samplers_[s]->next(batch_x_[s], batch_y_[s]);
   model.zero_grad();
-  return model.train_batch(batch_x_[w], batch_y_[w]);
+  return model.train_batch(batch_x_[s], batch_y_[s]);
 }
 
 void Engine::apply_update(std::size_t w, std::span<const float> gradient,
                           std::size_t epoch) {
-  optimizers_.at(w)->step(models_.at(w)->parameters(), gradient, epoch);
+  const std::size_t s = slot(w);
+  optimizers_[s]->step(models_[s]->parameters(), gradient, epoch);
 }
 
 void Engine::for_each_worker(const std::function<void(std::size_t)>& fn) {
   if (pool_) {
-    pool_->parallel_for(config_.workers, [&](std::size_t w) {
+    pool_->parallel_for(roster_.size(), [&](std::size_t i) {
+      const std::size_t w = roster_[i];
       if (active_[w]) fn(w);
     });
     return;
   }
-  for (std::size_t w = 0; w < config_.workers; ++w) {
+  for (const auto w : roster_) {
     if (active_[w]) fn(w);
   }
 }
@@ -204,17 +326,17 @@ std::vector<float> Engine::average_params() const {
   const std::size_t n = models_.front()->param_count();
   std::vector<float> avg(n, 0.0f);
   std::size_t count = 0;
-  for (std::size_t w = 0; w < config_.workers; ++w) {
+  for (const auto w : roster_) {
     if (active_[w]) ++count;
   }
   if (count == 0) throw std::logic_error("Engine: no active workers");
   const float inv = 1.0f / static_cast<float>(count);
-  // Chunked over coordinates; each coordinate sums over workers in fixed
+  // Chunked over coordinates; each coordinate sums over the roster in fixed
   // worker order, so the result is identical for every thread count.
   parallel_chunks(n, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t w = 0; w < config_.workers; ++w) {
+    for (const auto w : roster_) {
       if (!active_[w]) continue;
-      const auto p = models_[w]->parameters();
+      const auto p = models_[slot_of_[w]]->parameters();
       for (std::size_t j = begin; j < end; ++j) avg[j] += p[j];
     }
     for (std::size_t j = begin; j < end; ++j) avg[j] *= inv;
@@ -224,8 +346,8 @@ std::vector<float> Engine::average_params() const {
 
 void Engine::allreduce_average() {
   const auto avg = average_params();
-  parallel_for(config_.workers, [&](std::size_t w) {
-    const auto p = models_[w]->parameters();
+  parallel_for(roster_.size(), [&](std::size_t i) {
+    const auto p = models_[slot_of_[roster_[i]]]->parameters();
     std::copy(avg.begin(), avg.end(), p.begin());
   });
 }
@@ -262,10 +384,10 @@ MetricPoint Engine::eval_point(std::size_t round, double epoch,
   std::vector<double> losses(batches, 0.0);
   std::vector<std::size_t> corrects(batches, 0), seens(batches, 0);
 
-  // Evaluation state: the given parameters plus worker 0's batch-norm
-  // running statistics (locally trained buffer state, as in the serial
-  // single-model path).
-  auto& model = *models_.front();
+  // Evaluation state: the given parameters plus the lowest-ranked resident
+  // worker's batch-norm running statistics (locally trained buffer state, as
+  // in the serial single-model path; worker 0 outside cohort mode).
+  auto& model = *models_[slot_of_[roster_.front()]];
   const std::size_t blocks =
       pool_ ? std::min({batches, pool_->size(), kMaxEvalClones})
             : std::size_t{1};
@@ -326,24 +448,25 @@ MetricPoint Engine::eval_point(std::size_t round, double epoch,
 
 double Engine::consensus_distance() const {
   const auto avg = average_params();
-  std::vector<double> dists(config_.workers, 0.0);
+  std::vector<double> dists(roster_.size(), 0.0);
   // Per-worker distances are independent; the sum below stays in fixed
   // worker order.
-  parallel_for(config_.workers, [&](std::size_t w) {
+  parallel_for(roster_.size(), [&](std::size_t i) {
+    const std::size_t w = roster_[i];
     if (!active_[w]) return;
-    const auto p = models_[w]->parameters();
+    const auto p = models_[slot_of_[w]]->parameters();
     double d = 0.0;
     for (std::size_t j = 0; j < avg.size(); ++j) {
       const double diff = static_cast<double>(p[j]) - avg[j];
       d += diff * diff;
     }
-    dists[w] = d;
+    dists[i] = d;
   });
   double total = 0.0;
   std::size_t count = 0;
-  for (std::size_t w = 0; w < config_.workers; ++w) {
-    if (!active_[w]) continue;
-    total += dists[w];
+  for (std::size_t i = 0; i < roster_.size(); ++i) {
+    if (!active_[roster_[i]]) continue;
+    total += dists[i];
     ++count;
   }
   return total / static_cast<double>(count);

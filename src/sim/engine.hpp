@@ -34,6 +34,21 @@ enum class PartitionKind { kIid, kShard, kDirichlet };
 
 struct SimConfig {
   std::size_t workers = 16;
+  // Participant sampling (the FedAvg client-sampling regime).  `workers` is
+  // the LOGICAL population; `cohort` (0 = workers) is how many of them own a
+  // live model replica in any round.  When cohort < workers the engine runs
+  // in pooled mode: each round begin_round_cohort draws a fresh cohort from
+  // the population, deselected workers deterministically freeze their state
+  // (parameters, buffers, optimizer velocity, sampler position) and
+  // re-selected ones thaw it, so peak RSS scales with the cohort, not the
+  // population.  The defaults reproduce the legacy fully-materialized engine
+  // bit-for-bit.
+  std::size_t cohort = 0;          // resident replicas (0 = workers)
+  std::uint64_t sample_seed = 0;   // cohort-draw seed (pooled mode only)
+  // Number of distinct data shards the training set is partitioned into
+  // (0 = workers).  Population runs keep the dataset sized by the scenario's
+  // worker count: logical worker w trains on shard w % shard_groups.
+  std::size_t shard_groups = 0;
   std::size_t batch_size = 32;
   std::size_t epochs = 10;
   double lr = 0.05;
@@ -103,9 +118,32 @@ class Engine {
     return models_.front()->param_count();
   }
 
-  [[nodiscard]] nn::Model& model(std::size_t w) { return *models_.at(w); }
+  /// True when the engine samples a per-round cohort from a larger
+  /// population (cohort < workers) and pools model state.
+  [[nodiscard]] bool cohort_mode() const noexcept { return pooled_; }
+  /// Resident replicas per round (== workers() outside cohort mode).
+  [[nodiscard]] std::size_t cohort_size() const noexcept {
+    return cohort_size_;
+  }
+  /// The workers currently owning a live replica, ascending.  Outside cohort
+  /// mode this is every worker.
+  [[nodiscard]] std::span<const std::size_t> roster() const noexcept {
+    return roster_;
+  }
+  /// True when worker w owns a live replica this round.
+  [[nodiscard]] bool resident(std::size_t w) const {
+    return slot_of_.at(w) != kNoSlot;
+  }
+  /// Draws round `round`'s cohort (a pure function of sample_seed and the
+  /// round index — identical across reruns and thread counts), freezes the
+  /// state of departing workers and thaws/initializes arrivals, marks the
+  /// cohort active and everyone else inactive, and returns the new roster.
+  /// Outside cohort mode this is a no-op returning the full roster.
+  std::span<const std::size_t> begin_round_cohort(std::size_t round);
+
+  [[nodiscard]] nn::Model& model(std::size_t w) { return *models_.at(slot(w)); }
   [[nodiscard]] std::span<float> params(std::size_t w) {
-    return models_.at(w)->parameters();
+    return models_.at(slot(w))->parameters();
   }
   /// The message plane: every inter-node exchange flows through here as an
   /// encoded wire message (mailbox delivery + staged accounting).
@@ -209,13 +247,52 @@ class Engine {
                     std::vector<std::size_t>& corrects,
                     std::vector<std::size_t>& seens);
 
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  /// Replica-pool slot owned by worker w; throws when w is not resident.
+  [[nodiscard]] std::size_t slot(std::size_t w) const {
+    const std::size_t s = slot_of_.at(w);
+    if (s == kNoSlot) {
+      throw std::logic_error("Engine: worker " + std::to_string(w) +
+                             " is not resident this round");
+    }
+    return s;
+  }
+
+  /// Everything a deselected worker needs to resume exactly where it left
+  /// off: eval-mode model state plus optimizer and sampler state.
+  struct FrozenWorker {
+    std::vector<float> params;
+    std::vector<float> buffers;
+    std::vector<float> velocity;
+    data::BatchSampler::State sampler;
+  };
+  void freeze_worker(std::size_t w);
+  void thaw_worker(std::size_t w, std::size_t s);
+
   SimConfig config_;
   ModelFactory factory_;
   const data::Dataset* test_;
-  std::vector<data::Dataset> shards_;
+  std::vector<data::Dataset> shards_;  // one per shard group
+  // Replica pool, one entry per SLOT (cohort_size_ of them); slot_of_ maps
+  // logical workers onto slots (kNoSlot = not resident).  Outside cohort
+  // mode slot s is permanently owned by worker s.
   std::vector<std::unique_ptr<data::BatchSampler>> samplers_;
   std::vector<std::unique_ptr<nn::Model>> models_;
   std::vector<std::unique_ptr<nn::Sgd>> optimizers_;
+  std::size_t shard_groups_ = 0;
+  std::size_t cohort_size_ = 0;
+  bool pooled_ = false;
+  std::uint64_t sample_seed_ = 0;
+  std::vector<std::size_t> roster_;       // resident workers, ascending
+  std::vector<std::size_t> slot_of_;      // worker -> slot or kNoSlot
+  std::vector<std::size_t> slot_worker_;  // slot -> worker or kNoSlot
+  // Lazily allocated per-worker frozen state (pooled mode): only workers
+  // that participated at least once and are currently deselected hold one.
+  std::vector<std::unique_ptr<FrozenWorker>> frozen_;
+  // The common initialization, for first-time cohort arrivals.
+  std::vector<float> init_params_;
+  std::vector<float> init_buffers_;
   std::vector<std::uint8_t> active_;
   Fabric fabric_;
   std::size_t steps_per_epoch_ = 0;

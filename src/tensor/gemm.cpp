@@ -324,6 +324,132 @@ std::size_t round_up(std::size_t v, std::size_t unit) {
   return (v + unit - 1) / unit * unit;
 }
 
+// --- small-k fast path ------------------------------------------------------
+//
+// Packing both operands costs O(mk + kn) writes before the first FMA; at
+// k ≲ 16 (the backward-pass gradient GEMMs, AᵀB with k = batch) that
+// overhead is never amortized and costs up to ~2.5× on narrow outputs.  At
+// this depth the driver skips packing and streams row-major B directly: per
+// C element the op sequence is the SAME single k-ascending fma chain as the
+// packed path (one k panel, seeded from C or 0), so results stay
+// bit-identical.  Beyond k = 16 the packed panels win again (B reuse from
+// L1 across row strips outweighs the packing writes).  Wide outputs are
+// also excluded: past n ≈ 512 the packed-B panel reuse dominates, and at
+// n = 1024 exactly the unpacked B rows sit 4 KB apart — every k step then
+// hits one L1 set and the no-pack loop loses ~20% to conflict misses.
+constexpr std::size_t kSmallK = 16;
+constexpr std::size_t kSmallKMaxN = 512;
+
+void small_k_portable(const MatLayout& a, const MatLayout& b, float* c,
+                      std::size_t m, std::size_t k, std::size_t n,
+                      bool accumulate) {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (!accumulate) std::fill(crow, crow + n, 0.0f);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aval = a.at(i, kk);
+      const float* brow = b.p + kk * b.rs;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] = std::fma(aval, brow[j], crow[j]);
+      }
+    }
+  }
+}
+
+#if SAPS_GEMM_X86
+// One row strip (rows == 1..kMr) of the no-pack path: 16-wide j blocks keep
+// rows×2 ymm accumulators live across the whole k loop — the packed
+// micro-kernel's register tile, fed by strided loads instead of panels.
+__attribute__((target("avx2,fma"))) void small_k_avx2_strip(
+    const MatLayout& a, const MatLayout& b, float* c, std::size_t i0,
+    std::size_t rows, std::size_t k, std::size_t n, bool accumulate) {
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    __m256 acc[kMr][2];
+    for (std::size_t i = 0; i < rows; ++i) {
+      float* crow = c + (i0 + i) * n + j;
+      if (accumulate) {
+        acc[i][0] = _mm256_loadu_ps(crow);
+        acc[i][1] = _mm256_loadu_ps(crow + 8);
+      } else {
+        acc[i][0] = _mm256_setzero_ps();
+        acc[i][1] = _mm256_setzero_ps();
+      }
+    }
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* brow = b.p + kk * b.rs + j;
+      const __m256 b0 = _mm256_loadu_ps(brow);
+      const __m256 b1 = _mm256_loadu_ps(brow + 8);
+      const float* acol = a.p + i0 * a.rs + kk * a.cs;
+      for (std::size_t i = 0; i < rows; ++i) {
+        const __m256 av = _mm256_broadcast_ss(acol + i * a.rs);
+        acc[i][0] = _mm256_fmadd_ps(av, b0, acc[i][0]);
+        acc[i][1] = _mm256_fmadd_ps(av, b1, acc[i][1]);
+      }
+    }
+    for (std::size_t i = 0; i < rows; ++i) {
+      float* crow = c + (i0 + i) * n + j;
+      _mm256_storeu_ps(crow, acc[i][0]);
+      _mm256_storeu_ps(crow + 8, acc[i][1]);
+    }
+  }
+  for (; j + 8 <= n; j += 8) {
+    __m256 acc[kMr];
+    for (std::size_t i = 0; i < rows; ++i) {
+      acc[i] = accumulate ? _mm256_loadu_ps(c + (i0 + i) * n + j)
+                          : _mm256_setzero_ps();
+    }
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const __m256 bv = _mm256_loadu_ps(b.p + kk * b.rs + j);
+      const float* acol = a.p + i0 * a.rs + kk * a.cs;
+      for (std::size_t i = 0; i < rows; ++i) {
+        acc[i] = _mm256_fmadd_ps(_mm256_broadcast_ss(acol + i * a.rs), bv,
+                                 acc[i]);
+      }
+    }
+    for (std::size_t i = 0; i < rows; ++i) {
+      _mm256_storeu_ps(c + (i0 + i) * n + j, acc[i]);
+    }
+  }
+  for (; j + 4 <= n; j += 4) {
+    __m128 acc[kMr];
+    for (std::size_t i = 0; i < rows; ++i) {
+      acc[i] = accumulate ? _mm_loadu_ps(c + (i0 + i) * n + j)
+                          : _mm_setzero_ps();
+    }
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const __m128 bv = _mm_loadu_ps(b.p + kk * b.rs + j);
+      const float* acol = a.p + i0 * a.rs + kk * a.cs;
+      for (std::size_t i = 0; i < rows; ++i) {
+        acc[i] = _mm_fmadd_ps(_mm_broadcast_ss(acol + i * a.rs), bv, acc[i]);
+      }
+    }
+    for (std::size_t i = 0; i < rows; ++i) {
+      _mm_storeu_ps(c + (i0 + i) * n + j, acc[i]);
+    }
+  }
+  for (; j < n; ++j) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      float acc = accumulate ? c[(i0 + i) * n + j] : 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc = std::fma(a.at(i0 + i, kk), b.p[kk * b.rs + j], acc);
+      }
+      c[(i0 + i) * n + j] = acc;
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void small_k_avx2(
+    const MatLayout& a, const MatLayout& b, float* c, std::size_t m,
+    std::size_t k, std::size_t n, bool accumulate) {
+  std::size_t i = 0;
+  for (; i + kMr <= m; i += kMr) {
+    small_k_avx2_strip(a, b, c, i, kMr, k, n, accumulate);
+  }
+  if (i < m) small_k_avx2_strip(a, b, c, i, m - i, k, n, accumulate);
+}
+#endif  // SAPS_GEMM_X86
+
 // --- driver -----------------------------------------------------------------
 
 // The epilogue's per-element ops for one value, shared by the edge-tile
@@ -351,6 +477,21 @@ void gemm_driver(const MatLayout& a, const MatLayout& b, float* c,
         }
       }
     }
+    return;
+  }
+
+  // Shallow problems skip packing entirely (same per-element fma chains;
+  // see kSmallK above).  Restricted to row-major B so the inner loop streams
+  // unit-stride, and to epilogue-free calls (the fused path tiles its bias).
+  if (ep == nullptr && k <= kSmallK && n <= kSmallKMaxN && b.cs == 1) {
+#if SAPS_GEMM_X86
+    if (resolve(g_backend.load(std::memory_order_relaxed)) ==
+        GemmBackend::kAvx2) {
+      small_k_avx2(a, b, c, m, k, n, accumulate);
+      return;
+    }
+#endif
+    small_k_portable(a, b, c, m, k, n, accumulate);
     return;
   }
 

@@ -1,0 +1,202 @@
+// Population-scale cohort sampling: the engine's per-round cohort draw must
+// be a pure function of (sample_seed, round) — identical across reruns and
+// thread counts — and the replica pool's freeze/thaw must round-trip a
+// worker's full training state (parameters, optimizer velocity, batch-stream
+// position) so leaving and rejoining the cohort is invisible to the math.
+// This is the acceptance gate for pooled mode (docs/ARCHITECTURE.md,
+// "Cohort sampling & replica pool").
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "algos/fedavg.hpp"
+#include "core/saps.hpp"
+#include "nn/models.hpp"
+#include "sim/engine.hpp"
+#include "test_util.hpp"
+
+namespace saps {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {0, 1, 4};
+
+// Builds a pooled engine directly (NOT via blob_engine) so an external
+// SAPS_THREADS setting cannot override the thread count under test.
+sim::Engine make_pooled_engine(std::size_t population, std::size_t cohort,
+                               std::size_t shard_groups, std::size_t threads) {
+  const test_util::BlobSpec spec;
+  const auto& [train, test] = test_util::blob_data(spec);
+  sim::SimConfig cfg;
+  cfg.workers = population;
+  cfg.cohort = cohort;
+  cfg.shard_groups = shard_groups;
+  cfg.sample_seed = 777;
+  cfg.epochs = 2;
+  cfg.batch_size = 16;
+  cfg.lr = 0.1;
+  cfg.seed = 42;
+  cfg.threads = threads;
+  return sim::Engine(
+      cfg, train, test,
+      [spec] {
+        return nn::make_mlp({spec.features}, {spec.hidden}, spec.classes, 42);
+      },
+      std::nullopt);
+}
+
+TEST(CohortDraw, PureFunctionOfSeedAndRound) {
+  // population ≫ resident replicas: only slot_of_ scales with the
+  // population, so a 100000-worker engine stays cheap to build.
+  auto a = make_pooled_engine(100000, 4, 4, 0);
+  auto b = make_pooled_engine(100000, 4, 4, 0);
+  for (std::size_t round = 1; round <= 12; ++round) {
+    const auto ra = a.begin_round_cohort(round);
+    const auto rb = b.begin_round_cohort(round);
+    ASSERT_EQ(ra.size(), 4u);
+    ASSERT_TRUE(std::equal(ra.begin(), ra.end(), rb.begin(), rb.end()))
+        << "round " << round;
+    // Ascending, distinct, in range.
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_LT(ra[i], 100000u);
+      if (i > 0) {
+        EXPECT_LT(ra[i - 1], ra[i]);
+      }
+    }
+  }
+}
+
+TEST(CohortDraw, IndependentOfCallHistory) {
+  // The round-7 draw must not depend on which rounds were materialized
+  // before it — a must for algorithms that skip rounds.
+  auto a = make_pooled_engine(1000, 4, 4, 0);
+  auto b = make_pooled_engine(1000, 4, 4, 0);
+  for (std::size_t round = 1; round <= 7; ++round) a.begin_round_cohort(round);
+  const auto ra = a.begin_round_cohort(7);
+  const auto rb = b.begin_round_cohort(7);
+  EXPECT_TRUE(std::equal(ra.begin(), ra.end(), rb.begin(), rb.end()));
+}
+
+TEST(CohortPool, ResidencyTracksTheRoster) {
+  auto e = make_pooled_engine(1000, 4, 4, 0);
+  EXPECT_TRUE(e.cohort_mode());
+  EXPECT_EQ(e.cohort_size(), 4u);
+  for (std::size_t round = 1; round <= 5; ++round) {
+    const auto roster = e.begin_round_cohort(round);
+    for (const auto w : roster) {
+      EXPECT_TRUE(e.resident(w));
+      EXPECT_TRUE(e.active(w));
+      (void)e.params(w);  // resident ⇒ a live replica is addressable
+    }
+    // A non-member is neither resident nor addressable.
+    std::size_t outsider = 0;
+    while (std::binary_search(roster.begin(), roster.end(), outsider)) {
+      ++outsider;
+    }
+    EXPECT_FALSE(e.resident(outsider));
+    EXPECT_FALSE(e.active(outsider));
+    EXPECT_THROW((void)e.params(outsider), std::logic_error);
+  }
+}
+
+TEST(CohortPool, FreezeThawRoundTripsTrainingState) {
+  // A worker that trains, leaves the cohort, and rejoins must produce the
+  // exact loss/parameter trajectory of a never-frozen replica: freeze/thaw
+  // round-trips parameters, optimizer velocity, and the sampler position.
+  auto pooled = make_pooled_engine(32, 4, 32, 0);
+  auto legacy = make_pooled_engine(32, 32, 32, 0);  // cohort == population
+  ASSERT_FALSE(legacy.cohort_mode());
+
+  // Track one member of the first drawn cohort through absences.
+  std::size_t w = make_pooled_engine(32, 4, 32, 0).begin_round_cohort(1)[0];
+  std::vector<double> pooled_losses, legacy_losses;
+  std::size_t steps = 0;
+  for (std::size_t round = 1; steps < 6; ++round) {
+    ASSERT_LT(round, 200u) << "draws never re-selected worker " << w;
+    const auto roster = pooled.begin_round_cohort(round);
+    if (!std::binary_search(roster.begin(), roster.end(), w)) continue;
+    pooled_losses.push_back(pooled.sgd_step(w, 0));
+    legacy_losses.push_back(legacy.sgd_step(w, 0));
+    ++steps;
+  }
+  EXPECT_EQ(pooled_losses, legacy_losses);
+  const auto pp = pooled.params(w);
+  const auto lp = legacy.params(w);
+  ASSERT_EQ(pp.size(), lp.size());
+  for (std::size_t j = 0; j < pp.size(); ++j) {
+    ASSERT_EQ(pp[j], lp[j]) << "coordinate " << j;
+  }
+}
+
+struct RunSnapshot {
+  sim::RunResult result;
+  std::vector<float> average;
+  double consensus = 0.0;
+};
+
+template <typename MakeAlgo>
+void check_population_invariance(MakeAlgo make_algo, std::size_t population,
+                                 std::size_t cohort) {
+  std::unique_ptr<RunSnapshot> base;
+  for (const auto threads : kThreadCounts) {
+    auto engine = make_pooled_engine(population, cohort, 8, threads);
+    auto algo = make_algo();
+    RunSnapshot snap;
+    snap.result = algo->run(engine);
+    snap.average = engine.average_params();
+    snap.consensus = engine.consensus_distance();
+    if (!base) {
+      base = std::make_unique<RunSnapshot>(std::move(snap));
+      continue;
+    }
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ASSERT_EQ(base->average.size(), snap.average.size());
+    for (std::size_t j = 0; j < snap.average.size(); ++j) {
+      ASSERT_EQ(base->average[j], snap.average[j]) << "coordinate " << j;
+    }
+    ASSERT_EQ(base->result.history.size(), snap.result.history.size());
+    for (std::size_t i = 0; i < snap.result.history.size(); ++i) {
+      const auto& x = base->result.history[i];
+      const auto& y = snap.result.history[i];
+      EXPECT_EQ(x.round, y.round) << "point " << i;
+      EXPECT_EQ(x.loss, y.loss) << "point " << i;
+      EXPECT_EQ(x.accuracy, y.accuracy) << "point " << i;
+      EXPECT_EQ(x.worker_mb, y.worker_mb) << "point " << i;
+    }
+    EXPECT_EQ(base->consensus, snap.consensus);
+  }
+}
+
+TEST(CohortInvariance, FedAvgBitIdenticalAcrossThreadCounts) {
+  check_population_invariance(
+      [] {
+        return std::make_unique<algos::FedAvg>(
+            algos::FedAvgConfig{.fraction = 0.5, .local_epochs = 1});
+      },
+      /*population=*/500, /*cohort=*/8);
+}
+
+TEST(CohortInvariance, SparseFedAvgBitIdenticalAcrossThreadCounts) {
+  check_population_invariance(
+      [] {
+        return std::make_unique<algos::FedAvg>(
+            algos::FedAvgConfig{.fraction = 0.5,
+                                .local_epochs = 1,
+                                .upload_compression = 5.0});
+      },
+      /*population=*/500, /*cohort=*/8);
+}
+
+TEST(CohortInvariance, SapsPsgdBitIdenticalAcrossThreadCounts) {
+  check_population_invariance(
+      [] {
+        return std::make_unique<core::SapsPsgd>(core::SapsConfig{
+            .compression = 10.0,
+            .strategy = core::SelectionStrategy::kRandomMatch});
+      },
+      /*population=*/100, /*cohort=*/8);
+}
+
+}  // namespace
+}  // namespace saps

@@ -5,8 +5,10 @@
 // CSV/JSONL metric sinks.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <vector>
@@ -292,6 +294,212 @@ TEST(Runner, FailureScheduleRequiresSupportingAlgorithm) {
   spec.set("failures", "1@2-4");
   scenario::Runner runner(spec);
   EXPECT_THROW((void)runner.run("dpsgd"), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, PopulationKeysResolveAndRoundTrip) {
+  ScenarioSpec spec;
+  spec.set("workers", "4");
+  spec.set("population", "1000");
+  spec.set("cohort", "8");
+  spec.set("sample-seed", "99");
+  scenario::finalize_spec(spec);
+  EXPECT_EQ(spec.population, 1000u);
+  EXPECT_EQ(spec.cohort, 8u);
+  EXPECT_EQ(spec.sample_seed, 99u);
+  const auto text = scenario::to_spec_text(spec);
+  const auto reparsed = scenario::parse_spec_text(text);
+  EXPECT_TRUE(spec.equivalent(reparsed)) << text;
+  EXPECT_EQ(text, scenario::to_spec_text(reparsed));
+
+  // The unset defaults resolve to the legacy fully-materialized engine, and
+  // the sample seed derives from the top-level seed (printed resolved, so a
+  // reparse is equivalent).
+  ScenarioSpec legacy;
+  scenario::finalize_spec(legacy);
+  EXPECT_EQ(legacy.population, legacy.workers);
+  EXPECT_EQ(legacy.cohort, legacy.workers);
+  EXPECT_NE(legacy.sample_seed, 0u);
+}
+
+TEST(ScenarioSpec, PopulationCombinationsAreValidated) {
+  // population below the worker (shard-group) count.
+  EXPECT_THROW(scenario::parse_spec_text("workers=8\npopulation=4"),
+               std::invalid_argument);
+  // cohort above the population.
+  EXPECT_THROW(
+      scenario::parse_spec_text("workers=4\npopulation=100\ncohort=200"),
+      std::invalid_argument);
+  // Bandwidth matrices and latency matrices are sized by workers.
+  EXPECT_THROW(scenario::parse_spec_text(
+                   "workers=4\npopulation=100\nbandwidth=uniform"),
+               std::invalid_argument);
+  EXPECT_THROW(scenario::parse_spec_text(
+                   "workers=2\npopulation=100\nlatency-matrix=0,1;1,0"),
+               std::invalid_argument);
+  // Failure workers validate against the POPULATION at resolution time:
+  // index 50 is out of [0, workers) but inside the population.
+  const auto ok = scenario::parse_spec_text(
+      "workers=4\npopulation=100\ncohort=8\nfailures=50@2-4");
+  EXPECT_EQ(ok.failures.at(0).worker, 50u);
+  EXPECT_THROW(scenario::parse_spec_text(
+                   "workers=4\npopulation=100\ncohort=8\nfailures=100@2-4"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpec, DuplicateSpecFileKeysThrowWithBothLineNumbers) {
+  try {
+    (void)scenario::parse_spec_text("workers=4\nepochs=2\nworkers=8");
+    FAIL() << "duplicate key should throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duplicate key 'workers'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+  }
+  // The preset-scanned `full` key is duplicate-checked like any other.
+  EXPECT_THROW(scenario::parse_spec_text("full=true\nfull=false"),
+               std::invalid_argument);
+  // Comments and blank lines don't shift the reported numbers, and distinct
+  // keys never trip the check.
+  EXPECT_NO_THROW(scenario::parse_spec_text(
+      "# header\n\nworkers=4\n\nepochs=2 # trailing comment\n"));
+}
+
+TEST(Runner, CohortSamplingRequiresSupportingAlgorithm) {
+  ScenarioSpec spec;
+  spec.set("workload", "blob");
+  spec.set("workers", "4");
+  spec.set("population", "64");
+  spec.set("cohort", "4");
+  spec.set("epochs", "1");
+  spec.set("blob-train", "64");
+  spec.set("blob-test", "32");
+  scenario::Runner runner(spec);
+  EXPECT_THROW((void)runner.run("dpsgd"), std::invalid_argument);
+  const auto record = runner.run("fedavg");
+  EXPECT_FALSE(record.result.history.empty());
+}
+
+// Minimal RFC 8259 validator (objects of string/number members suffice for
+// the sink's line grammar); returns the decoded string members.
+class JsonLineChecker {
+ public:
+  explicit JsonLineChecker(const std::string& line) : s_(line) {}
+
+  // Parses the whole line as one object; gtest-fails on any violation.
+  std::map<std::string, std::string> parse() {
+    std::map<std::string, std::string> strings;
+    expect('{');
+    while (true) {
+      const auto key = parse_string();
+      expect(':');
+      if (peek() == '"') {
+        strings[key] = parse_string();
+      } else {
+        parse_number();
+      }
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    expect('}');
+    EXPECT_EQ(pos_, s_.size()) << "trailing bytes in: " << s_;
+    return strings;
+  }
+
+ private:
+  char peek() {
+    EXPECT_LT(pos_, s_.size()) << "truncated JSON: " << s_;
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  void expect(char c) {
+    ASSERT_EQ(peek(), c) << "at byte " << pos_ << " of: " << s_;
+    ++pos_;
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+          << "raw control byte in: " << s_;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'u': {
+          EXPECT_LE(pos_ + 4, s_.size()) << "truncated \\u in: " << s_;
+          if (pos_ + 4 > s_.size()) break;
+          out += static_cast<char>(
+              std::stoi(s_.substr(pos_, 4), nullptr, 16));
+          pos_ += 4;
+          break;
+        }
+        default:
+          ADD_FAILURE() << "bad escape '\\" << esc << "' in: " << s_;
+      }
+    }
+    expect('"');
+    return out;
+  }
+  void parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            std::strchr("+-.eE", s_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    EXPECT_GT(pos_, start) << "empty number at byte " << start << ": " << s_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Sinks, JsonlEscapesEveryLineToValidJson) {
+  // Hostile metadata: quotes, backslashes, newlines (every spec header has
+  // them), and sub-0x20 control characters that only \uXXXX can carry.
+  scenario::RunMeta meta;
+  meta.workload = "blob \"quoted\" \\ back";
+  meta.algorithm = "algo\x01\x1f";
+  meta.spec_text = "workers=4\nepochs=2\n\ttabbed\x0b\x0c\r\n";
+  sim::MetricPoint p;
+  p.round = 3;
+  p.epoch = 0.5;
+  p.loss = 1.25;
+  p.accuracy = 0.75;
+
+  std::ostringstream out;
+  scenario::JsonlSink sink(out);
+  sink.begin_run(meta);
+  sink.point(meta, p);
+  sink.end_run(meta);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    SCOPED_TRACE(line);
+    auto strings = JsonLineChecker(line).parse();
+    EXPECT_EQ(strings.at("workload"), meta.workload);
+    EXPECT_EQ(strings.at("algorithm"), meta.algorithm);
+    if (strings.at("event") == "run_begin") {
+      // The spec header round-trips byte-exactly through the escaping.
+      EXPECT_EQ(strings.at("spec"), meta.spec_text);
+    }
+    ++n;
+  }
+  EXPECT_EQ(n, 3u);  // run_begin, point, run_end
 }
 
 TEST(Runner, MakeSinksParsesKindsAndRejectsUnknown) {
