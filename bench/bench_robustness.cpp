@@ -1,0 +1,200 @@
+// Robustness sweep — final accuracy under adversarial workers, with and
+// without robust aggregation.
+//
+// Every registered algorithm runs against four fault scenarios on the fast
+// blob preset: a clean baseline, a sign-flipping byzantine worker, a
+// scaled-noise byzantine worker, and a half/half network partition that
+// heals mid-run — each under the three aggregation rules (plain mean,
+// trimmed mean, coordinate median).  All runs share one workload and one
+// seed, so the grid is bit-reproducible and thread-invariant (the chaos
+// suite in tests/fault_injection_test.cpp pins that contract).
+//
+// Shape to observe: for DENSE server-side aggregation (the fedavg family
+// with full participation) the robust rules recover most of the accuracy a
+// sign-flip attacker destroys — the classic byzantine-tolerance setting.
+// For SPARSIFIED updates (topk, sfedavg) robust rules can *hurt*: the
+// coordinate median collapses to zero wherever fewer than half the workers
+// selected a coordinate, and the trimmed mean sheds the largest honest
+// contribution at sparse coordinates (docs/ARCHITECTURE.md, "Fault
+// injection & robust aggregation").  SAPS exchanges pairwise (m = 2), where
+// trimming and medians reduce to the plain midpoint — attack tolerance
+// there comes from gossip averaging, not the merge rule.
+//
+// --json=PATH writes a google-benchmark-compatible report (names
+// BM_Robustness/<algo>/<attack>/<aggregation>, items_per_second = final
+// accuracy — deterministic, so the CI gate compares like with like) for
+// tools/check_kernel_regression.py --filter '^BM_Robustness'.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario/cli.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Attack {
+  const char* name;
+  const char* byzantine;  // --byzantine value, or nullptr
+  bool partition;         // half/half --net-partition over rounds [2, 6)
+};
+
+constexpr Attack kAttacks[] = {
+    {"none", nullptr, false},
+    {"sign-flip", "0@1:sign-flip", false},
+    {"scaled-noise", "0@1:scaled-noise", false},
+    {"partition", nullptr, true},
+};
+
+constexpr const char* kAggregations[] = {"plain", "trimmed", "median"};
+
+// Half/half partition spec text for a given worker count, e.g.
+// "0.1.2.3|4.5.6.7@2-6" for 8 workers.
+std::string half_partition(std::size_t workers) {
+  std::string groups;
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (w == workers / 2) {
+      groups += '|';
+    } else if (w > 0) {
+      groups += '.';
+    }
+    groups += std::to_string(w);
+  }
+  return groups + "@2-6";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  saps::Flags flags(argc, argv);
+  saps::scenario::describe_scenario_flags(flags);
+  flags.describe("json",
+                 "write a google-benchmark-compatible JSON report to PATH "
+                 "(names BM_Robustness/<algo>/<attack>/<aggregation>, "
+                 "items_per_second = final accuracy) for "
+                 "tools/check_kernel_regression.py");
+  saps::exit_on_help_or_unknown(flags, argv[0]);
+  auto spec = saps::scenario::scenario_from_flags_or_exit(flags);
+  auto sinks = saps::scenario::sinks_from_flags_or_exit(flags);
+
+  // Bench defaults (overridable): the blob preset is the test suites' fast
+  // workload; full participation and one local step make the fedavg family
+  // the textbook dense-aggregation byzantine setting.
+  if (!spec.provided("workload")) spec.workload = "blob";
+  if (!spec.provided("algorithm")) {
+    spec.algorithms = saps::scenario::Registry::instance().algorithm_keys();
+  }
+  if (!spec.provided("epochs")) spec.epochs = 2;
+  if (!spec.provided("fedavg-frac")) spec.set("fedavg-frac", "1.0");
+  if (!spec.provided("fedavg-steps")) spec.set("fedavg-steps", "1");
+  if (!spec.provided("trim-frac")) spec.set("trim-frac", "0.2");
+  const std::string json_path = flags.get_string("json", "");
+  if (spec.workers < 2) {
+    std::cerr << "bench_robustness needs at least 2 workers\n";
+    return 2;
+  }
+
+  saps::scenario::Runner base(spec);
+  const auto& workload = base.workload();
+  std::cout << "=== Robustness sweep (" << workload.display_name
+            << ", workers=" << spec.workers
+            << "): final accuracy under attack ===\n";
+
+  struct Row {
+    std::string algo, attack, agg;
+    double accuracy, loss, worker_mb;
+  };
+  std::vector<Row> rows;
+  bool first_run = true;
+  for (const auto& attack : kAttacks) {
+    for (const auto* agg : kAggregations) {
+      auto s = spec;
+      if (attack.byzantine != nullptr) s.set("byzantine", attack.byzantine);
+      if (attack.partition) s.set("net-partition", half_partition(s.workers));
+      s.set("aggregation", agg);
+      saps::scenario::Runner runner(s, workload);
+      for (const auto& algo : s.effective_algorithms()) {
+        const auto rec = runner.run(algo, first_run ? &sinks : nullptr);
+        first_run = false;
+        const auto& fin = rec.result.final();
+        rows.push_back({rec.name, attack.name, agg, fin.accuracy, fin.loss,
+                        rec.traffic_mb});
+      }
+    }
+  }
+
+  saps::Table table(
+      {"algorithm", "attack", "aggregation", "accuracy", "loss", "worker_mb"});
+  for (const auto& r : rows) {
+    table.add_row({r.algo, r.attack, r.agg, saps::Table::num(r.accuracy, 4),
+                   saps::Table::num(r.loss, 4),
+                   saps::Table::num(r.worker_mb, 3)});
+  }
+  std::cout << table.to_aligned() << "\n";
+
+  // Recovery summary: how much of the accuracy a sign-flip attacker destroys
+  // does each robust rule win back?  recovery = (defended - attacked) /
+  // (clean - attacked), clamped to the attacks that actually degrade.
+  const auto find = [&rows](const std::string& algo, const char* attack,
+                            const char* agg) -> const Row* {
+    for (const auto& r : rows) {
+      if (r.algo == algo && r.attack == attack && r.agg == agg) return &r;
+    }
+    return nullptr;
+  };
+  std::cout << "sign-flip recovery (fraction of lost accuracy won back; "
+               "dense aggregation is where\nrobust rules shine — see the "
+               "sparse-update caveat in docs/ARCHITECTURE.md):\n";
+  std::vector<std::string> display_names;
+  for (const auto& r : rows) {
+    if (std::find(display_names.begin(), display_names.end(), r.algo) ==
+        display_names.end()) {
+      display_names.push_back(r.algo);
+    }
+  }
+  for (const auto& algo : display_names) {
+    const Row* clean = find(algo, "none", "plain");
+    const Row* attacked = find(algo, "sign-flip", "plain");
+    if (clean == nullptr || attacked == nullptr) continue;
+    const double lost = clean->accuracy - attacked->accuracy;
+    std::cout << "  " << algo << ": lost=" << saps::Table::num(lost, 4);
+    for (const char* agg : {"trimmed", "median"}) {
+      const Row* defended = find(algo, "sign-flip", agg);
+      if (defended == nullptr) continue;
+      std::cout << "  " << agg << "=";
+      if (lost > 1e-9) {
+        std::cout << saps::Table::num(
+            (defended->accuracy - attacked->accuracy) / lost, 2);
+      } else {
+        std::cout << "n/a";
+      }
+    }
+    std::cout << "\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "--json: cannot open '" << json_path << "' for writing\n";
+      return 2;
+    }
+    out << "{\"context\":{\"bench\":\"bench_robustness\"},\"benchmarks\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      out << (i ? "," : "") << "\n  {\"name\":\"BM_Robustness/" << r.algo
+          << "/" << r.attack << "/" << r.agg << "\",\"run_type\":\"iteration\""
+          << ",\"items_per_second\":"
+          << saps::scenario::format_double(r.accuracy)
+          << ",\"final_loss\":" << saps::scenario::format_double(r.loss)
+          << ",\"worker_mb\":" << saps::scenario::format_double(r.worker_mb)
+          << "}";
+    }
+    out << "\n]}\n";
+  }
+  return 0;
+}

@@ -4,10 +4,29 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 
+#include "compress/robust.hpp"
 #include "sim/engine.hpp"
 
 namespace saps::algos {
+
+/// Scenario dynamics every algorithm honors: a per-round liveness hook (the
+/// registry turns a dropout/rejoin failure schedule into engine set_active
+/// flips) plus the merge rule robust aggregation swaps in for the plain
+/// mean.  The default-constructed value is the legacy static run — no hook,
+/// MergeRule::kMean — and algorithms gate their dynamic/robust code paths on
+/// exactly these defaults, keeping the all-default run bit-transparent.
+struct Dynamics {
+  /// Called with the 0-based round index before every algorithm round.
+  std::function<void(std::size_t round, sim::Engine& engine)> on_round;
+  compress::MergeRule merge = compress::MergeRule::kMean;
+  double trim_frac = 0.2;
+
+  [[nodiscard]] bool robust() const noexcept {
+    return merge != compress::MergeRule::kMean;
+  }
+};
 
 class Algorithm {
  public:

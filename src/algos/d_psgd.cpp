@@ -6,7 +6,6 @@
 #include <utility>
 
 #include "compress/topk.hpp"
-#include "gossip/peer_selection.hpp"
 #include "net/wire.hpp"
 #include "scenario/registry.hpp"
 
@@ -43,6 +42,48 @@ std::pair<Msg, Msg> recv_neighbor_pair(sim::Fabric& fabric, std::size_t w,
   return {std::move(*left), std::move(*right)};
 }
 
+/// Faulted-fabric variant: drains w's mailbox to EMPTY (a frame left queued
+/// would pollute the next round) and keeps the first frame from each
+/// expected neighbor; duplicates and strangers are discarded.  nullopt =
+/// that neighbor's frame was dropped.
+template <typename Msg, typename Rank>
+std::pair<std::optional<Msg>, std::optional<Msg>> drain_neighbor_pair(
+    sim::Fabric& fabric, std::size_t w, std::size_t left_rank,
+    std::size_t right_rank, Rank rank_of) {
+  std::optional<Msg> left, right;
+  while (auto env = fabric.recv(w)) {
+    auto msg = Msg::decode(env->payload);
+    const std::size_t rank = rank_of(msg);
+    if (rank == left_rank && !left) {
+      left = std::move(msg);
+    } else if (rank == right_rank && !right) {
+      right = std::move(msg);
+    }
+  }
+  return {std::move(left), std::move(right)};
+}
+
+/// Receives worker w's two ring-neighbor messages, strict on a transparent
+/// fabric (exactly-one-frame validation) and loss-tolerant otherwise.
+template <typename Msg, typename Rank>
+std::pair<std::optional<Msg>, std::optional<Msg>> recv_ring_pair(
+    sim::Fabric& fabric, std::size_t w, std::size_t left_rank,
+    std::size_t right_rank, Rank rank_of) {
+  if (fabric.transparent()) {
+    auto [left, right] =
+        recv_neighbor_pair<Msg>(fabric, w, left_rank, right_rank, rank_of);
+    return {std::move(left), std::move(right)};
+  }
+  return drain_neighbor_pair<Msg>(fabric, w, left_rank, right_rank, rank_of);
+}
+
+constexpr auto full_model_rank = [](const net::FullModelMsg& m) {
+  return static_cast<std::size_t>(m.rank);
+};
+constexpr auto sparse_delta_origin = [](const net::SparseDeltaMsg& m) {
+  return static_cast<std::size_t>(m.origin);
+};
+
 }  // namespace
 
 sim::RunResult DPsgd::run(sim::Engine& engine) {
@@ -50,7 +91,6 @@ sim::RunResult DPsgd::run(sim::Engine& engine) {
   const std::size_t n = engine.workers();
   const std::size_t steps = engine.steps_per_epoch();
   const std::size_t dim = engine.param_count();
-  const gossip::RingTopology ring(n);
   EvalSchedule schedule(cfg, steps);
   auto& fabric = engine.fabric();
 
@@ -59,47 +99,85 @@ sim::RunResult DPsgd::run(sim::Engine& engine) {
   result.history.push_back(engine.eval_point(0, 0.0));
 
   std::vector<std::vector<float>> next(n, std::vector<float>(dim));
+  std::vector<std::size_t> act;
+  act.reserve(n);
 
   std::size_t round = 0;
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
     for (std::size_t step = 0; step < steps; ++step) {
+      if (dyn_.on_round) dyn_.on_round(round, engine);
+      act.clear();
+      for (std::size_t w = 0; w < n; ++w) {
+        if (engine.active(w)) act.push_back(w);
+      }
+      const std::size_t m = act.size();
+
       engine.for_each_worker([&](std::size_t w) { engine.sgd_step(w, epoch); });
 
-      // Full-model exchange with both neighbors: each worker encodes its
-      // replica once and ships it left and right.  Sends are staged per
-      // source, so the loop parallelizes.
-      fabric.begin_round();
-      engine.parallel_for(n, [&](std::size_t w) {
-        fabric.compute(w);
-        net::FullModelMsg msg;
-        msg.rank = static_cast<std::uint32_t>(w);
-        const auto p = engine.params(w);
-        msg.params.assign(p.begin(), p.end());
-        const std::size_t nbrs[] = {ring.left(w), ring.right(w)};
-        fabric.multicast(w, nbrs, msg);
-      });
-      fabric.end_round();
+      if (m >= 2) {
+        // Full-model exchange with both neighbors on the ring over the
+        // ACTIVE set (the full ring when nobody is away): each worker
+        // encodes its replica once and ships it left and right.  Sends are
+        // staged per source, so the loop parallelizes.
+        fabric.begin_round();
+        engine.parallel_for(m, [&](std::size_t i) {
+          const std::size_t w = act[i];
+          fabric.compute(w);
+          net::FullModelMsg msg;
+          msg.rank = static_cast<std::uint32_t>(w);
+          const auto p = engine.params(w);
+          msg.params.assign(p.begin(), p.end());
+          const std::size_t nbrs[] = {act[(i + m - 1) % m], act[(i + 1) % m]};
+          fabric.multicast(w, nbrs, msg);
+        });
+        fabric.end_round();
 
-      // x_w ← (x_w + x_{w-1} + x_{w+1}) / 3 from the DELIVERED replicas.
-      // Each worker drains only its own mailbox and writes only its own
-      // next[w], so the merge parallelizes; the write-back runs as a second
-      // pass.
-      engine.parallel_for(n, [&](std::size_t w) {
-        const auto [left, right] = recv_neighbor_pair<net::FullModelMsg>(
-            fabric, w, ring.left(w), ring.right(w),
-            [](const net::FullModelMsg& m) {
-              return static_cast<std::size_t>(m.rank);
-            });
-        const auto self = engine.params(w);
-        auto& dst = next[w];
-        for (std::size_t j = 0; j < dim; ++j) {
-          dst[j] = (self[j] + left.params[j] + right.params[j]) / 3.0f;
-        }
-      });
-      engine.parallel_for(n, [&](std::size_t w) {
-        const auto p = engine.params(w);
-        std::copy(next[w].begin(), next[w].end(), p.begin());
-      });
+        // x_w ← mean(x_w, x_left, x_right) from the DELIVERED replicas
+        // (all three on the default path; a dropped frame shrinks the mean
+        // to the frames that made it).  Each worker drains only its own
+        // mailbox and writes only its own next[w], so the merge
+        // parallelizes; the write-back runs as a second pass.
+        engine.parallel_for(m, [&](std::size_t i) {
+          const std::size_t w = act[i];
+          const auto [left, right] = recv_ring_pair<net::FullModelMsg>(
+              fabric, w, act[(i + m - 1) % m], act[(i + 1) % m],
+              full_model_rank);
+          const auto self = engine.params(w);
+          auto& dst = next[w];
+          if (!dyn_.robust()) {
+            for (std::size_t j = 0; j < dim; ++j) {
+              float sum = self[j];
+              int cnt = 1;
+              if (left) {
+                sum += left->params[j];
+                ++cnt;
+              }
+              if (right) {
+                sum += right->params[j];
+                ++cnt;
+              }
+              dst[j] = sum / static_cast<float>(cnt);
+            }
+          } else {
+            // Robust gossip: per-coordinate center of the available
+            // contributions instead of their mean.
+            std::array<float, 3> vals{};
+            for (std::size_t j = 0; j < dim; ++j) {
+              std::size_t k = 0;
+              vals[k++] = self[j];
+              if (left) vals[k++] = left->params[j];
+              if (right) vals[k++] = right->params[j];
+              dst[j] = compress::robust_center(
+                  dyn_.merge, std::span<float>(vals.data(), k),
+                  dyn_.trim_frac);
+            }
+          }
+        });
+        engine.parallel_for(m, [&](std::size_t i) {
+          const auto p = engine.params(act[i]);
+          std::copy(next[act[i]].begin(), next[act[i]].end(), p.begin());
+        });
+      }
 
       ++round;
       if (schedule.due(round)) {
@@ -120,7 +198,6 @@ sim::RunResult DcdPsgd::run(sim::Engine& engine) {
   const std::size_t n = engine.workers();
   const std::size_t steps = engine.steps_per_epoch();
   const std::size_t dim = engine.param_count();
-  const gossip::RingTopology ring(n);
   EvalSchedule schedule(cfg, steps);
   auto& fabric = engine.fabric();
 
@@ -131,7 +208,8 @@ sim::RunResult DcdPsgd::run(sim::Engine& engine) {
   // Public copies x̂: every worker holds its OWN public model plus local
   // replicas of both neighbors' public models, maintained purely from the
   // compressed deltas delivered over the fabric.  All replicas start from
-  // the identical x₀, so holder copies stay in bit-exact lockstep.
+  // the identical x₀, so holder copies stay in bit-exact lockstep on the
+  // static, fault-free path.
   std::vector<std::vector<float>> pub(n);
   std::vector<std::array<std::vector<float>, 2>> nbr_pub(n);  // [left, right]
   for (std::size_t w = 0; w < n; ++w) {
@@ -139,74 +217,139 @@ sim::RunResult DcdPsgd::run(sim::Engine& engine) {
     pub[w].assign(p.begin(), p.end());
   }
   for (std::size_t w = 0; w < n; ++w) {
-    nbr_pub[w][0] = pub[ring.left(w)];
-    nbr_pub[w][1] = pub[ring.right(w)];
+    nbr_pub[w][0] = pub[(w + n - 1) % n];
+    nbr_pub[w][1] = pub[(w + 1) % n];
   }
   std::vector<compress::SparseVector> deltas(n);
   // Compression scratch: one dim-sized buffer per parallel block (bounded by
   // the pool size), not per worker.
   std::vector<std::vector<float>> diffs(engine.chunk_count(n),
                                         std::vector<float>(dim));
+  std::vector<std::size_t> act;
+  act.reserve(n);
+  // The membership the current ring (and nbr_pub replicas) was built for;
+  // any change re-seeds the neighbor replicas over the wire.
+  std::vector<std::size_t> ring_set(n);
+  for (std::size_t w = 0; w < n; ++w) ring_set[w] = w;
 
   std::size_t round = 0;
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
     for (std::size_t step = 0; step < steps; ++step) {
+      if (dyn_.on_round) dyn_.on_round(round, engine);
+      act.clear();
+      for (std::size_t w = 0; w < n; ++w) {
+        if (engine.active(w)) act.push_back(w);
+      }
+      const std::size_t m = act.size();
+
       engine.for_each_worker([&](std::size_t w) { engine.sgd_step(w, epoch); });
 
-      // Compress x_w − x̂_w (per-block scratch, so the compression step
-      // parallelizes) and ship the SparseDeltaMsg to both neighbors.
-      engine.parallel_chunks(
-          n, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-            auto& diff = diffs[chunk];
-            for (std::size_t w = begin; w < end; ++w) {
-              const auto p = engine.params(w);
-              for (std::size_t j = 0; j < dim; ++j) diff[j] = p[j] - pub[w][j];
-              deltas[w] = compress::top_k(diff, config_.compression);
-            }
+      if (m >= 2) {
+        if (act != ring_set) {
+          // Membership changed: the ring is rewired, so the locally held
+          // neighbor replicas point at the wrong peers.  Re-seed them with
+          // one extra fabric round of full public-copy exchanges (honestly
+          // charged — rejoining is not free).  Never fires on a static run.
+          ring_set = act;
+          fabric.begin_round();
+          engine.parallel_for(m, [&](std::size_t i) {
+            const std::size_t w = act[i];
+            net::FullModelMsg msg;
+            msg.rank = static_cast<std::uint32_t>(w);
+            msg.params = pub[w];
+            const std::size_t nbrs[] = {act[(i + m - 1) % m],
+                                        act[(i + 1) % m]};
+            fabric.multicast(w, nbrs, msg);
           });
-      fabric.begin_round();
-      engine.parallel_for(n, [&](std::size_t w) {
-        fabric.compute(w);
-        net::SparseDeltaMsg msg;
-        msg.round = static_cast<std::uint32_t>(round);
-        msg.origin = static_cast<std::uint32_t>(w);
-        msg.indices = deltas[w].indices;
-        msg.values = deltas[w].values;
-        const std::size_t nbrs[] = {ring.left(w), ring.right(w)};
-        fabric.multicast(w, nbrs, msg);
-      });
-      fabric.end_round();
-
-      // Every holder applies the identical delta: w updates its own public
-      // copy from its local delta and both neighbor replicas from the
-      // delivered messages (each w touches only its own state).
-      engine.parallel_for(n, [&](std::size_t w) {
-        compress::add_sparse(pub[w], deltas[w]);
-        auto [left, right] = recv_neighbor_pair<net::SparseDeltaMsg>(
-            fabric, w, ring.left(w), ring.right(w),
-            [](const net::SparseDeltaMsg& m) {
-              return static_cast<std::size_t>(m.origin);
-            });
-        compress::SparseVector sv;
-        sv.indices = std::move(left.indices);
-        sv.values = std::move(left.values);
-        compress::add_sparse(nbr_pub[w][0], sv);
-        sv.indices = std::move(right.indices);
-        sv.values = std::move(right.values);
-        compress::add_sparse(nbr_pub[w][1], sv);
-      });
-
-      // Gossip on public copies: x_w += Σ_u W_wu (x̂_u − x̂_w), ring weights
-      // 1/3, using the locally maintained neighbor replicas.
-      engine.parallel_for(n, [&](std::size_t w) {
-        const auto p = engine.params(w);
-        const auto& self = pub[w];
-        const auto& left = nbr_pub[w][0];
-        const auto& right = nbr_pub[w][1];
-        for (std::size_t j = 0; j < dim; ++j) {
-          p[j] += (left[j] + right[j] - 2.0f * self[j]) / 3.0f;
+          fabric.end_round();
+          engine.parallel_for(m, [&](std::size_t i) {
+            const std::size_t w = act[i];
+            auto [left, right] = recv_ring_pair<net::FullModelMsg>(
+                fabric, w, act[(i + m - 1) % m], act[(i + 1) % m],
+                full_model_rank);
+            if (left) nbr_pub[w][0] = std::move(left->params);
+            if (right) nbr_pub[w][1] = std::move(right->params);
+          });
         }
-      });
+
+        // Compress x_w − x̂_w (per-block scratch, so the compression step
+        // parallelizes) and ship the SparseDeltaMsg to both neighbors.
+        engine.parallel_chunks(
+            m, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+              auto& diff = diffs[chunk];
+              for (std::size_t i = begin; i < end; ++i) {
+                const std::size_t w = act[i];
+                const auto p = engine.params(w);
+                for (std::size_t j = 0; j < dim; ++j) {
+                  diff[j] = p[j] - pub[w][j];
+                }
+                deltas[w] = compress::top_k(diff, config_.compression);
+              }
+            });
+        fabric.begin_round();
+        engine.parallel_for(m, [&](std::size_t i) {
+          const std::size_t w = act[i];
+          fabric.compute(w);
+          net::SparseDeltaMsg msg;
+          msg.round = static_cast<std::uint32_t>(round);
+          msg.origin = static_cast<std::uint32_t>(w);
+          msg.indices = deltas[w].indices;
+          msg.values = deltas[w].values;
+          const std::size_t nbrs[] = {act[(i + m - 1) % m], act[(i + 1) % m]};
+          fabric.multicast(w, nbrs, msg);
+        });
+        fabric.end_round();
+
+        // Every holder applies the delivered deltas: w updates its own
+        // public copy from its local delta and both neighbor replicas from
+        // the delivered messages (each w touches only its own state).  A
+        // dropped delta leaves that neighbor replica stale — the drift a
+        // faulted fabric is supposed to cause.
+        engine.parallel_for(m, [&](std::size_t i) {
+          const std::size_t w = act[i];
+          compress::add_sparse(pub[w], deltas[w]);
+          auto [left, right] = recv_ring_pair<net::SparseDeltaMsg>(
+              fabric, w, act[(i + m - 1) % m], act[(i + 1) % m],
+              sparse_delta_origin);
+          compress::SparseVector sv;
+          if (left) {
+            sv.indices = std::move(left->indices);
+            sv.values = std::move(left->values);
+            compress::add_sparse(nbr_pub[w][0], sv);
+          }
+          if (right) {
+            sv.indices = std::move(right->indices);
+            sv.values = std::move(right->values);
+            compress::add_sparse(nbr_pub[w][1], sv);
+          }
+        });
+
+        // Gossip on public copies: x_w += Σ_u W_wu (x̂_u − x̂_w), ring
+        // weights 1/3, using the locally maintained neighbor replicas; the
+        // robust rule replaces the weighted mean with a per-coordinate
+        // center of {self, left, right}.
+        engine.parallel_for(m, [&](std::size_t i) {
+          const std::size_t w = act[i];
+          const auto p = engine.params(w);
+          const auto& self = pub[w];
+          const auto& left = nbr_pub[w][0];
+          const auto& right = nbr_pub[w][1];
+          if (!dyn_.robust()) {
+            for (std::size_t j = 0; j < dim; ++j) {
+              p[j] += (left[j] + right[j] - 2.0f * self[j]) / 3.0f;
+            }
+          } else {
+            std::array<float, 3> vals{};
+            for (std::size_t j = 0; j < dim; ++j) {
+              vals = {self[j], left[j], right[j]};
+              p[j] += compress::robust_center(dyn_.merge,
+                                              std::span<float>(vals),
+                                              dyn_.trim_frac) -
+                      self[j];
+            }
+          }
+        });
+      }
 
       ++round;
       if (schedule.due(round)) {
@@ -230,12 +373,14 @@ void register_dpsgd(Registry& r) {
   r.add_algorithm(
       {.key = "dpsgd",
        .summary = "D-PSGD: full-model averaging on the fixed ring",
-       .make = [](const ParamSet&, const AlgoBuildContext&) {
-         return std::make_unique<algos::DPsgd>();
+       .supports_failures = true,
+       .make = [](const ParamSet&, const AlgoBuildContext& ctx) {
+         return std::make_unique<algos::DPsgd>(make_dynamics(ctx));
        }});
   r.add_algorithm(
       {.key = "dcd",
        .summary = "DCD-PSGD: top-k compressed differences on the ring",
+       .supports_failures = true,
        .params = {{.name = "dcd-c",
                    .type = ParamType::kDouble,
                    .default_value = "4",
@@ -243,9 +388,10 @@ void register_dpsgd(Registry& r) {
                    .max_value = 1e12,
                    .help = "DCD-PSGD compression ratio c (paper 4; c >= 100 "
                            "fails to converge)"}},
-       .make = [](const ParamSet& p, const AlgoBuildContext&) {
+       .make = [](const ParamSet& p, const AlgoBuildContext& ctx) {
          return std::make_unique<algos::DcdPsgd>(
-             algos::DcdConfig{.compression = p.get_double("dcd-c")});
+             algos::DcdConfig{.compression = p.get_double("dcd-c")},
+             make_dynamics(ctx));
        }});
 }
 

@@ -13,8 +13,13 @@ namespace saps::algos {
 
 class DPsgd final : public Algorithm {
  public:
+  explicit DPsgd(Dynamics dynamics = {}) : dyn_(std::move(dynamics)) {}
+
   [[nodiscard]] const char* name() const noexcept override { return "D-PSGD"; }
   sim::RunResult run(sim::Engine& engine) override;
+
+ private:
+  Dynamics dyn_;
 };
 
 struct DcdConfig {
@@ -24,7 +29,8 @@ struct DcdConfig {
 
 class DcdPsgd final : public Algorithm {
  public:
-  explicit DcdPsgd(DcdConfig config = {}) : config_(config) {}
+  explicit DcdPsgd(DcdConfig config = {}, Dynamics dynamics = {})
+      : config_(config), dyn_(std::move(dynamics)) {}
 
   [[nodiscard]] const char* name() const noexcept override {
     return "DCD-PSGD";
@@ -33,6 +39,7 @@ class DcdPsgd final : public Algorithm {
 
  private:
   DcdConfig config_;
+  Dynamics dyn_;
 };
 
 }  // namespace saps::algos

@@ -11,7 +11,8 @@
 
 namespace saps::algos {
 
-FedAvg::FedAvg(FedAvgConfig config) : config_(config) {
+FedAvg::FedAvg(FedAvgConfig config, Dynamics dynamics)
+    : config_(config), dyn_(std::move(dynamics)) {
   if (config_.fraction <= 0.0 || config_.fraction > 1.0) {
     throw std::invalid_argument("FedAvg: fraction must be in (0, 1]");
   }
@@ -52,6 +53,15 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
   // Per-participant decoded uploads, bucketed by rank for deterministic
   // chosen-order aggregation regardless of mailbox arrival order.
   std::vector<std::vector<float>> uploads(n);
+  std::vector<std::size_t> part;
+  part.reserve(n);
+  std::vector<std::uint8_t> got_down(n, 0);
+  std::vector<std::uint8_t> got_up(n, 0);
+  std::vector<std::size_t> received;
+  received.reserve(n);
+  std::vector<const float*> inputs;
+  std::vector<std::vector<float>> scratch(
+      engine.chunk_count(std::max<std::size_t>(dim, 1)));
   while (epoch_progress < static_cast<double>(cfg.epochs)) {
     ++round;
     // Sample participants without replacement.  In pooled (cohort) mode the
@@ -68,6 +78,15 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
       chosen = std::span<const std::size_t>(order.data(),
                                             participants_per_round);
     }
+    // The selection draw above is NEVER filtered — a failure schedule must
+    // not shift the sampling stream — but workers currently away sit the
+    // round out.  The hook runs after begin_round_cohort so its set_active
+    // flips survive the cohort reset (same ordering as SAPS).
+    if (dyn_.on_round) dyn_.on_round(round - 1, engine);
+    part.clear();
+    for (const auto w : chosen) {
+      if (engine.active(w)) part.push_back(w);
+    }
 
     // Download phase: server → participants, one FullModelMsg each (encoded
     // once, fanned out).
@@ -76,23 +95,40 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
       net::FullModelMsg down;
       down.rank = static_cast<std::uint32_t>(server);
       down.params = global;
-      fabric.multicast(server, chosen, down);
+      fabric.multicast(server, part, down);
     }
     fabric.end_round();
-    engine.parallel_for(chosen.size(), [&](std::size_t i) {
-      const auto env = fabric.recv(chosen[i]);
-      if (!env) throw std::logic_error("FedAvg: missing download");
-      const auto down = net::FullModelMsg::decode(env->payload);
-      const auto p = engine.params(chosen[i]);
-      std::copy(down.params.begin(), down.params.end(), p.begin());
+    engine.parallel_for(part.size(), [&](std::size_t i) {
+      const std::size_t w = part[i];
+      if (fabric.transparent()) {
+        const auto env = fabric.recv(w);
+        if (!env) throw std::logic_error("FedAvg: missing download");
+        const auto down = net::FullModelMsg::decode(env->payload);
+        const auto p = engine.params(w);
+        std::copy(down.params.begin(), down.params.end(), p.begin());
+        got_down[w] = 1;
+      } else {
+        // Faulted fabric: the download may be dropped (the participant then
+        // sits the round out) or duplicated (drain to empty).
+        got_down[w] = 0;
+        while (auto env = fabric.recv(w)) {
+          if (got_down[w]) continue;
+          const auto down = net::FullModelMsg::decode(env->payload);
+          const auto p = engine.params(w);
+          std::copy(down.params.begin(), down.params.end(), p.begin());
+          got_down[w] = 1;
+        }
+      }
     });
 
-    // Local training: E epochs (or a fixed step count) on each participant.
-    // Participants own disjoint models/samplers/optimizers, so their whole
-    // local schedules run in parallel.
+    // Local training: E epochs (or a fixed step count) on each participant
+    // that received the global model.  Participants own disjoint
+    // models/samplers/optimizers, so their whole local schedules run in
+    // parallel.
     const auto lr_epoch = static_cast<std::size_t>(epoch_progress);
-    engine.parallel_for(chosen.size(), [&](std::size_t i) {
-      const std::size_t w = chosen[i];
+    engine.parallel_for(part.size(), [&](std::size_t i) {
+      const std::size_t w = part[i];
+      if (!got_down[w]) return;
       const std::size_t local_steps =
           config_.local_steps > 0
               ? config_.local_steps
@@ -119,7 +155,8 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
       }
     }
     fabric.begin_round();
-    for (const auto w : chosen) {
+    for (const auto w : part) {
+      if (!got_down[w]) continue;
       fabric.compute(w);
       if (sparse_up) {
         net::MaskedModelMsg up;
@@ -138,24 +175,86 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
     fabric.end_round();
 
     // Server-side decode: bucket the uploads by sender so aggregation runs
-    // in `chosen` order whatever the arrival order was.
-    for (std::size_t i = 0; i < chosen.size(); ++i) {
-      const auto env = fabric.recv(server);
-      if (!env) throw std::logic_error("FedAvg: missing upload");
-      if (sparse_up) {
-        auto up = net::MaskedModelMsg::decode(env->payload);
-        if (up.mask_seed != mask_seed) {
-          throw std::logic_error("S-FedAvg: upload from a different round");
+    // in `part` (chosen) order whatever the arrival order was.  On a
+    // transparent fabric every upload arrives exactly once; under faults the
+    // server drains its mailbox and renormalizes over whoever made it.
+    for (const auto w : part) got_up[w] = 0;
+    if (fabric.transparent()) {
+      for (std::size_t i = 0; i < part.size(); ++i) {
+        const auto env = fabric.recv(server);
+        if (!env) throw std::logic_error("FedAvg: missing upload");
+        if (sparse_up) {
+          auto up = net::MaskedModelMsg::decode(env->payload);
+          if (up.mask_seed != mask_seed) {
+            throw std::logic_error("S-FedAvg: upload from a different round");
+          }
+          uploads[env->from] = std::move(up.values);
+          got_up[env->from] = 1;
+        } else {
+          auto up = net::FullModelMsg::decode(env->payload);
+          got_up[up.rank] = 1;
+          uploads[up.rank] = std::move(up.params);
         }
-        uploads[env->from] = std::move(up.values);
-      } else {
-        auto up = net::FullModelMsg::decode(env->payload);
-        uploads[up.rank] = std::move(up.params);
+      }
+    } else {
+      while (auto env = fabric.recv(server)) {
+        const std::size_t w = env->from;
+        if (w >= n || got_up[w]) continue;  // stranger or duplicate
+        if (sparse_up) {
+          auto up = net::MaskedModelMsg::decode(env->payload);
+          if (up.mask_seed != mask_seed) continue;  // stale frame
+          uploads[w] = std::move(up.values);
+        } else {
+          auto up = net::FullModelMsg::decode(env->payload);
+          uploads[w] = std::move(up.params);
+        }
+        got_up[w] = 1;
       }
     }
+    received.clear();
+    for (const auto w : part) {
+      if (got_up[w]) received.push_back(w);
+    }
 
-    // Server aggregation.
-    if (sparse_up) {
+    // Server aggregation over the received uploads (all of them on the
+    // default path).
+    if (received.empty()) {
+      // Nothing survived the round; the global model is unchanged.
+    } else if (dyn_.robust()) {
+      // Robust aggregation: per-coordinate center of the uploads instead of
+      // their mean.  The sparse (S-FedAvg) variant centers the masked DELTAS
+      // and applies the same inverse-probability scaling as the mean path,
+      // keeping the update unbiased in expectation for honest uploads.
+      if (sparse_up) {
+        const float comp = static_cast<float>(config_.upload_compression);
+        engine.parallel_chunks(
+            masked_idx.size(),
+            [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+              auto& vals = scratch[chunk];
+              vals.resize(received.size());
+              for (std::size_t k = begin; k < end; ++k) {
+                for (std::size_t r = 0; r < received.size(); ++r) {
+                  vals[r] = uploads[received[r]][k] - global[masked_idx[k]];
+                }
+                global[masked_idx[k]] +=
+                    comp * compress::robust_center(
+                               dyn_.merge, std::span<float>(vals),
+                               dyn_.trim_frac);
+              }
+            });
+      } else {
+        inputs.clear();
+        for (const auto w : received) inputs.push_back(uploads[w].data());
+        engine.parallel_chunks(
+            dim, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+              auto& tmp = scratch[chunk];
+              tmp.resize(inputs.size());
+              compress::robust_combine(
+                  dyn_.merge, dyn_.trim_frac, inputs, begin, end,
+                  std::span<float>(global.data() + begin, end - begin), tmp);
+            });
+      }
+    } else if (sparse_up) {
       // Sketched updates (Konečný et al. 2016): participants upload only the
       // masked coordinates of their model DELTA; the server applies the
       // inverse-probability-scaled average, which makes the sparse update an
@@ -164,11 +263,11 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
       // participants in fixed order, so the aggregate is thread-count
       // invariant.
       const float scale = static_cast<float>(config_.upload_compression) /
-                          static_cast<float>(chosen.size());
+                          static_cast<float>(received.size());
       engine.parallel_chunks(
           masked_idx.size(), [&](std::size_t begin, std::size_t end) {
             for (std::size_t k = begin; k < end; ++k) accum[k] = 0.0f;
-            for (const auto w : chosen) {
+            for (const auto w : received) {
               const auto& v = uploads[w];
               for (std::size_t k = begin; k < end; ++k) {
                 accum[k] += v[k] - global[masked_idx[k]];
@@ -179,17 +278,17 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
             }
           });
     } else {
-      const float inv = 1.0f / static_cast<float>(chosen.size());
+      const float inv = 1.0f / static_cast<float>(received.size());
       engine.parallel_chunks(dim, [&](std::size_t begin, std::size_t end) {
         for (std::size_t j = begin; j < end; ++j) accum[j] = 0.0f;
-        for (const auto w : chosen) {
+        for (const auto w : received) {
           const auto& v = uploads[w];
           for (std::size_t j = begin; j < end; ++j) accum[j] += v[j];
         }
         for (std::size_t j = begin; j < end; ++j) global[j] = accum[j] * inv;
       });
     }
-    for (const auto w : chosen) uploads[w].clear();
+    for (const auto w : received) uploads[w].clear();
 
     epoch_progress +=
         config_.local_steps > 0
@@ -239,10 +338,12 @@ void register_fedavg(Registry& r) {
   r.add_algorithm(
       {.key = "fedavg",
        .summary = "FedAvg: server-coordinated local SGD (McMahan et al.)",
+       .supports_failures = true,
        .supports_cohort = true,
        .params = fedavg_shared_params(),
-       .make = [](const ParamSet& p, const AlgoBuildContext&) {
-         return std::make_unique<algos::FedAvg>(fedavg_config(p));
+       .make = [](const ParamSet& p, const AlgoBuildContext& ctx) {
+         return std::make_unique<algos::FedAvg>(fedavg_config(p),
+                                                make_dynamics(ctx));
        }});
   auto sfedavg_params = fedavg_shared_params();
   sfedavg_params.push_back(
@@ -256,12 +357,13 @@ void register_fedavg(Registry& r) {
   r.add_algorithm(
       {.key = "sfedavg",
        .summary = "S-FedAvg: FedAvg with seeded-random-masked uploads",
+       .supports_failures = true,
        .supports_cohort = true,
        .params = std::move(sfedavg_params),
-       .make = [](const ParamSet& p, const AlgoBuildContext&) {
+       .make = [](const ParamSet& p, const AlgoBuildContext& ctx) {
          auto cfg = fedavg_config(p);
          cfg.upload_compression = p.get_double("sfedavg-c");
-         return std::make_unique<algos::FedAvg>(cfg);
+         return std::make_unique<algos::FedAvg>(cfg, make_dynamics(ctx));
        }});
 }
 

@@ -24,7 +24,7 @@ struct FedAvgConfig {
 
 class FedAvg final : public Algorithm {
  public:
-  explicit FedAvg(FedAvgConfig config = {});
+  explicit FedAvg(FedAvgConfig config = {}, Dynamics dynamics = {});
 
   [[nodiscard]] const char* name() const noexcept override {
     return config_.upload_compression > 0.0 ? "S-FedAvg" : "FedAvg";
@@ -33,6 +33,7 @@ class FedAvg final : public Algorithm {
 
  private:
   FedAvgConfig config_;
+  Dynamics dyn_;
 };
 
 }  // namespace saps::algos

@@ -9,8 +9,13 @@ namespace saps::algos {
 
 class PsgdAllReduce final : public Algorithm {
  public:
+  explicit PsgdAllReduce(Dynamics dynamics = {}) : dyn_(std::move(dynamics)) {}
+
   [[nodiscard]] const char* name() const noexcept override { return "PSGD"; }
   sim::RunResult run(sim::Engine& engine) override;
+
+ private:
+  Dynamics dyn_;
 };
 
 }  // namespace saps::algos

@@ -16,7 +16,8 @@ struct QsgdConfig {
 
 class QsgdPsgd final : public Algorithm {
  public:
-  explicit QsgdPsgd(QsgdConfig config = {}) : config_(config) {}
+  explicit QsgdPsgd(QsgdConfig config = {}, Dynamics dynamics = {})
+      : config_(config), dyn_(std::move(dynamics)) {}
 
   [[nodiscard]] const char* name() const noexcept override {
     return "QSGD-PSGD";
@@ -25,6 +26,7 @@ class QsgdPsgd final : public Algorithm {
 
  private:
   QsgdConfig config_;
+  Dynamics dyn_;
 };
 
 }  // namespace saps::algos

@@ -1,5 +1,6 @@
 #include "algos/topk_psgd.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "compress/topk.hpp"
@@ -24,25 +25,41 @@ sim::RunResult TopkPsgd::run(sim::Engine& engine) {
   result.algorithm = name();
   result.history.push_back(engine.eval_point(0, 0.0));
 
-  // Ring all-gather state: each worker's own chunk is encoded ONCE
-  // (sim::pre_encode) and the frame is forwarded verbatim at every hop —
-  // no per-hop re-serialization.  Worker 0 decodes what it receives to
-  // build the gathered set (all workers end up with identical sets, so the
-  // shared averaged update is computed once from worker 0's copies, in
-  // origin order); other workers only validate provenance via peek_origin.
+  // Ring all-gather state over the ACTIVE set: each worker's own chunk is
+  // encoded ONCE (sim::pre_encode) and the frame is forwarded verbatim at
+  // every hop — no per-hop re-serialization.  On a transparent fabric the
+  // first active worker decodes what it receives to build the gathered set
+  // (all workers end up with identical sets, so the shared averaged update
+  // is computed once, in origin order); other workers only validate
+  // provenance via peek_origin.
   std::vector<net::SparseDeltaMsg> msgs(n);
   std::vector<sim::EncodedFrame> frames(n);
-  std::vector<compress::SparseVector> gathered(n);
+  std::vector<compress::SparseVector> gathered;
   std::vector<float> avg(dim);
+  std::vector<std::size_t> act;
+  act.reserve(n);
+  std::vector<std::size_t> pos(n, 0);
+  std::vector<std::vector<float>> dense;  // robust-merge densification
+  std::vector<const float*> inputs;
+  std::vector<float> scratch;
 
   std::size_t round = 0;
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
     for (std::size_t step = 0; step < steps; ++step) {
+      if (dyn_.on_round) dyn_.on_round(round, engine);
+      act.clear();
+      for (std::size_t w = 0; w < n; ++w) {
+        if (engine.active(w)) act.push_back(w);
+      }
+      const std::size_t m = act.size();
+      for (std::size_t i = 0; i < m; ++i) pos[act[i]] = i;
+
       engine.for_each_worker(
           [&](std::size_t w) { engine.compute_gradient(w, epoch); });
       // Error-feedback compression is per-worker state; top-k selection is
       // deterministic (lowest-index tie-break), so this parallelizes.
-      engine.parallel_for(n, [&](std::size_t w) {
+      engine.parallel_for(m, [&](std::size_t i) {
+        const std::size_t w = act[i];
         auto chunk = ef[w].compress(engine.model(w).gradients());
         msgs[w].round = static_cast<std::uint32_t>(round);
         msgs[w].origin = static_cast<std::uint32_t>(w);
@@ -50,45 +67,139 @@ sim::RunResult TopkPsgd::run(sim::Engine& engine) {
         msgs[w].values = std::move(chunk.values);
         frames[w] = sim::pre_encode(msgs[w]);
       });
-      gathered[0].indices = msgs[0].indices;
-      gathered[0].values = msgs[0].values;
 
-      // Ring all-gather: n-1 sequential hops; at hop r worker w forwards the
-      // pre-encoded chunk that originated at worker (w - r) mod n.  Each hop
-      // is one fabric round of concurrent transfers.
-      for (std::size_t hop = 0; hop + 1 < n; ++hop) {
-        fabric.begin_round();
-        for (std::size_t w = 0; w < n; ++w) {
-          if (hop == 0) fabric.compute(w);
-          fabric.send_frame(w, (w + 1) % n, frames[(w + n - hop) % n]);
-        }
-        fabric.end_round();
-        for (std::size_t w = 0; w < n; ++w) {
-          const auto env = fabric.recv(w);
-          if (!env) throw std::logic_error("TopK: missing ring chunk");
-          const std::size_t expect = (w + n - hop - 1) % n;
-          if (w == 0) {
-            auto incoming = net::SparseDeltaMsg::decode(env->payload);
-            if (incoming.origin != expect) {
+      if (m >= 1 && fabric.transparent()) {
+        gathered.assign(m, {});
+        gathered[0].indices = msgs[act[0]].indices;
+        gathered[0].values = msgs[act[0]].values;
+
+        // Ring all-gather: m-1 sequential hops; at hop r position i forwards
+        // the pre-encoded chunk that originated at position (i - r) mod m.
+        // Each hop is one fabric round of concurrent transfers.
+        for (std::size_t hop = 0; hop + 1 < m; ++hop) {
+          fabric.begin_round();
+          for (std::size_t i = 0; i < m; ++i) {
+            if (hop == 0) fabric.compute(act[i]);
+            fabric.send_frame(act[i], act[(i + 1) % m],
+                              frames[act[(i + m - hop) % m]]);
+          }
+          fabric.end_round();
+          for (std::size_t i = 0; i < m; ++i) {
+            const auto env = fabric.recv(act[i]);
+            if (!env) throw std::logic_error("TopK: missing ring chunk");
+            const std::size_t expect = (i + m - hop - 1) % m;
+            if (i == 0) {
+              auto incoming = net::SparseDeltaMsg::decode(env->payload);
+              if (incoming.origin != act[expect]) {
+                throw std::logic_error("TopK: ring chunk out of order");
+              }
+              gathered[expect].indices = std::move(incoming.indices);
+              gathered[expect].values = std::move(incoming.values);
+            } else if (net::SparseDeltaMsg::peek_origin(env->payload) !=
+                       act[expect]) {
               throw std::logic_error("TopK: ring chunk out of order");
             }
-            gathered[expect].indices = std::move(incoming.indices);
-            gathered[expect].values = std::move(incoming.values);
-          } else if (net::SparseDeltaMsg::peek_origin(env->payload) != expect) {
-            throw std::logic_error("TopK: ring chunk out of order");
           }
         }
-      }
 
-      // Everyone now holds all chunks; apply the identical averaged update.
-      // The accumulation stays serial in fixed origin order so the float
-      // sums are bit-identical for every thread count.
-      std::fill(avg.begin(), avg.end(), 0.0f);
-      for (std::size_t w = 0; w < n; ++w) {
-        compress::add_sparse(avg, gathered[w], 1.0f / static_cast<float>(n));
+        // Everyone now holds all chunks; apply the identical merged update.
+        if (!dyn_.robust()) {
+          // The accumulation stays serial in fixed origin order so the float
+          // sums are bit-identical for every thread count.
+          std::fill(avg.begin(), avg.end(), 0.0f);
+          for (std::size_t p = 0; p < m; ++p) {
+            compress::add_sparse(avg, gathered[p],
+                                 1.0f / static_cast<float>(m));
+          }
+        } else {
+          // Robust merge: densify every chunk, then take the per-coordinate
+          // center instead of the mean.
+          dense.assign(m, std::vector<float>(dim, 0.0f));
+          inputs.clear();
+          for (std::size_t p = 0; p < m; ++p) {
+            compress::add_sparse(dense[p], gathered[p]);
+            inputs.push_back(dense[p].data());
+          }
+          scratch.resize(m);
+          compress::robust_combine(dyn_.merge, dyn_.trim_frac, inputs, 0, dim,
+                                   avg, scratch);
+        }
+        engine.for_each_worker(
+            [&](std::size_t w) { engine.apply_update(w, avg, epoch); });
+      } else if (m >= 1) {
+        // Faulted fabric: a frame may never arrive, so each position tracks
+        // the payloads it actually HOLDS (its own chunk plus whatever was
+        // delivered) and can only forward those; a byzantine-rewritten frame
+        // is forwarded in its rewritten form, spreading the attack the way a
+        // real relay would.  Gathered sets now differ per worker, so each
+        // merges its own subset.
+        std::vector<std::vector<std::vector<std::uint8_t>>> held(
+            m, std::vector<std::vector<std::uint8_t>>(m));
+        for (std::size_t i = 0; i < m; ++i) {
+          held[i][i] = frames[act[i]].bytes;
+        }
+        for (std::size_t hop = 0; hop + 1 < m; ++hop) {
+          fabric.begin_round();
+          for (std::size_t i = 0; i < m; ++i) {
+            if (hop == 0) fabric.compute(act[i]);
+            const std::size_t p = (i + m - hop) % m;
+            if (!held[i][p].empty()) {
+              const sim::EncodedFrame fwd{frames[act[p]].charged, held[i][p]};
+              fabric.send_frame(act[i], act[(i + 1) % m], fwd);
+            }
+          }
+          fabric.end_round();
+          for (std::size_t i = 0; i < m; ++i) {
+            while (auto env = fabric.recv(act[i])) {
+              const std::size_t origin =
+                  net::SparseDeltaMsg::peek_origin(env->payload);
+              if (origin >= n || !engine.active(origin)) continue;
+              auto& slot = held[i][pos[origin]];
+              if (slot.empty()) slot = std::move(env->payload);
+            }
+          }
+        }
+
+        // Per-worker merge over the held subset (serial: per-worker updates
+        // differ, and the reused densification scratch keeps memory at one
+        // chunk set).
+        for (std::size_t i = 0; i < m; ++i) {
+          if (!dyn_.robust()) {
+            std::size_t count = 0;
+            for (std::size_t p = 0; p < m; ++p) {
+              if (!held[i][p].empty()) ++count;
+            }
+            std::fill(avg.begin(), avg.end(), 0.0f);
+            for (std::size_t p = 0; p < m; ++p) {
+              if (held[i][p].empty()) continue;
+              const auto sv = net::SparseDeltaMsg::decode(held[i][p]);
+              compress::SparseVector chunk;
+              chunk.indices = sv.indices;
+              chunk.values = sv.values;
+              compress::add_sparse(avg, chunk,
+                                   1.0f / static_cast<float>(count));
+            }
+          } else {
+            dense.clear();
+            inputs.clear();
+            for (std::size_t p = 0; p < m; ++p) {
+              if (held[i][p].empty()) continue;
+              const auto sv = net::SparseDeltaMsg::decode(held[i][p]);
+              compress::SparseVector chunk;
+              chunk.indices = sv.indices;
+              chunk.values = sv.values;
+              dense.emplace_back(dim, 0.0f);
+              compress::add_sparse(dense.back(), chunk);
+            }
+            inputs.reserve(dense.size());
+            for (const auto& d : dense) inputs.push_back(d.data());
+            scratch.resize(inputs.size());
+            compress::robust_combine(dyn_.merge, dyn_.trim_frac, inputs, 0,
+                                     dim, avg, scratch);
+          }
+          engine.apply_update(act[i], avg, epoch);
+        }
       }
-      engine.for_each_worker(
-          [&](std::size_t w) { engine.apply_update(w, avg, epoch); });
 
       ++round;
       if (schedule.due(round)) {
@@ -112,6 +223,7 @@ void register_topk(Registry& r) {
   r.add_algorithm(
       {.key = "topk",
        .summary = "TopK-PSGD: error-feedback top-k gradient all-gather",
+       .supports_failures = true,
        .params = {{.name = "topk-c",
                    .type = ParamType::kDouble,
                    .default_value = "1000",
@@ -119,9 +231,10 @@ void register_topk(Registry& r) {
                    .max_value = 1e12,
                    .help = "TopK-PSGD compression ratio c (paper 1000; fast "
                            "mode shrinks to 100)"}},
-       .make = [](const ParamSet& p, const AlgoBuildContext&) {
+       .make = [](const ParamSet& p, const AlgoBuildContext& ctx) {
          return std::make_unique<algos::TopkPsgd>(
-             algos::TopkConfig{.compression = p.get_double("topk-c")});
+             algos::TopkConfig{.compression = p.get_double("topk-c")},
+             make_dynamics(ctx));
        }});
 }
 

@@ -16,7 +16,8 @@ struct TopkConfig {
 
 class TopkPsgd final : public Algorithm {
  public:
-  explicit TopkPsgd(TopkConfig config = {}) : config_(config) {}
+  explicit TopkPsgd(TopkConfig config = {}, Dynamics dynamics = {})
+      : config_(config), dyn_(std::move(dynamics)) {}
 
   [[nodiscard]] const char* name() const noexcept override {
     return "TopK-PSGD";
@@ -25,6 +26,7 @@ class TopkPsgd final : public Algorithm {
 
  private:
   TopkConfig config_;
+  Dynamics dyn_;
 };
 
 }  // namespace saps::algos

@@ -1,6 +1,8 @@
 #include "core/worker.hpp"
 
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 namespace saps::core {
 
@@ -49,13 +51,28 @@ void SapsWorker::send_model(sim::Fabric& fabric,
 void SapsWorker::receive_and_merge(sim::Fabric& fabric,
                                    std::span<const std::uint8_t> mask) {
   if (peer_ == rank_) return;
-  const auto env = fabric.recv(rank_);
-  if (!env) throw std::logic_error("SapsWorker: missing peer model");
-  const auto msg = net::MaskedModelMsg::decode(env->payload);
-  if (msg.mask_seed != mask_seed_ || msg.round != round_) {
-    throw std::logic_error("SapsWorker: peer model from a different round");
+  if (fabric.transparent()) {
+    const auto env = fabric.recv(rank_);
+    if (!env) throw std::logic_error("SapsWorker: missing peer model");
+    const auto msg = net::MaskedModelMsg::decode(env->payload);
+    if (msg.mask_seed != mask_seed_ || msg.round != round_) {
+      throw std::logic_error("SapsWorker: peer model from a different round");
+    }
+    merge_peer(mask, msg.values);
+    return;
   }
-  merge_peer(mask, msg.values);
+  // Faulted fabric: the peer's frame may be dropped (skip the merge — the
+  // masked coordinates simply don't average this round) or duplicated
+  // (merge the first matching frame, drain the rest so nothing leaks into
+  // the next round's mailbox).
+  std::optional<net::MaskedModelMsg> peer_model;
+  while (auto env = fabric.recv(rank_)) {
+    auto msg = net::MaskedModelMsg::decode(env->payload);
+    if (!peer_model && msg.mask_seed == mask_seed_ && msg.round == round_) {
+      peer_model = std::move(msg);
+    }
+  }
+  if (peer_model) merge_peer(mask, peer_model->values);
 }
 
 std::vector<float> SapsWorker::sparsified_model(

@@ -77,6 +77,7 @@ void LinkModel::start_round() {
   if (in_round_) throw std::logic_error("LinkModel: round already open");
   in_round_ = true;
   pending_.clear();
+  pending_extra_ = false;
   std::fill(ready_.begin(), ready_.end(), 0.0);
 }
 
@@ -101,16 +102,21 @@ double LinkModel::modeled_compute(std::size_t node) const {
   return t;
 }
 
-void LinkModel::transfer(std::size_t src, std::size_t dst, double bytes) {
+void LinkModel::transfer(std::size_t src, std::size_t dst, double bytes,
+                         double extra_seconds) {
   if (!in_round_) throw std::logic_error("LinkModel: transfer outside round");
   if (src >= workers_ || dst >= workers_ || src == dst) {
     throw std::invalid_argument("LinkModel: bad endpoints");
   }
   if (bytes < 0.0) throw std::invalid_argument("LinkModel: negative bytes");
+  if (extra_seconds < 0.0) {
+    throw std::invalid_argument("LinkModel: negative transfer delay");
+  }
   if (bytes == 0.0) return;
   up_[src] += bytes;
   down_[dst] += bytes;
-  pending_.push_back({src, dst, bytes});
+  if (extra_seconds > 0.0) pending_extra_ = true;
+  pending_.push_back({src, dst, bytes, extra_seconds});
 }
 
 double LinkModel::finish_round() {
@@ -121,7 +127,8 @@ double LinkModel::finish_round() {
   // Legacy fast path: with no latency/compute events the timeline is the old
   // synchronous-round model, and bit-identity with it matters (regression
   // pins); keep the arithmetic shape identical.
-  if ((!bandwidth_ || pending_.empty()) && !timing_extras()) {
+  if ((!bandwidth_ || pending_.empty()) && !timing_extras() &&
+      !pending_extra_) {
     round_bottleneck_.push_back(0.0);
     round_mean_.push_back(0.0);
     return 0.0;
@@ -139,7 +146,7 @@ double LinkModel::finish_round() {
     // Event chain: serialize-and-send starts once src's compute is done,
     // the wire adds propagation latency, then bytes drain at link bandwidth;
     // the merge event at dst fires on arrival.
-    double seconds = ready_[tr.src] + link_latency(tr.src, tr.dst);
+    double seconds = ready_[tr.src] + link_latency(tr.src, tr.dst) + tr.extra;
     if (bandwidth_) {
       const double bw = bandwidth_->get(tr.src, tr.dst);  // MB/s
       if (bw <= 0.0) {

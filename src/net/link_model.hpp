@@ -86,8 +86,11 @@ class LinkModel {
   [[nodiscard]] double modeled_compute(std::size_t node) const;
 
   /// Records a directional transfer src → dst of `bytes` within the current
-  /// round.  src == dst is invalid.
-  void transfer(std::size_t src, std::size_t dst, double bytes);
+  /// round.  src == dst is invalid.  `extra_seconds` adds fixed in-flight
+  /// time to this one transfer's completion (fault-injected frame delay);
+  /// zero (the default) keeps the legacy fast-path accounting untouched.
+  void transfer(std::size_t src, std::size_t dst, double bytes,
+                double extra_seconds = 0.0);
 
   /// Ends the round.  Returns the round's elapsed seconds: the event-
   /// timeline critical path (0 when nothing was sent, no latency/compute is
@@ -130,6 +133,7 @@ class LinkModel {
   struct Transfer {
     std::size_t src, dst;
     double bytes;
+    double extra;  // injected per-frame delay, seconds
   };
 
   std::size_t workers_;
@@ -141,6 +145,7 @@ class LinkModel {
   std::vector<double> up_, down_;
   std::vector<double> ready_;  // per-node compute-finish time, current round
   std::vector<Transfer> pending_;
+  bool pending_extra_ = false;  // any pending transfer has injected delay
   bool in_round_ = false;
   double total_seconds_ = 0.0;
   std::size_t rounds_ = 0;

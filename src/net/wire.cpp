@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
 namespace saps::net {
 
@@ -92,6 +94,18 @@ void pad(ByteWriter& w, std::size_t n) {
 
 void skip(ByteReader& r, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) (void)r.u8();
+}
+
+// A corrupted count field must not drive a resize(): validate the declared
+// element count against the bytes actually present BEFORE allocating, so a
+// garbage frame throws instead of attempting a multi-gigabyte allocation.
+void check_count(const ByteReader& r, std::size_t count,
+                 std::size_t bytes_per_element, const char* what) {
+  if (bytes_per_element > 0 &&
+      count > r.remaining() / bytes_per_element) {
+    throw std::out_of_range(std::string(what) +
+                            ": declared count exceeds payload");
+  }
 }
 }  // namespace
 
@@ -192,6 +206,7 @@ SparseDeltaMsg SparseDeltaMsg::decode(std::span<const std::uint8_t> bytes) {
   m.round = r.u32();
   m.origin = r.u32();
   const std::uint32_t nnz = r.u32();
+  check_count(r, nnz, 8, "SparseDeltaMsg");  // 4-byte index + 4-byte value
   m.indices.resize(nnz);
   r.u32_span(m.indices);
   m.values.resize(nnz);
@@ -223,7 +238,9 @@ FullModelMsg FullModelMsg::decode(std::span<const std::uint8_t> bytes) {
   skip(r, 3);
   FullModelMsg m;
   m.rank = r.u32();
-  m.params.resize(r.u32());
+  const std::uint32_t count = r.u32();
+  check_count(r, count, 4, "FullModelMsg");
+  m.params.resize(count);
   r.f32_span(m.params);
   return m;
 }
@@ -291,8 +308,12 @@ QuantGradMsg QuantGradMsg::decode(std::span<const std::uint8_t> bytes) {
   m.origin = r.u32();
   m.norm = r.f32();
   const std::uint32_t count = r.u32();
-  m.quantized.resize(count);
   const std::size_t bits = m.bits_per_coord();
+  // Packed stream: count coords at `bits` bits each, whole bytes.
+  if (count > 0 && (count * bits + 7) / 8 > r.remaining()) {
+    throw std::out_of_range("QuantGradMsg: declared count exceeds payload");
+  }
+  m.quantized.resize(count);
   std::uint32_t acc = 0;
   std::size_t filled = 0;
   const std::uint32_t mask = (1u << bits) - 1u;

@@ -46,7 +46,17 @@ struct FailureEvent {
 /// Scenario state an algorithm factory may honor beyond its own parameters.
 struct AlgoBuildContext {
   std::vector<FailureEvent> failures;  // empty = static membership
+  // Robust aggregation (the spec's `aggregation=` / `trim-frac=` knobs);
+  // kMean keeps every algorithm's legacy float path verbatim.
+  compress::MergeRule merge = compress::MergeRule::kMean;
+  double trim_frac = 0.2;
 };
+
+/// Builds the algos::Dynamics value a factory hands its algorithm: the
+/// failure schedule becomes an engine-side active-flag hook (empty schedule
+/// = no hook, so the default run never pays a per-round callback) and the
+/// merge rule / trim fraction are copied through.
+[[nodiscard]] algos::Dynamics make_dynamics(const AlgoBuildContext& ctx);
 
 struct AlgorithmEntry {
   std::string key;      // registry / spec-file key, e.g. "saps"

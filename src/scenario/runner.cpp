@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "compress/robust.hpp"
+
 namespace saps::scenario {
 
 Workload build_workload(const ScenarioSpec& spec) {
@@ -61,6 +63,13 @@ sim::SimConfig Runner::sim_config() const {
   cfg.compute_base_seconds = spec_.compute_base;
   cfg.compute_jitter_seconds = spec_.compute_jitter;
   cfg.link_latency_matrix = spec_.latency_matrix;
+  cfg.faults.fault_seed = spec_.fault_seed;
+  cfg.faults.drop_prob = spec_.drop_prob;
+  cfg.faults.dup_prob = spec_.dup_prob;
+  cfg.faults.delay_prob = spec_.delay_prob;
+  cfg.faults.delay_seconds = spec_.delay_seconds;
+  cfg.faults.byzantine = spec_.byzantine;
+  cfg.faults.partitions = spec_.net_partition;
   return cfg;
 }
 
@@ -82,8 +91,7 @@ RunRecord Runner::run(const std::string& algo_key, SinkList* sinks) {
   if (!spec_.failures.empty() && !entry.supports_failures) {
     throw std::invalid_argument(
         "algorithm '" + algo_key +
-        "' does not support a failure schedule (only saps honors dropout/"
-        "rejoin rounds)");
+        "' does not support a failure schedule (dropout/rejoin rounds)");
   }
   if (spec_.cohort < spec_.population && !entry.supports_cohort) {
     throw std::invalid_argument(
@@ -92,6 +100,8 @@ RunRecord Runner::run(const std::string& algo_key, SinkList* sinks) {
   }
   AlgoBuildContext ctx;
   ctx.failures = spec_.failures;
+  ctx.merge = compress::parse_merge_rule(spec_.aggregation);
+  ctx.trim_frac = spec_.trim_frac;
   auto algorithm =
       entry.make(resolve_entry_params(entry.params, spec_.params), ctx);
 

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "compress/robust.hpp"
 #include "net/bandwidth.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
@@ -24,6 +25,9 @@ constexpr std::uint64_t kBandwidthSalt = 0xf16;
 // Seed salt of the per-round cohort draw (mirrors the bandwidth-seed
 // derivation: filled from the top-level seed when never set explicitly).
 constexpr std::uint64_t kSampleSalt = 0x5a3d;
+// Seed salt of the fault-injection schedule (same derivation pattern; also
+// the stream salt inside sim::FaultyFabric).
+constexpr std::uint64_t kFaultSalt = 0xfa17;
 
 std::string trim(std::string s) {
   const auto is_space = [](char c) { return c == ' ' || c == '\t' ||
@@ -121,6 +125,26 @@ void assign_core(ScenarioSpec& s, const ParamDesc& d,
   } else if (k == "failures") {
     s.failures_text = canonical;
     s.failures.clear();
+  } else if (k == "fault-seed") {
+    s.fault_seed = parse_uint(k, canonical);
+  } else if (k == "drop-prob") {
+    s.drop_prob = parse_double(k, canonical);
+  } else if (k == "dup-prob") {
+    s.dup_prob = parse_double(k, canonical);
+  } else if (k == "delay-prob") {
+    s.delay_prob = parse_double(k, canonical);
+  } else if (k == "delay-seconds") {
+    s.delay_seconds = parse_double(k, canonical);
+  } else if (k == "byzantine") {
+    s.byzantine_text = canonical;
+    s.byzantine.clear();
+  } else if (k == "net-partition") {
+    s.net_partition_text = canonical;
+    s.net_partition.clear();
+  } else if (k == "aggregation") {
+    s.aggregation = canonical;
+  } else if (k == "trim-frac") {
+    s.trim_frac = parse_double(k, canonical);
   } else {
     throw std::logic_error("assign_core: unmapped key '" + k + "'");
   }
@@ -176,6 +200,107 @@ std::vector<FailureEvent> parse_failures(const std::string& text) {
       }
     }
     out.push_back(e);
+  }
+  return out;
+}
+
+// Parses "R" or "R-R2" into a [from, to) fabric-round window (to = 0 means
+// "forever"); shared by the byzantine and net-partition grammars.
+void parse_window(const std::string& flag, const std::string& window,
+                  std::size_t& from, std::size_t& to) {
+  const auto dash = window.find('-');
+  if (dash == std::string::npos) {
+    from = static_cast<std::size_t>(parse_int(flag, window));
+    to = 0;
+  } else {
+    from = static_cast<std::size_t>(parse_int(flag, window.substr(0, dash)));
+    to = static_cast<std::size_t>(parse_int(flag, window.substr(dash + 1)));
+    if (to <= from) {
+      throw std::invalid_argument("--" + flag +
+                                  " window end must be after its start in '" +
+                                  window + "'");
+    }
+  }
+  if (from == 0) {
+    throw std::invalid_argument("--" + flag +
+                                " windows count fabric rounds from 1");
+  }
+}
+
+sim::ByzantineMode parse_byzantine_mode(const std::string& name) {
+  if (name == "sign-flip") return sim::ByzantineMode::kSignFlip;
+  if (name == "scaled-noise") return sim::ByzantineMode::kScaledNoise;
+  if (name == "silent") return sim::ByzantineMode::kSilent;
+  throw std::invalid_argument(
+      "--byzantine mode must be sign-flip|scaled-noise|silent, got '" + name +
+      "'");
+}
+
+const char* byzantine_mode_name(sim::ByzantineMode mode) {
+  switch (mode) {
+    case sim::ByzantineMode::kSignFlip:
+      return "sign-flip";
+    case sim::ByzantineMode::kScaledNoise:
+      return "scaled-noise";
+    case sim::ByzantineMode::kSilent:
+      return "silent";
+  }
+  return "sign-flip";
+}
+
+std::vector<sim::ByzantineEvent> parse_byzantine(const std::string& text) {
+  std::vector<sim::ByzantineEvent> out;
+  for (const auto& token : split(text, ',')) {
+    if (token.empty()) continue;
+    const auto at = token.find('@');
+    const auto colon = token.rfind(':');
+    if (at == std::string::npos || colon == std::string::npos || colon < at) {
+      throw std::invalid_argument(
+          "--byzantine expects W@R[-R2]:mode entries, got '" + token + "'");
+    }
+    sim::ByzantineEvent e;
+    e.worker =
+        static_cast<std::size_t>(parse_int("byzantine", token.substr(0, at)));
+    parse_window("byzantine", token.substr(at + 1, colon - at - 1),
+                 e.from_round, e.to_round);
+    e.mode = parse_byzantine_mode(token.substr(colon + 1));
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<sim::PartitionEvent> parse_net_partition(const std::string& text) {
+  std::vector<sim::PartitionEvent> out;
+  for (const auto& token : split(text, ',')) {
+    if (token.empty()) continue;
+    const auto at = token.find('@');
+    if (at == std::string::npos) {
+      throw std::invalid_argument(
+          "--net-partition expects G|G[|...]@R[-R2] entries with groups of "
+          "'.'-joined workers, got '" +
+          token + "'");
+    }
+    sim::PartitionEvent e;
+    parse_window("net-partition", token.substr(at + 1), e.from_round,
+                 e.to_round);
+    for (const auto& group : split(token.substr(0, at), '|')) {
+      std::vector<std::size_t> members;
+      for (const auto& m : split(group, '.')) {
+        if (m.empty()) continue;
+        members.push_back(
+            static_cast<std::size_t>(parse_int("net-partition", m)));
+      }
+      if (members.empty()) {
+        throw std::invalid_argument("--net-partition has an empty group in '" +
+                                    token + "'");
+      }
+      e.groups.push_back(std::move(members));
+    }
+    if (e.groups.size() < 2) {
+      throw std::invalid_argument(
+          "--net-partition needs at least two groups in '" + token + "'");
+    }
+    out.push_back(std::move(e));
   }
   return out;
 }
@@ -404,6 +529,65 @@ const std::vector<ParamDesc>& core_spec_params() {
        .default_value = "",
        .help = "dropout schedule 'W@R-R2[,...]': worker W leaves at round R "
                "and rejoins at round R2 (omit -R2 = never)"},
+      {.name = "fault-seed",
+       .type = kUint,
+       .default_value = "0",
+       .help = "RNG seed of the fault-injection schedules (default: derived "
+               "from seed)"},
+      {.name = "drop-prob",
+       .type = kDouble,
+       .default_value = "0",
+       .min_value = 0,
+       .max_value = 1,
+       .help = "per-frame probability a data frame is charged but never "
+               "delivered (default 0)"},
+      {.name = "dup-prob",
+       .type = kDouble,
+       .default_value = "0",
+       .min_value = 0,
+       .max_value = 1,
+       .help = "per-frame probability a data frame is charged and delivered "
+               "twice (default 0)"},
+      {.name = "delay-prob",
+       .type = kDouble,
+       .default_value = "0",
+       .min_value = 0,
+       .max_value = 1,
+       .help = "per-frame probability a data frame gains delay-seconds of "
+               "in-flight time (default 0; requires delay-seconds > 0)"},
+      {.name = "delay-seconds",
+       .type = kDouble,
+       .default_value = "0",
+       .min_value = 0,
+       .max_value = kInf,
+       .help = "extra in-flight seconds of a delayed frame (default 0)"},
+      {.name = "byzantine",
+       .type = kString,
+       .default_value = "",
+       .help = "adversarial workers 'W@R[-R2]:mode[,...]': worker W applies "
+               "`mode` (sign-flip|scaled-noise|silent) to every frame it "
+               "sends during fabric rounds [R, R2) (omit -R2 = forever)"},
+      {.name = "net-partition",
+       .type = kString,
+       .default_value = "",
+       .help = "network partitions 'G|G[|...]@R[-R2][,...]' with groups of "
+               "'.'-joined workers, e.g. 0.1.2.3|4.5.6.7@2-6: frames between "
+               "different groups are charged but dropped during fabric "
+               "rounds [R, R2) (omit -R2 = never heals)"},
+      {.name = "aggregation",
+       .type = kString,
+       .default_value = "plain",
+       .help = "merge rule of every model/gradient aggregation: plain = each "
+               "algorithm's legacy mean, trimmed = symmetric trimmed mean, "
+               "median = coordinate-wise median",
+       .choices = {"plain", "trimmed", "median"}},
+      {.name = "trim-frac",
+       .type = kDouble,
+       .default_value = "0.2",
+       .min_value = 0,
+       .max_value = 0.5,
+       .help = "fraction trimmed from EACH tail under aggregation=trimmed "
+               "(default 0.2; clamped so at least one value survives)"},
   };
   return descs;
 }
@@ -451,7 +635,11 @@ bool ScenarioSpec::equivalent(const ScenarioSpec& o) const {
          compute_base == o.compute_base &&
          compute_jitter == o.compute_jitter &&
          latency_matrix == o.latency_matrix && failures == o.failures &&
-         params == o.params;
+         fault_seed == o.fault_seed && drop_prob == o.drop_prob &&
+         dup_prob == o.dup_prob && delay_prob == o.delay_prob &&
+         delay_seconds == o.delay_seconds && byzantine == o.byzantine &&
+         net_partition == o.net_partition && aggregation == o.aggregation &&
+         trim_frac == o.trim_frac && params == o.params;
 }
 
 void finalize_spec(ScenarioSpec& spec) {
@@ -524,6 +712,87 @@ void finalize_spec(ScenarioSpec& spec) {
                                   std::to_string(spec.population) + " exist");
     }
   }
+  // Two windows for the SAME worker must not overlap: the schedule replays
+  // every event each round, so overlapping windows would make the worker's
+  // liveness depend on event order.
+  const auto overlaps = [](const FailureEvent& a, const FailureEvent& b) {
+    const auto a_end = a.rejoin_round == 0 ? static_cast<std::size_t>(-1)
+                                           : a.rejoin_round;
+    const auto b_end = b.rejoin_round == 0 ? static_cast<std::size_t>(-1)
+                                           : b.rejoin_round;
+    return a.drop_round < b_end && b.drop_round < a_end;
+  };
+  for (std::size_t i = 0; i < spec.failures.size(); ++i) {
+    for (std::size_t j = i + 1; j < spec.failures.size(); ++j) {
+      if (spec.failures[i].worker == spec.failures[j].worker &&
+          overlaps(spec.failures[i], spec.failures[j])) {
+        throw std::invalid_argument(
+            "--failures has overlapping windows for worker " +
+            std::to_string(spec.failures[i].worker));
+      }
+    }
+  }
+  // Cohort sampling composes with the failure schedule only when every drawn
+  // cohort is guaranteed >= 2 live members: the draw is oblivious to
+  // liveness, so in the worst case every concurrently-failed worker lands in
+  // the cohort.  Validate here instead of failing (or silently degenerating)
+  // mid-run inside freeze/thaw.
+  if (spec.cohort < spec.population && !spec.failures.empty()) {
+    std::size_t max_concurrent = 0;
+    for (const auto& a : spec.failures) {
+      std::size_t concurrent = 0;
+      for (const auto& b : spec.failures) {
+        if (overlaps(a, b) || &a == &b) ++concurrent;
+      }
+      max_concurrent = std::max(max_concurrent, concurrent);
+    }
+    if (spec.cohort < max_concurrent + 2) {
+      throw std::invalid_argument(
+          "--failures with cohort sampling: cohort=" +
+          std::to_string(spec.cohort) + " cannot guarantee 2 live members "
+          "with " + std::to_string(max_concurrent) +
+          " concurrent failures; raise cohort to at least " +
+          std::to_string(max_concurrent + 2));
+    }
+  }
+
+  if (!spec.byzantine_text.empty()) {
+    spec.byzantine = parse_byzantine(spec.byzantine_text);
+    spec.byzantine_text.clear();
+  }
+  for (const auto& e : spec.byzantine) {
+    if (e.worker >= spec.population) {
+      throw std::invalid_argument("--byzantine names worker " +
+                                  std::to_string(e.worker) + " but only " +
+                                  std::to_string(spec.population) + " exist");
+    }
+  }
+  if (!spec.net_partition_text.empty()) {
+    spec.net_partition = parse_net_partition(spec.net_partition_text);
+    spec.net_partition_text.clear();
+  }
+  for (const auto& e : spec.net_partition) {
+    std::set<std::size_t> seen;
+    for (const auto& group : e.groups) {
+      for (const auto w : group) {
+        if (w >= spec.population) {
+          throw std::invalid_argument(
+              "--net-partition names worker " + std::to_string(w) +
+              " but only " + std::to_string(spec.population) + " exist");
+        }
+        if (!seen.insert(w).second) {
+          throw std::invalid_argument(
+              "--net-partition groups must be disjoint; worker " +
+              std::to_string(w) + " appears twice");
+        }
+      }
+    }
+  }
+  if (spec.delay_prob > 0.0 && spec.delay_seconds <= 0.0) {
+    throw std::invalid_argument(
+        "--delay-prob > 0 needs --delay-seconds > 0 to mean anything");
+  }
+  (void)compress::parse_merge_rule(spec.aggregation);  // validated spelling
 
   if (spec.bandwidth == "cities" &&
       spec.workers != net::fig1_city_bandwidth().size()) {
@@ -552,6 +821,9 @@ void finalize_spec(ScenarioSpec& spec) {
   }
   if (!spec.provided("sample-seed")) {
     spec.sample_seed = derive_seed(spec.seed, kSampleSalt);
+  }
+  if (!spec.provided("fault-seed")) {
+    spec.fault_seed = derive_seed(spec.seed, kFaultSalt);
   }
 
   // Materialize the remaining defaults so to_spec_text prints a COMPLETE,
@@ -591,6 +863,47 @@ std::string format_failures(const std::vector<FailureEvent>& failures) {
     if (e.rejoin_round != 0) {
       t += '-';
       t += format_int(static_cast<std::int64_t>(e.rejoin_round));
+    }
+    tokens.push_back(std::move(t));
+  }
+  return join(tokens, ',');
+}
+
+std::string format_byzantine(const std::vector<sim::ByzantineEvent>& events) {
+  std::vector<std::string> tokens;
+  for (const auto& e : events) {
+    std::string t = format_int(static_cast<std::int64_t>(e.worker));
+    t += '@';
+    t += format_int(static_cast<std::int64_t>(e.from_round));
+    if (e.to_round != 0) {
+      t += '-';
+      t += format_int(static_cast<std::int64_t>(e.to_round));
+    }
+    t += ':';
+    t += byzantine_mode_name(e.mode);
+    tokens.push_back(std::move(t));
+  }
+  return join(tokens, ',');
+}
+
+std::string format_net_partition(
+    const std::vector<sim::PartitionEvent>& events) {
+  std::vector<std::string> tokens;
+  for (const auto& e : events) {
+    std::vector<std::string> groups;
+    for (const auto& group : e.groups) {
+      std::vector<std::string> members;
+      for (const auto w : group) {
+        members.push_back(format_int(static_cast<std::int64_t>(w)));
+      }
+      groups.push_back(join(members, '.'));
+    }
+    std::string t = join(groups, '|');
+    t += '@';
+    t += format_int(static_cast<std::int64_t>(e.from_round));
+    if (e.to_round != 0) {
+      t += '-';
+      t += format_int(static_cast<std::int64_t>(e.to_round));
     }
     tokens.push_back(std::move(t));
   }
@@ -647,6 +960,19 @@ std::string to_spec_text(const ScenarioSpec& s) {
   if (!s.failures.empty()) {
     oss << "failures=" << format_failures(s.failures) << "\n";
   }
+  oss << "fault-seed=" << s.fault_seed << "\n";
+  oss << "drop-prob=" << format_double(s.drop_prob) << "\n";
+  oss << "dup-prob=" << format_double(s.dup_prob) << "\n";
+  oss << "delay-prob=" << format_double(s.delay_prob) << "\n";
+  oss << "delay-seconds=" << format_double(s.delay_seconds) << "\n";
+  if (!s.byzantine.empty()) {
+    oss << "byzantine=" << format_byzantine(s.byzantine) << "\n";
+  }
+  if (!s.net_partition.empty()) {
+    oss << "net-partition=" << format_net_partition(s.net_partition) << "\n";
+  }
+  oss << "aggregation=" << s.aggregation << "\n";
+  oss << "trim-frac=" << format_double(s.trim_frac) << "\n";
   for (const auto& [k, v] : s.params.items()) {
     oss << k << "=" << v << "\n";
   }

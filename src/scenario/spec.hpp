@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "scenario/registry.hpp"
+#include "sim/faults.hpp"
 
 namespace saps {
 class Flags;
@@ -70,6 +71,20 @@ struct ScenarioSpec {
   // Failure schedule (dropout at round R, rejoin at R').
   std::vector<FailureEvent> failures;
 
+  // Fault injection (sim::FaultyFabric; windows count FABRIC data rounds).
+  std::uint64_t fault_seed = 0;  // derived from `seed` when never set
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double delay_prob = 0.0;
+  double delay_seconds = 0.0;
+  std::vector<sim::ByzantineEvent> byzantine;
+  std::vector<sim::PartitionEvent> net_partition;
+
+  // Robust aggregation (compress::MergeRule; 'plain' = each algorithm's
+  // legacy mean path, bit-transparent by construction).
+  std::string aggregation = "plain";  // plain|trimmed|median
+  double trim_frac = 0.2;
+
   // Workload + algorithm parameter values, canonical (see ParamDesc).
   ParamSet params;
 
@@ -95,6 +110,8 @@ struct ScenarioSpec {
   // against the resolved worker count).
   std::string latency_matrix_text;
   std::string failures_text;
+  std::string byzantine_text;
+  std::string net_partition_text;
   std::set<std::string> provided_;
 };
 
@@ -121,6 +138,14 @@ void finalize_spec(ScenarioSpec& spec);
     const std::vector<FailureEvent>& failures);
 [[nodiscard]] std::string format_latency_matrix(
     const std::vector<double>& matrix);
+
+/// Formats spec.byzantine / spec.net_partition back to their spec-file
+/// grammar ("W@R[-R2]:mode[,...]" / groups '|'-joined, members '.'-joined,
+/// "@R[-R2]" windows, events ','-joined — e.g. "0.1.2.3|4.5.6.7@2-6").
+[[nodiscard]] std::string format_byzantine(
+    const std::vector<sim::ByzantineEvent>& events);
+[[nodiscard]] std::string format_net_partition(
+    const std::vector<sim::PartitionEvent>& events);
 
 /// Full CLI pipeline: defaults → preset → --spec file → flags → finalize.
 /// Throws std::invalid_argument (benches wrap via scenario_from_flags_or_exit

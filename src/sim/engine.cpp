@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "data/partition.hpp"
+#include "sim/faulty_fabric.hpp"
 
 namespace saps::sim {
 
@@ -40,6 +41,16 @@ net::LinkModel make_link(const SimConfig& config,
              ? net::LinkModel(net::with_virtual_server(*bandwidth), opts)
              : net::LinkModel(config.workers + 1, opts);
 }
+
+std::unique_ptr<Fabric> make_fabric(
+    const SimConfig& config,
+    const std::optional<net::BandwidthMatrix>& bandwidth) {
+  auto link = make_link(config, bandwidth);
+  if (config.faults.enabled() || config.faults.force_wrapper) {
+    return std::make_unique<FaultyFabric>(std::move(link), config.faults);
+  }
+  return std::make_unique<Fabric>(std::move(link));
+}
 }  // namespace
 
 Engine::Engine(SimConfig config, const data::Dataset& train,
@@ -49,9 +60,9 @@ Engine::Engine(SimConfig config, const data::Dataset& train,
       factory_(factory),
       test_(&test),
       active_(config_.workers, 0),
-      fabric_(make_link(config_, bandwidth)) {
+      fabric_(make_fabric(config_, bandwidth)) {
   if (config_.workers < 2) throw std::invalid_argument("Engine: workers < 2");
-  if (fabric_.nodes() != config_.workers + 1) {
+  if (fabric_->nodes() != config_.workers + 1) {
     throw std::invalid_argument("Engine: bandwidth matrix size != workers");
   }
   network().set_stat_worker_count(config_.workers);
@@ -233,7 +244,7 @@ std::span<const std::size_t> Engine::begin_round_cohort(std::size_t round) {
 }
 
 std::optional<net::BandwidthMatrix> Engine::worker_bandwidth() const {
-  const auto& link = fabric_.link();
+  const auto& link = fabric_->link();
   if (!link.has_bandwidth()) return std::nullopt;
   const auto& full = link.bandwidth();
   net::BandwidthMatrix out(config_.workers);
@@ -440,8 +451,8 @@ MetricPoint Engine::eval_point(std::size_t round, double epoch,
   p.epoch = epoch;
   p.loss = loss_sum / static_cast<double>(std::max<std::size_t>(1, batches));
   p.accuracy = static_cast<double>(correct) / static_cast<double>(seen);
-  p.worker_mb = fabric_.link().mean_worker_bytes() / 1e6;
-  p.comm_seconds = fabric_.link().total_seconds();
+  p.worker_mb = fabric_->link().mean_worker_bytes() / 1e6;
+  p.comm_seconds = fabric_->link().total_seconds();
   if (metric_observer_) metric_observer_(p);
   return p;
 }

@@ -26,6 +26,7 @@
 #include "nn/model.hpp"
 #include "nn/sgd.hpp"
 #include "sim/fabric.hpp"
+#include "sim/faults.hpp"
 #include "util/threadpool.hpp"
 
 namespace saps::sim {
@@ -77,6 +78,10 @@ struct SimConfig {
   // workers×workers seconds (the virtual server's links keep the scalar).
   // Empty = uniform scalar, bit-identical to the pre-matrix accounting.
   std::vector<double> link_latency_matrix;
+  // Fault-injection model (sim/faults.hpp).  When any knob is enabled (or
+  // force_wrapper is set) the engine routes the message plane through a
+  // sim::FaultyFabric; the all-disabled default keeps the plain fabric.
+  FaultSpec faults;
 };
 
 /// One point of a training curve — the row format behind Figs. 3, 4, 6 and
@@ -146,10 +151,12 @@ class Engine {
     return models_.at(slot(w))->parameters();
   }
   /// The message plane: every inter-node exchange flows through here as an
-  /// encoded wire message (mailbox delivery + staged accounting).
-  [[nodiscard]] Fabric& fabric() noexcept { return fabric_; }
+  /// encoded wire message (mailbox delivery + staged accounting).  A
+  /// sim::FaultyFabric when SimConfig::faults is enabled or forced, the
+  /// plain fabric otherwise.
+  [[nodiscard]] Fabric& fabric() noexcept { return *fabric_; }
   /// The fabric's accounting backend (traffic/time statistics).
-  [[nodiscard]] net::LinkModel& network() noexcept { return fabric_.link(); }
+  [[nodiscard]] net::LinkModel& network() noexcept { return fabric_->link(); }
 
   /// Node index of the virtual parameter server (= workers()); used by the
   /// centralized baselines for traffic/time accounting.
@@ -294,7 +301,10 @@ class Engine {
   std::vector<float> init_params_;
   std::vector<float> init_buffers_;
   std::vector<std::uint8_t> active_;
-  Fabric fabric_;
+  // Owned through a pointer for two reasons: the fabric is polymorphic
+  // (FaultyFabric overrides post), and the engine must stay movable while
+  // Transport holds non-movable mailbox mutexes.
+  std::unique_ptr<Fabric> fabric_;
   std::size_t steps_per_epoch_ = 0;
   std::unique_ptr<ThreadPool> pool_;
   // Parallel evaluation runs on worker 0's model (sharing its existing

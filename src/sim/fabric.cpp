@@ -26,14 +26,18 @@ void Fabric::compute(std::size_t node) {
   compute_staged_[node] += link_.modeled_compute(node);
 }
 
-void Fabric::post(std::size_t src, std::size_t dst, double charged,
-                  std::vector<std::uint8_t> payload) {
+void Fabric::check_post(std::size_t src, std::size_t dst) const {
   if (!in_round_) throw std::logic_error("Fabric: send outside round");
   if (src >= nodes() || dst >= nodes() || src == dst) {
     throw std::invalid_argument("Fabric: bad endpoints");
   }
-  lanes_[src].push_back({dst, charged});
-  transport_.send(src, dst, std::move(payload));
+}
+
+void Fabric::post(std::size_t src, std::size_t dst, double charged,
+                  std::vector<std::uint8_t> payload) {
+  check_post(src, dst);
+  stage_charge(src, dst, charged);
+  deliver(src, dst, std::move(payload));
 }
 
 void Fabric::post_control(std::size_t src, std::size_t dst, double charged,
@@ -60,7 +64,7 @@ double Fabric::end_round() {
   }
   for (std::size_t src = 0; src < nodes(); ++src) {
     for (const auto& staged : lanes_[src]) {
-      link_.transfer(src, staged.dst, staged.bytes);
+      link_.transfer(src, staged.dst, staged.bytes, staged.extra_seconds);
     }
   }
   return link_.finish_round();

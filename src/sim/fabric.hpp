@@ -54,14 +54,24 @@ template <typename Msg>
 class Fabric {
  public:
   explicit Fabric(net::LinkModel link);
+  virtual ~Fabric() = default;
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
 
   [[nodiscard]] std::size_t nodes() const noexcept { return link_.workers(); }
   [[nodiscard]] net::LinkModel& link() noexcept { return link_; }
   [[nodiscard]] const net::LinkModel& link() const noexcept { return link_; }
   [[nodiscard]] Transport& transport() noexcept { return transport_; }
 
+  /// True when every data frame is delivered exactly once, unmodified, with
+  /// its exact charge — i.e. the plain fabric, or a fault wrapper whose
+  /// knobs are all zero.  Algorithms use this to keep their strict
+  /// exactly-one-message receive validation on the default path and switch
+  /// to loss-tolerant draining only when faults can actually fire.
+  [[nodiscard]] virtual bool transparent() const noexcept { return true; }
+
   /// Opens a communication round on the link model and clears the lanes.
-  void begin_round();
+  virtual void begin_round();
 
   /// Charges node's modeled local-compute time (LinkOptions) to the current
   /// round; a no-op when the compute model is disabled.  Callable from
@@ -117,14 +127,39 @@ class Fabric {
   /// Cumulative control-plane bytes (both directions).
   [[nodiscard]] double control_bytes() const noexcept { return control_bytes_; }
 
+ protected:
+  /// The single data-plane choke point every send()/multicast()/send_frame()
+  /// funnels through.  Derived fabrics (sim::FaultyFabric) override it to
+  /// drop, duplicate, delay, or rewrite frames; the base implementation is
+  /// validate + stage_charge + deliver.  The control plane (post_control)
+  /// deliberately does NOT route through here: coordinator control traffic
+  /// models a reliable side channel and is never faulted.
+  virtual void post(std::size_t src, std::size_t dst, double charged,
+                    std::vector<std::uint8_t> payload);
+
+  /// Validates endpoints and the open-round invariant; throws otherwise.
+  void check_post(std::size_t src, std::size_t dst) const;
+
+  /// Stages a data-plane charge on src's lane; extra_seconds is added to the
+  /// transfer's in-flight time at end_round (frame delay injection).
+  void stage_charge(std::size_t src, std::size_t dst, double bytes,
+                    double extra_seconds = 0.0) {
+    lanes_[src].push_back({dst, bytes, extra_seconds});
+  }
+
+  /// Places payload bytes in dst's mailbox (thread-safe).
+  void deliver(std::size_t src, std::size_t dst,
+               std::vector<std::uint8_t> payload) {
+    transport_.send(src, dst, std::move(payload));
+  }
+
  private:
   struct Staged {
     std::size_t dst;
     double bytes;
+    double extra_seconds;
   };
 
-  void post(std::size_t src, std::size_t dst, double charged,
-            std::vector<std::uint8_t> payload);
   void post_control(std::size_t src, std::size_t dst, double charged,
                     std::vector<std::uint8_t> payload);
 

@@ -1,0 +1,73 @@
+// Declarative fault model for the typed message plane.
+//
+// A FaultSpec describes everything sim::FaultyFabric can do to worker data
+// frames: seeded drop/duplicate/delay schedules, adversarial payload
+// transforms (byzantine workers), and network partitions that heal on
+// schedule.  The spec is plain data — scenario::ScenarioSpec parses the
+// `drop-prob=` / `byzantine=` / `net-partition=` knobs into one of these and
+// the engine decides whether to wrap its fabric based on enabled().
+//
+// Round windows count FABRIC data rounds (begin_round/end_round pairs),
+// 1-based from the first data round of the run.  Algorithms differ in how
+// many fabric rounds one algorithm round costs (TopK/QSGD spend n-1 hop
+// rounds, FedAvg spends a download and an upload round), so a window like
+// `@2-6` means "fabric rounds 2..5" regardless of the algorithm on top.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace saps::sim {
+
+enum class ByzantineMode : std::uint8_t {
+  kSignFlip,     // negate every value in the payload
+  kScaledNoise,  // replace values with large seeded noise (10x signal RMS)
+  kSilent,       // straggle silently: frames vanish without being charged
+};
+
+// Worker `worker` behaves adversarially for fabric rounds
+// [from_round, to_round); to_round == 0 means "until the end of the run".
+struct ByzantineEvent {
+  std::size_t worker = 0;
+  std::size_t from_round = 1;
+  std::size_t to_round = 0;
+  ByzantineMode mode = ByzantineMode::kSignFlip;
+
+  bool operator==(const ByzantineEvent&) const = default;
+};
+
+// For fabric rounds [from_round, to_round) the node set splits into the
+// given groups; frames between two DIFFERENT groups are charged but never
+// delivered.  Nodes not named in any group (e.g. the FedAvg server) keep
+// full connectivity.  to_round == 0 means the partition never heals.
+struct PartitionEvent {
+  std::vector<std::vector<std::size_t>> groups;
+  std::size_t from_round = 1;
+  std::size_t to_round = 0;
+
+  bool operator==(const PartitionEvent&) const = default;
+};
+
+struct FaultSpec {
+  double drop_prob = 0.0;      // P(frame charged but never delivered)
+  double dup_prob = 0.0;       // P(frame delivered AND charged twice)
+  double delay_prob = 0.0;     // P(frame's charge gains delay_seconds)
+  double delay_seconds = 0.0;  // extra in-flight seconds for delayed frames
+  std::uint64_t fault_seed = 0;
+  std::vector<ByzantineEvent> byzantine;
+  std::vector<PartitionEvent> partitions;
+  // Tests set this to pin the zero-knob wrapper bit-identical to the plain
+  // fabric: the wrapper is installed even though no fault can ever fire.
+  bool force_wrapper = false;
+
+  // True when any fault can actually fire.  A disabled spec never wraps the
+  // fabric (unless forced), keeping the default path allocation-identical.
+  [[nodiscard]] bool enabled() const noexcept {
+    return drop_prob > 0.0 || dup_prob > 0.0 ||
+           (delay_prob > 0.0 && delay_seconds > 0.0) || !byzantine.empty() ||
+           !partitions.empty();
+  }
+};
+
+}  // namespace saps::sim

@@ -1,0 +1,216 @@
+#include "sim/faulty_fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "net/wire.hpp"
+#include "util/rng.hpp"
+
+namespace saps::sim {
+
+namespace {
+
+// Domain-separation salt for all fault-injection RNG streams (one entry in
+// the repo-wide salt table, docs/ARCHITECTURE.md).
+constexpr std::uint64_t kFaultSalt = 0xfa17;
+
+// True when `round` (1-based fabric round) falls inside [from, to) with
+// to == 0 meaning "forever".
+bool window_open(std::size_t round, std::size_t from, std::size_t to) {
+  return round >= from && (to == 0 || round < to);
+}
+
+// sqrt(mean(v^2)) — the signal scale the noise attack is proportional to.
+float rms(std::span<const float> v) {
+  if (v.empty()) return 0.0f;
+  double sum = 0.0;
+  for (const float x : v) sum += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(sum / static_cast<double>(v.size())));
+}
+
+void flip_sign(std::span<float> v) {
+  for (auto& x : v) x = -x;
+}
+
+// Replaces v with seeded noise at 10x the original signal RMS — large
+// enough to swamp an honest mean, which is what the robust-aggregation
+// defense is benchmarked against.
+void scaled_noise(std::span<float> v, Rng& rng) {
+  const float sigma = 10.0f * rms(v);
+  for (auto& x : v) {
+    x = sigma * (2.0f * rng.next_float() - 1.0f);
+  }
+}
+
+// Size-preserving adversarial rewrite of one encoded data frame.  Returns
+// the original payload untouched for frame types with no float payload to
+// attack (control frames never reach here anyway).
+std::vector<std::uint8_t> transform_payload(std::vector<std::uint8_t> payload,
+                                            ByzantineMode mode, Rng& rng) {
+  switch (net::peek_type(payload)) {
+    case net::MsgType::kMaskedModel: {
+      auto msg = net::MaskedModelMsg::decode(payload);
+      if (mode == ByzantineMode::kSignFlip) {
+        flip_sign(msg.values);
+      } else {
+        scaled_noise(msg.values, rng);
+      }
+      return msg.encode();
+    }
+    case net::MsgType::kSparseDelta: {
+      auto msg = net::SparseDeltaMsg::decode(payload);
+      if (mode == ByzantineMode::kSignFlip) {
+        flip_sign(msg.values);
+      } else {
+        scaled_noise(msg.values, rng);
+      }
+      return msg.encode();
+    }
+    case net::MsgType::kFullModel: {
+      auto msg = net::FullModelMsg::decode(payload);
+      if (mode == ByzantineMode::kSignFlip) {
+        flip_sign(msg.params);
+      } else {
+        scaled_noise(msg.params, rng);
+      }
+      return msg.encode();
+    }
+    case net::MsgType::kQuantGrad: {
+      auto msg = net::QuantGradMsg::decode(payload);
+      if (mode == ByzantineMode::kSignFlip) {
+        for (auto& q : msg.quantized) q = static_cast<std::int8_t>(-q);
+      } else {
+        // Random levels at an inflated norm: same (levels, count) pair, so
+        // the bit-packed size — and therefore the charge — is unchanged.
+        const auto span = 2u * msg.levels + 1u;
+        for (auto& q : msg.quantized) {
+          q = static_cast<std::int8_t>(static_cast<int>(rng.next_below(span)) -
+                                       static_cast<int>(msg.levels));
+        }
+        msg.norm *= 10.0f;
+      }
+      return msg.encode();
+    }
+    default:
+      return payload;
+  }
+}
+
+}  // namespace
+
+FaultyFabric::FaultyFabric(net::LinkModel link, FaultSpec spec)
+    : Fabric(std::move(link)),
+      spec_(std::move(spec)),
+      counter_(nodes(), 0),
+      tallies_(nodes()) {
+  partition_group_.reserve(spec_.partitions.size());
+  for (const auto& event : spec_.partitions) {
+    std::vector<std::uint32_t> groups(nodes(), kNoGroup);
+    for (std::size_t g = 0; g < event.groups.size(); ++g) {
+      for (const auto node : event.groups[g]) {
+        if (node < nodes()) groups[node] = static_cast<std::uint32_t>(g);
+      }
+    }
+    partition_group_.push_back(std::move(groups));
+  }
+}
+
+void FaultyFabric::begin_round() {
+  Fabric::begin_round();
+  ++round_;
+  std::fill(counter_.begin(), counter_.end(), 0);
+}
+
+FaultyFabric::Tally FaultyFabric::tally() const {
+  Tally total;
+  for (const auto& t : tallies_) {
+    total.dropped += t.dropped;
+    total.duplicated += t.duplicated;
+    total.delayed += t.delayed;
+    total.transformed += t.transformed;
+    total.silenced += t.silenced;
+    total.partitioned += t.partitioned;
+  }
+  return total;
+}
+
+const ByzantineEvent* FaultyFabric::byzantine_event(std::size_t src) const {
+  for (const auto& e : spec_.byzantine) {
+    if (e.worker == src && window_open(round_, e.from_round, e.to_round)) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+bool FaultyFabric::partition_cut(std::size_t src, std::size_t dst) const {
+  for (std::size_t i = 0; i < spec_.partitions.size(); ++i) {
+    const auto& e = spec_.partitions[i];
+    if (!window_open(round_, e.from_round, e.to_round)) continue;
+    const auto gs = partition_group_[i][src];
+    const auto gd = partition_group_[i][dst];
+    if (gs != kNoGroup && gd != kNoGroup && gs != gd) return true;
+  }
+  return false;
+}
+
+void FaultyFabric::post(std::size_t src, std::size_t dst, double charged,
+                        std::vector<std::uint8_t> payload) {
+  check_post(src, dst);
+  const std::uint64_t k = counter_[src]++;
+
+  const auto* byz = byzantine_event(src);
+  if (byz != nullptr && byz->mode == ByzantineMode::kSilent) {
+    // Silent straggler: the frame is never sent, so nothing is charged.
+    ++tallies_[src].silenced;
+    return;
+  }
+
+  // One decision stream per posted frame: a pure function of (fault_seed,
+  // round, src, send-index, dst).  All three uniforms are always drawn, so
+  // the drop schedule does not shift when the dup/delay knobs change.
+  // derive_seed takes up to three tags, hence the chained derivation.
+  Rng rng(derive_seed(derive_seed(spec_.fault_seed, kFaultSalt, src), round_,
+                      k, dst));
+  const double u_drop = rng.next_double();
+  const double u_dup = rng.next_double();
+  const double u_delay = rng.next_double();
+  double extra = 0.0;
+  if (spec_.delay_seconds > 0.0 && u_delay < spec_.delay_prob) {
+    extra = spec_.delay_seconds;
+    ++tallies_[src].delayed;
+  }
+
+  if (partition_cut(src, dst)) {
+    stage_charge(src, dst, charged, extra);
+    ++tallies_[src].partitioned;
+    return;
+  }
+  if (u_drop < spec_.drop_prob) {
+    stage_charge(src, dst, charged, extra);
+    ++tallies_[src].dropped;
+    return;
+  }
+
+  if (byz != nullptr) {
+    // Transform RNG is separate from the decision stream so that enabling a
+    // byzantine window never shifts drop/dup/delay schedules.
+    Rng noise(derive_seed(derive_seed(spec_.fault_seed, kFaultSalt + 1, src),
+                          round_, k, dst));
+    payload = transform_payload(std::move(payload), byz->mode, noise);
+    ++tallies_[src].transformed;
+  }
+
+  const bool duplicate = u_dup < spec_.dup_prob;
+  stage_charge(src, dst, charged, extra);
+  if (duplicate) {
+    // Retransmission: charged and delivered a second time.
+    stage_charge(src, dst, charged, extra);
+    deliver(src, dst, payload);  // copies
+    ++tallies_[src].duplicated;
+  }
+  deliver(src, dst, std::move(payload));
+}
+
+}  // namespace saps::sim

@@ -1,0 +1,89 @@
+// Fault-injecting wrapper over the message plane.
+//
+// FaultyFabric subclasses sim::Fabric and overrides the single data-plane
+// choke point (post) to drop, duplicate, delay, partition, or adversarially
+// rewrite frames per a declarative FaultSpec.  Everything it does is a pure
+// function of (fault_seed, fabric round, source, per-source send counter,
+// destination): each posted frame derives its own RNG, so decisions are
+// independent of thread count and of the interleaving of other sources'
+// sends — the same determinism contract the rest of the simulator pins
+// (tests/fault_injection_test.cpp).
+//
+// Accounting semantics (tests/fault_injection_test.cpp pins the ledger):
+//  - dropped frames ARE charged (the sender spent the bandwidth) but never
+//    reach the destination mailbox;
+//  - duplicated frames are charged AND delivered twice (a retransmission);
+//  - delayed frames add delay_seconds of in-flight time to their transfer
+//    completion without changing bytes;
+//  - partitioned frames behave like drops while the partition window is
+//    open;
+//  - byzantine transforms are size-preserving, so the charge of a rewritten
+//    frame equals the honest frame's charge; silent stragglers send nothing
+//    and are charged nothing.
+//
+// The control plane (send_control) bypasses post by design: coordinator
+// control traffic models a reliable side channel and is never faulted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/fabric.hpp"
+#include "sim/faults.hpp"
+
+namespace saps::sim {
+
+class FaultyFabric final : public Fabric {
+ public:
+  FaultyFabric(net::LinkModel link, FaultSpec spec);
+
+  /// A zero-knob wrapper (force_wrapper with nothing enabled) is
+  /// transparent: algorithms keep their strict receive validation and the
+  /// run is bit-identical to the plain fabric.
+  [[nodiscard]] bool transparent() const noexcept override {
+    return !spec_.enabled();
+  }
+
+  void begin_round() override;
+
+  /// 1-based index of the current (or most recently opened) data round —
+  /// the round coordinate of every fault window.
+  [[nodiscard]] std::size_t fault_round() const noexcept { return round_; }
+
+  /// Injection counters, for tests; aggregated over sources.
+  struct Tally {
+    std::size_t dropped = 0;
+    std::size_t duplicated = 0;
+    std::size_t delayed = 0;
+    std::size_t transformed = 0;
+    std::size_t silenced = 0;
+    std::size_t partitioned = 0;
+  };
+  [[nodiscard]] Tally tally() const;
+
+ protected:
+  void post(std::size_t src, std::size_t dst, double charged,
+            std::vector<std::uint8_t> payload) override;
+
+ private:
+  /// Active byzantine mode of `src` this round, or nullopt-equivalent
+  /// (encoded as count) when honest.
+  [[nodiscard]] const ByzantineEvent* byzantine_event(std::size_t src) const;
+  /// True when src and dst sit in different groups of an open partition.
+  [[nodiscard]] bool partition_cut(std::size_t src, std::size_t dst) const;
+
+  FaultSpec spec_;
+  std::size_t round_ = 0;
+  // Per-source send counters and tallies: sources are owned by disjoint
+  // parallel tasks (the fabric's concurrency contract), so per-source slots
+  // need no synchronization.
+  std::vector<std::uint64_t> counter_;
+  std::vector<Tally> tallies_;
+  // partition_group_[event][node] = group index, or kNoGroup when the node
+  // is not named by that event (keeps full connectivity).
+  static constexpr std::uint32_t kNoGroup = 0xffffffffu;
+  std::vector<std::vector<std::uint32_t>> partition_group_;
+};
+
+}  // namespace saps::sim

@@ -129,6 +129,38 @@ TEST(CohortPool, FreezeThawRoundTripsTrainingState) {
   }
 }
 
+TEST(CohortPool, SimultaneouslyEvictedAndFailedWorkerStaysConsistent) {
+  // The failure hook fires AFTER the cohort draw, so a worker can be both
+  // evicted (not drawn this round) and failed (inside its dropout window).
+  // The two must compose: eviction controls residency (replica liveness),
+  // failure controls activity — and neither flips the other.
+  auto e = make_pooled_engine(1000, 4, 4, 0);
+  for (std::size_t round = 1; round <= 8; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const auto roster = e.begin_round_cohort(round);
+    std::size_t outsider = 0;
+    while (std::binary_search(roster.begin(), roster.end(), outsider)) {
+      ++outsider;
+    }
+    // A failure schedule naming both an evicted worker and a drawn one
+    // flips them inactive, the way make_dynamics wires it.
+    e.set_active(outsider, false);
+    e.set_active(roster[0], false);
+    EXPECT_FALSE(e.resident(outsider));
+    EXPECT_FALSE(e.active(outsider));
+    EXPECT_THROW((void)e.params(outsider), std::logic_error);
+    // Failed-but-drawn: replica stays addressable, worker just sits out.
+    EXPECT_TRUE(e.resident(roster[0]));
+    EXPECT_FALSE(e.active(roster[0]));
+    (void)e.params(roster[0]);
+    // Rejoining (set_active true) must NOT resurrect a non-resident
+    // replica: residency is the cohort draw's exclusive domain.
+    e.set_active(outsider, true);
+    EXPECT_FALSE(e.resident(outsider));
+    EXPECT_THROW((void)e.params(outsider), std::logic_error);
+  }
+}
+
 struct RunSnapshot {
   sim::RunResult result;
   std::vector<float> average;
@@ -194,6 +226,29 @@ TEST(CohortInvariance, SapsPsgdBitIdenticalAcrossThreadCounts) {
         return std::make_unique<core::SapsPsgd>(core::SapsConfig{
             .compression = 10.0,
             .strategy = core::SelectionStrategy::kRandomMatch});
+      },
+      /*population=*/100, /*cohort=*/8);
+}
+
+TEST(CohortInvariance, SapsWithFailuresBitIdenticalAcrossThreadCounts) {
+  // Workers 3 and 7 of a 100-worker population fail for rounds [2, 5).
+  // Some of those rounds they are ALSO outside the drawn cohort — the
+  // evicted-and-failed overlap — and the run must stay bit-identical
+  // across thread counts through both conditions.
+  check_population_invariance(
+      [] {
+        core::SapsConfig cfg{
+            .compression = 10.0,
+            .strategy = core::SelectionStrategy::kRandomMatch};
+        cfg.on_round = [](std::size_t round, core::Coordinator& coord,
+                          sim::Engine& eng) {
+          const bool away = round >= 2 && round < 5;
+          for (const std::size_t w : {3u, 7u}) {
+            coord.set_active(w, !away);
+            eng.set_active(w, !away);
+          }
+        };
+        return std::make_unique<core::SapsPsgd>(std::move(cfg));
       },
       /*population=*/100, /*cohort=*/8);
 }

@@ -1,0 +1,348 @@
+// Chaos suite for the fault-injecting fabric (sim/faulty_fabric.hpp).
+//
+// The determinism contract under test: every injection decision is a pure
+// function of (fault_seed, fabric round, source, per-source send counter,
+// destination), so a faulted run is BIT-identical across thread counts
+// {0, 1, 4} and across reruns — the same invariance the clean simulator
+// pins in thread_invariance_test.  On top of that the suite pins the
+// accounting ledger (drops/partitions charge without delivering, duplicates
+// charge and deliver twice, delays add seconds without bytes, silent
+// byzantine workers send nothing) and the zero-knob transparency guarantee.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "algos/d_psgd.hpp"
+#include "algos/fedavg.hpp"
+#include "algos/topk_psgd.hpp"
+#include "core/saps.hpp"
+#include "net/bandwidth.hpp"
+#include "nn/models.hpp"
+#include "sim/engine.hpp"
+#include "sim/faulty_fabric.hpp"
+#include "test_util.hpp"
+
+namespace saps {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {0, 1, 4};
+
+struct RunSnapshot {
+  sim::RunResult result;
+  std::vector<std::vector<float>> params;  // per worker
+  sim::FaultyFabric::Tally tally;          // zero when the fabric is plain
+};
+
+// Builds the engine directly (NOT via blob_engine) so an external
+// SAPS_THREADS setting cannot override the thread count under test.
+sim::Engine make_engine(std::size_t threads, const sim::FaultSpec& faults) {
+  const test_util::BlobSpec spec;
+  const auto& [train, test] = test_util::blob_data(spec);
+  sim::SimConfig cfg;
+  cfg.workers = 8;
+  cfg.epochs = 2;
+  cfg.batch_size = 16;
+  cfg.lr = 0.1;
+  cfg.seed = 42;
+  cfg.threads = threads;
+  cfg.faults = faults;
+  return sim::Engine(
+      cfg, train, test,
+      [spec] {
+        return nn::make_mlp({spec.features}, {spec.hidden}, spec.classes, 42);
+      },
+      net::random_uniform_bandwidth(cfg.workers, 99));
+}
+
+RunSnapshot run_faulted(algos::Algorithm& algo, std::size_t threads,
+                        const sim::FaultSpec& faults) {
+  auto engine = make_engine(threads, faults);
+  RunSnapshot snap;
+  snap.result = algo.run(engine);
+  for (std::size_t w = 0; w < engine.workers(); ++w) {
+    const auto p = engine.params(w);
+    snap.params.emplace_back(p.begin(), p.end());
+  }
+  if (const auto* faulty =
+          dynamic_cast<const sim::FaultyFabric*>(&engine.fabric())) {
+    snap.tally = faulty->tally();
+  }
+  return snap;
+}
+
+void expect_identical(const RunSnapshot& base, const RunSnapshot& other) {
+  ASSERT_EQ(base.params.size(), other.params.size());
+  for (std::size_t w = 0; w < base.params.size(); ++w) {
+    ASSERT_EQ(base.params[w].size(), other.params[w].size());
+    for (std::size_t j = 0; j < base.params[w].size(); ++j) {
+      ASSERT_EQ(base.params[w][j], other.params[w][j])
+          << "worker " << w << " coordinate " << j;
+    }
+  }
+  ASSERT_EQ(base.result.history.size(), other.result.history.size());
+  for (std::size_t i = 0; i < base.result.history.size(); ++i) {
+    const auto& a = base.result.history[i];
+    const auto& b = other.result.history[i];
+    EXPECT_EQ(a.loss, b.loss) << "point " << i;
+    EXPECT_EQ(a.accuracy, b.accuracy) << "point " << i;
+    EXPECT_EQ(a.worker_mb, b.worker_mb) << "point " << i;
+    EXPECT_EQ(a.comm_seconds, b.comm_seconds) << "point " << i;
+  }
+}
+
+void expect_same_tally(const sim::FaultyFabric::Tally& a,
+                       const sim::FaultyFabric::Tally& b) {
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.duplicated, b.duplicated);
+  EXPECT_EQ(a.delayed, b.delayed);
+  EXPECT_EQ(a.transformed, b.transformed);
+  EXPECT_EQ(a.silenced, b.silenced);
+  EXPECT_EQ(a.partitioned, b.partitioned);
+}
+
+// A spec that fires every probabilistic injection plus a byzantine window
+// and a healing partition — the worst case for cross-thread agreement.
+sim::FaultSpec chaos_spec() {
+  sim::FaultSpec faults;
+  faults.fault_seed = 777;
+  faults.drop_prob = 0.15;
+  faults.dup_prob = 0.15;
+  faults.delay_prob = 0.25;
+  faults.delay_seconds = 0.002;
+  faults.byzantine = {{.worker = 3, .from_round = 2, .to_round = 0,
+                       .mode = sim::ByzantineMode::kSignFlip}};
+  faults.partitions = {{.groups = {{0, 1, 2, 3}, {4, 5, 6, 7}},
+                        .from_round = 3,
+                        .to_round = 6}};
+  return faults;
+}
+
+template <typename MakeAlgo>
+void check_faulted_invariance(MakeAlgo make_algo) {
+  const auto faults = chaos_spec();
+  std::unique_ptr<RunSnapshot> base;
+  for (const auto threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto algo = make_algo();
+    auto snap = run_faulted(*algo, threads, faults);
+    if (!base) {
+      base = std::make_unique<RunSnapshot>(std::move(snap));
+      // The chaos spec actually fired — otherwise the test is vacuous.
+      EXPECT_GT(base->tally.dropped, 0u);
+      EXPECT_GT(base->tally.duplicated, 0u);
+      EXPECT_GT(base->tally.delayed, 0u);
+      EXPECT_GT(base->tally.transformed, 0u);
+      EXPECT_GT(base->tally.partitioned, 0u);
+    } else {
+      expect_identical(*base, snap);
+      expect_same_tally(base->tally, snap.tally);
+    }
+  }
+  // Rerun invariance: the serial run repeated from scratch is bit-identical.
+  auto algo = make_algo();
+  const auto again = run_faulted(*algo, 0, faults);
+  expect_identical(*base, again);
+  expect_same_tally(base->tally, again.tally);
+}
+
+TEST(FaultInjection, SapsChaosRunBitIdenticalAcrossThreadsAndReruns) {
+  check_faulted_invariance([] {
+    return std::make_unique<core::SapsPsgd>(
+        core::SapsConfig{.compression = 10.0});
+  });
+}
+
+TEST(FaultInjection, DPsgdChaosRunBitIdenticalAcrossThreadsAndReruns) {
+  check_faulted_invariance([] { return std::make_unique<algos::DPsgd>(); });
+}
+
+TEST(FaultInjection, TopkChaosRunBitIdenticalAcrossThreadsAndReruns) {
+  check_faulted_invariance([] {
+    return std::make_unique<algos::TopkPsgd>(
+        algos::TopkConfig{.compression = 10.0});
+  });
+}
+
+TEST(FaultInjection, ZeroKnobWrapperIsBitIdenticalToPlainFabric) {
+  // force_wrapper installs the FaultyFabric with nothing enabled; it must
+  // report transparent() and reproduce the plain fabric bit for bit (the
+  // algorithms keep their strict receive-validation paths).
+  sim::FaultSpec forced;
+  forced.force_wrapper = true;
+  forced.fault_seed = 777;  // a seed alone must not perturb anything
+  {
+    auto probe = make_engine(0, forced);
+    ASSERT_NE(dynamic_cast<sim::FaultyFabric*>(&probe.fabric()), nullptr);
+    EXPECT_TRUE(probe.fabric().transparent());
+  }
+  const auto check = [&](auto make_algo) {
+    auto plain_algo = make_algo();
+    const auto plain = run_faulted(*plain_algo, 0, sim::FaultSpec{});
+    auto forced_algo = make_algo();
+    const auto wrapped = run_faulted(*forced_algo, 0, forced);
+    expect_identical(plain, wrapped);
+    expect_same_tally(wrapped.tally, sim::FaultyFabric::Tally{});
+  };
+  check([] {
+    return std::make_unique<core::SapsPsgd>(
+        core::SapsConfig{.compression = 10.0});
+  });
+  check([] { return std::make_unique<algos::DPsgd>(); });
+  check([] {
+    return std::make_unique<algos::TopkPsgd>(
+        algos::TopkConfig{.compression = 10.0});
+  });
+}
+
+TEST(FaultInjection, DroppedFramesAreChargedButNeverDelivered) {
+  algos::DPsgd baseline_algo;
+  const auto baseline = run_faulted(baseline_algo, 0, sim::FaultSpec{});
+
+  sim::FaultSpec faults;
+  faults.fault_seed = 5;
+  faults.drop_prob = 1.0;
+  algos::DPsgd algo;
+  const auto dropped = run_faulted(algo, 0, faults);
+
+  EXPECT_GT(dropped.tally.dropped, 0u);
+  EXPECT_EQ(dropped.tally.duplicated, 0u);
+  // The sender paid for every frame: the traffic ledger matches the clean
+  // run exactly even though no frame arrived...
+  EXPECT_EQ(dropped.result.final().worker_mb, baseline.result.final().worker_mb);
+  // ...and with no gossip each worker trains alone, so the trajectories
+  // diverge from the clean run.
+  EXPECT_NE(dropped.result.final().loss, baseline.result.final().loss);
+}
+
+TEST(FaultInjection, DuplicatedFramesChargeTwiceAndMergeOnce) {
+  algos::DPsgd baseline_algo;
+  const auto baseline = run_faulted(baseline_algo, 0, sim::FaultSpec{});
+
+  sim::FaultSpec faults;
+  faults.fault_seed = 5;
+  faults.dup_prob = 1.0;
+  algos::DPsgd algo;
+  const auto duped = run_faulted(algo, 0, faults);
+
+  EXPECT_GT(duped.tally.duplicated, 0u);
+  // Receivers deduplicate (first matching frame wins), so the model state
+  // and metrics match the clean run bit for bit...
+  for (std::size_t i = 0; i < baseline.result.history.size(); ++i) {
+    EXPECT_EQ(duped.result.history[i].loss, baseline.result.history[i].loss);
+    EXPECT_EQ(duped.result.history[i].accuracy,
+              baseline.result.history[i].accuracy);
+  }
+  // ...while the ledger charges the retransmission: exactly double bytes.
+  // Round TIME is unchanged — concurrent transfers on one link don't
+  // contend in the event model, and max(t, t) == t.
+  EXPECT_EQ(duped.result.final().worker_mb,
+            2.0 * baseline.result.final().worker_mb);
+  EXPECT_EQ(duped.result.final().comm_seconds,
+            baseline.result.final().comm_seconds);
+}
+
+TEST(FaultInjection, DelayedFramesKeepTheirBytesButAddSeconds) {
+  algos::DPsgd baseline_algo;
+  const auto baseline = run_faulted(baseline_algo, 0, sim::FaultSpec{});
+
+  sim::FaultSpec faults;
+  faults.fault_seed = 5;
+  faults.delay_prob = 1.0;
+  faults.delay_seconds = 0.01;
+  algos::DPsgd algo;
+  const auto delayed = run_faulted(algo, 0, faults);
+
+  EXPECT_GT(delayed.tally.delayed, 0u);
+  // Payloads are untouched, so the learning trajectory is bit-identical;
+  // only the simulated wall clock moves.
+  for (std::size_t i = 0; i < baseline.result.history.size(); ++i) {
+    EXPECT_EQ(delayed.result.history[i].loss,
+              baseline.result.history[i].loss);
+    EXPECT_EQ(delayed.result.history[i].accuracy,
+              baseline.result.history[i].accuracy);
+  }
+  EXPECT_EQ(delayed.result.final().worker_mb,
+            baseline.result.final().worker_mb);
+  EXPECT_GT(delayed.result.final().comm_seconds,
+            baseline.result.final().comm_seconds);
+}
+
+TEST(FaultInjection, SilentByzantineWorkersSendNothingAndPayNothing) {
+  algos::DPsgd baseline_algo;
+  const auto baseline = run_faulted(baseline_algo, 0, sim::FaultSpec{});
+
+  sim::FaultSpec faults;
+  faults.fault_seed = 5;
+  faults.byzantine = {{.worker = 2, .from_round = 1, .to_round = 0,
+                       .mode = sim::ByzantineMode::kSilent}};
+  algos::DPsgd algo;
+  const auto silenced = run_faulted(algo, 0, faults);
+
+  EXPECT_GT(silenced.tally.silenced, 0u);
+  EXPECT_EQ(silenced.tally.transformed, 0u);
+  // Unsent frames are uncharged, unlike drops.
+  EXPECT_LT(silenced.result.final().worker_mb,
+            baseline.result.final().worker_mb);
+}
+
+TEST(FaultInjection, PartitionChargesCutFramesAndHealsOnSchedule) {
+  algos::DPsgd baseline_algo;
+  const auto baseline = run_faulted(baseline_algo, 0, sim::FaultSpec{});
+
+  sim::FaultSpec faults;
+  faults.fault_seed = 5;
+  faults.partitions = {{.groups = {{0, 1, 2, 3}, {4, 5, 6, 7}},
+                        .from_round = 2,
+                        .to_round = 5}};
+  algos::DPsgd algo;
+  const auto split = run_faulted(algo, 0, faults);
+
+  // Only the two ring edges crossing the cut are affected, and only for
+  // fabric rounds [2, 5): 2 directed edges × 2 endpoints... the exact count
+  // is 2 frames per cut edge per round (left+right sends) over 3 rounds.
+  EXPECT_GT(split.tally.partitioned, 0u);
+  EXPECT_EQ(split.tally.dropped, 0u);
+  // Cut frames are still charged, so the ledger matches the clean run.
+  EXPECT_EQ(split.result.final().worker_mb,
+            baseline.result.final().worker_mb);
+  // The run completes after healing and still learns.
+  EXPECT_GT(split.result.final().accuracy, 0.5);
+}
+
+TEST(FaultInjection, SignFlipAttackDegradesAndRobustAggregationRecovers) {
+  // The classic byzantine setting: a parameter server aggregating DENSE
+  // model uploads.  Worker 1 sign-flips its upload every round; the plain
+  // mean absorbs the poisoned model while a trimmed mean (trim_frac 0.2,
+  // floor(0.2·8) = 1 trimmed per tail) sheds exactly the attacker's
+  // contribution at every coordinate.
+  sim::FaultSpec attack;
+  attack.fault_seed = 5;
+  attack.byzantine = {{.worker = 1, .from_round = 1, .to_round = 0,
+                       .mode = sim::ByzantineMode::kSignFlip}};
+  const algos::FedAvgConfig fed{.fraction = 1.0, .local_epochs = 1,
+                                .local_steps = 1};
+
+  algos::FedAvg clean_algo(fed);
+  const auto clean = run_faulted(clean_algo, 0, sim::FaultSpec{});
+
+  algos::FedAvg plain_algo(fed);
+  const auto attacked = run_faulted(plain_algo, 0, attack);
+  EXPECT_GT(attacked.tally.transformed, 0u);
+
+  algos::Dynamics robust;
+  robust.merge = compress::MergeRule::kTrimmedMean;
+  robust.trim_frac = 0.2;
+  algos::FedAvg robust_algo(fed, std::move(robust));
+  const auto defended = run_faulted(robust_algo, 0, attack);
+
+  const double clean_acc = clean.result.final().accuracy;
+  const double attacked_acc = attacked.result.final().accuracy;
+  const double defended_acc = defended.result.final().accuracy;
+  EXPECT_LT(attacked_acc, clean_acc);
+  // The robust rule recovers at least half the accuracy the attack cost.
+  EXPECT_GE(defended_acc, attacked_acc + 0.5 * (clean_acc - attacked_acc));
+}
+
+}  // namespace
+}  // namespace saps

@@ -284,7 +284,14 @@ TEST(Sinks, CsvAndJsonlCarryEveryPointAndTheSpecHeader) {
             record.result.history.size());
 }
 
-TEST(Runner, FailureScheduleRequiresSupportingAlgorithm) {
+TEST(Runner, EveryAlgorithmAcceptsAFailureSchedule) {
+  // Dropout/rejoin was once SAPS-only; the Dynamics hook lifted the
+  // restriction to every registered algorithm.
+  const auto& reg = Registry::instance();
+  for (const auto& key : reg.algorithm_keys()) {
+    SCOPED_TRACE(key);
+    EXPECT_TRUE(reg.algorithm(key).supports_failures);
+  }
   ScenarioSpec spec;
   spec.set("workload", "blob");
   spec.set("workers", "4");
@@ -293,7 +300,93 @@ TEST(Runner, FailureScheduleRequiresSupportingAlgorithm) {
   spec.set("blob-test", "32");
   spec.set("failures", "1@2-4");
   scenario::Runner runner(spec);
-  EXPECT_THROW((void)runner.run("dpsgd"), std::invalid_argument);
+  const auto rec = runner.run("dpsgd");
+  EXPECT_FALSE(rec.result.history.empty());
+}
+
+TEST(ScenarioSpec, FaultKnobsRoundTripLosslessly) {
+  ScenarioSpec spec;
+  spec.set("workers", "8");
+  spec.set("byzantine", "1@2-10:sign-flip,3@1:scaled-noise,5@4:silent");
+  spec.set("net-partition", "0.1.2.3|4.5.6.7@2-6,0.1|2.3.4.5.6.7@8");
+  spec.set("drop-prob", "0.25");
+  spec.set("dup-prob", "0.1");
+  spec.set("delay-prob", "0.5");
+  spec.set("delay-seconds", "0.125");
+  spec.set("fault-seed", "777");
+  spec.set("aggregation", "trimmed");
+  spec.set("trim-frac", "0.25");
+  scenario::finalize_spec(spec);
+
+  ASSERT_EQ(spec.byzantine.size(), 3u);
+  EXPECT_EQ(spec.byzantine[0].worker, 1u);
+  EXPECT_EQ(spec.byzantine[0].from_round, 2u);
+  EXPECT_EQ(spec.byzantine[0].to_round, 10u);
+  EXPECT_EQ(spec.byzantine[0].mode, sim::ByzantineMode::kSignFlip);
+  EXPECT_EQ(spec.byzantine[1].from_round, 1u);
+  EXPECT_EQ(spec.byzantine[1].to_round, 0u);  // no window end: forever
+  EXPECT_EQ(spec.byzantine[2].mode, sim::ByzantineMode::kSilent);
+  ASSERT_EQ(spec.net_partition.size(), 2u);
+  ASSERT_EQ(spec.net_partition[0].groups.size(), 2u);
+  EXPECT_EQ(spec.net_partition[0].groups[1],
+            (std::vector<std::size_t>{4, 5, 6, 7}));
+  EXPECT_EQ(spec.net_partition[1].to_round, 0u);
+  EXPECT_EQ(spec.fault_seed, 777u);
+
+  const auto text = scenario::to_spec_text(spec);
+  const auto reparsed = scenario::parse_spec_text(text);
+  EXPECT_TRUE(spec.equivalent(reparsed)) << text;
+  EXPECT_EQ(text, scenario::to_spec_text(reparsed));
+
+  // Unset fault-seed resolves deterministically from the top-level seed.
+  ScenarioSpec derived;
+  scenario::finalize_spec(derived);
+  EXPECT_NE(derived.fault_seed, 0u);
+  ScenarioSpec again;
+  scenario::finalize_spec(again);
+  EXPECT_EQ(derived.fault_seed, again.fault_seed);
+}
+
+TEST(ScenarioSpec, FaultKnobCombinationsAreValidated) {
+  // Byzantine worker index out of the population.
+  EXPECT_THROW(
+      scenario::parse_spec_text("workers=4\nbyzantine=4@1:sign-flip"),
+      std::invalid_argument);
+  // Unknown byzantine mode.
+  EXPECT_THROW(scenario::parse_spec_text("workers=4\nbyzantine=1@1:chaotic"),
+               std::invalid_argument);
+  // A window end before its start, and rounds counted from 1.
+  EXPECT_THROW(
+      scenario::parse_spec_text("workers=4\nbyzantine=1@9-5:sign-flip"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      scenario::parse_spec_text("workers=4\nbyzantine=1@0:sign-flip"),
+      std::invalid_argument);
+  // Partition groups must be disjoint...
+  EXPECT_THROW(
+      scenario::parse_spec_text("workers=4\nnet-partition=0.1|1.2.3@1"),
+      std::invalid_argument);
+  // ...and inside the population.
+  EXPECT_THROW(
+      scenario::parse_spec_text("workers=4\nnet-partition=0.1|2.9@1"),
+      std::invalid_argument);
+  // delay-prob without a delay duration is a silent no-op — rejected.
+  EXPECT_THROW(scenario::parse_spec_text("workers=4\ndelay-prob=0.5"),
+               std::invalid_argument);
+  // Overlapping failure windows for the same worker.
+  EXPECT_THROW(
+      scenario::parse_spec_text("workers=4\nfailures=1@2-10,1@5-20"),
+      std::invalid_argument);
+  // Unknown aggregation rule.
+  EXPECT_THROW(scenario::parse_spec_text("workers=4\naggregation=average"),
+               std::invalid_argument);
+  // A cohort must leave headroom for the worst simultaneous failure load.
+  EXPECT_THROW(
+      scenario::parse_spec_text(
+          "workers=2\npopulation=100\ncohort=3\nfailures=0@2-8,1@3-9"),
+      std::invalid_argument);
+  EXPECT_NO_THROW(scenario::parse_spec_text(
+      "workers=2\npopulation=100\ncohort=4\nfailures=0@2-8,1@3-9"));
 }
 
 TEST(ScenarioSpec, PopulationKeysResolveAndRoundTrip) {
