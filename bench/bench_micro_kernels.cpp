@@ -4,12 +4,14 @@
 #include <benchmark/benchmark.h>
 
 #include "compress/mask.hpp"
+#include "compress/quantize.hpp"
 #include "compress/topk.hpp"
 #include "gossip/generator.hpp"
 #include "graph/matching.hpp"
 #include "net/bandwidth.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
+#include "util/threadpool.hpp"
 
 namespace {
 
@@ -175,6 +177,157 @@ void BM_GemmPortableBackend(benchmark::State& state) {
   set_gemm_counters(state, m, k, n);
 }
 BENCHMARK(BM_GemmPortableBackend);
+
+// Intra-op parallel GEMM on the headline conv shape: a pool of range(0)
+// workers is registered via ops::set_gemm_pool, so the single gemm() call
+// fans its N-panels out across threads.  Named outside the BM_Gemm* gate
+// prefix on purpose — the speedup depends on the runner's core count, which
+// would make a cross-machine regression ratio meaningless.
+void BM_ParallelGemmConvShape(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 16, k = 144, n = 1024;
+  saps::Rng rng(15);
+  std::vector<float> a(m * k), b(k * n), c(m * n);
+  for (auto& v : a) v = rng.next_float();
+  for (auto& v : b) v = rng.next_float();
+  saps::ThreadPool pool(threads);
+  saps::ops::set_gemm_pool(&pool);
+  for (auto _ : state) {
+    saps::ops::gemm(a, b, c, m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  saps::ops::set_gemm_pool(nullptr);
+  set_gemm_counters(state, m, k, n);
+}
+BENCHMARK(BM_ParallelGemmConvShape)->Arg(2)->Arg(4);
+
+// QSGD stochastic quantization (norm pass + draws + elementwise quantize).
+void BM_QuantizeEncode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  saps::Rng data_rng(16);
+  std::vector<float> x(n);
+  for (auto& v : x) v = data_rng.next_float() - 0.5f;
+  saps::Rng rng(17);
+  saps::compress::QsgdEncoded enc;
+  for (auto _ : state) {
+    saps::compress::qsgd_encode(x, 8, rng, enc);
+    benchmark::DoNotOptimize(enc.quantized.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuantizeEncode)->Arg(1 << 16)->Arg(1 << 20);
+
+// The scalar twin of BM_QuantizeEncode, for same-machine backend deltas.
+void BM_QuantizeEncodePortable(benchmark::State& state) {
+  const std::size_t n = 1 << 20;
+  saps::Rng data_rng(16);
+  std::vector<float> x(n);
+  for (auto& v : x) v = data_rng.next_float() - 0.5f;
+  saps::Rng rng(17);
+  saps::compress::QsgdEncoded enc;
+  saps::ops::set_gemm_backend(saps::ops::GemmBackend::kPortable);
+  for (auto _ : state) {
+    saps::compress::qsgd_encode(x, 8, rng, enc);
+    benchmark::DoNotOptimize(enc.quantized.data());
+  }
+  saps::ops::set_gemm_backend(saps::ops::GemmBackend::kAuto);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuantizeEncodePortable);
+
+void BM_QuantizeDecode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  saps::Rng data_rng(18);
+  std::vector<float> x(n);
+  for (auto& v : x) v = data_rng.next_float() - 0.5f;
+  saps::Rng rng(19);
+  const auto enc = saps::compress::qsgd_encode(x, 8, rng);
+  std::vector<float> out;
+  for (auto _ : state) {
+    saps::compress::qsgd_decode(enc, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuantizeDecode)->Arg(1 << 16)->Arg(1 << 20);
+
+// Wire bit-packing of quantized levels (4 bits per coordinate at s=8).
+void BM_QuantizePack(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  saps::Rng rng(20);
+  std::vector<std::int8_t> q(n);
+  for (auto& v : q) {
+    v = static_cast<std::int8_t>(static_cast<int>(rng() % 17) - 8);
+  }
+  std::vector<std::uint8_t> bytes;
+  for (auto _ : state) {
+    bytes.clear();
+    saps::compress::pack_levels(q, 8, bytes);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuantizePack)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_QuantizeUnpack(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  saps::Rng rng(21);
+  std::vector<std::int8_t> q(n);
+  for (auto& v : q) {
+    v = static_cast<std::int8_t>(static_cast<int>(rng() % 17) - 8);
+  }
+  std::vector<std::uint8_t> bytes;
+  saps::compress::pack_levels(q, 8, bytes);
+  std::vector<std::int8_t> out(n);
+  for (auto _ : state) {
+    saps::compress::unpack_levels(bytes, 8, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuantizeUnpack)->Arg(1 << 16)->Arg(1 << 20);
+
+// The steady-state selection path (workspace overload, threshold-pass
+// strategy at these sizes).
+void BM_TopKWarm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  saps::Rng rng(22);
+  std::vector<float> x(n);
+  for (auto& v : x) v = rng.next_float() - 0.5f;
+  std::vector<std::uint32_t> scratch;
+  saps::compress::SparseVector out;
+  for (auto _ : state) {
+    saps::compress::top_k(x, 100.0, scratch, out);
+    benchmark::DoNotOptimize(out.indices.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TopKWarm)->Arg(1 << 16)->Arg(1 << 20);
+
+// The scalar collect twin of BM_TopKWarm, for same-machine backend deltas.
+void BM_TopKWarmPortable(benchmark::State& state) {
+  const std::size_t n = 1 << 20;
+  saps::Rng rng(22);
+  std::vector<float> x(n);
+  for (auto& v : x) v = rng.next_float() - 0.5f;
+  std::vector<std::uint32_t> scratch;
+  saps::compress::SparseVector out;
+  saps::ops::set_gemm_backend(saps::ops::GemmBackend::kPortable);
+  for (auto _ : state) {
+    saps::compress::top_k(x, 100.0, scratch, out);
+    benchmark::DoNotOptimize(out.indices.data());
+  }
+  saps::ops::set_gemm_backend(saps::ops::GemmBackend::kAuto);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TopKWarmPortable);
 
 // The full compression path of TopK-PSGD: residual add, top-k selection,
 // residual update.

@@ -38,6 +38,10 @@ sim::RunResult QsgdPsgd::run(sim::Engine& engine) {
   // order); other workers validate provenance via peek_origin.
   std::vector<net::QuantGradMsg> msgs(n);
   std::vector<sim::EncodedFrame> frames(n);
+  // Per-worker encoder output, persistent across rounds: the into-overload
+  // refills it, then the level buffer is swapped into the message (swap
+  // keeps both sides' capacity warm — the steady state allocates nothing).
+  std::vector<compress::QsgdEncoded> encs(n);
   std::vector<net::QuantGradMsg> gathered;
   std::vector<float> avg(dim);
   std::vector<std::size_t> act;
@@ -62,13 +66,13 @@ sim::RunResult QsgdPsgd::run(sim::Engine& engine) {
           [&](std::size_t w) { engine.compute_gradient(w, epoch); });
       engine.parallel_for(m, [&](std::size_t i) {
         const std::size_t w = act[i];
-        auto enc = compress::qsgd_encode(engine.model(w).gradients(),
-                                         config_.levels, rngs[w]);
+        compress::qsgd_encode(engine.model(w).gradients(), config_.levels,
+                              rngs[w], encs[w]);
         msgs[w].round = static_cast<std::uint32_t>(round);
         msgs[w].origin = static_cast<std::uint32_t>(w);
-        msgs[w].norm = enc.norm;
-        msgs[w].levels = enc.levels;
-        msgs[w].quantized = std::move(enc.quantized);
+        msgs[w].norm = encs[w].norm;
+        msgs[w].levels = encs[w].levels;
+        msgs[w].quantized.swap(encs[w].quantized);
         frames[w] = sim::pre_encode(msgs[w]);
       });
 

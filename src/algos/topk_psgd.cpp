@@ -34,6 +34,10 @@ sim::RunResult TopkPsgd::run(sim::Engine& engine) {
   // provenance via peek_origin.
   std::vector<net::SparseDeltaMsg> msgs(n);
   std::vector<sim::EncodedFrame> frames(n);
+  // Per-worker compression output, persistent across rounds: compress_into
+  // refills it, then the buffers are swapped into the message (swap keeps
+  // both sides' capacity warm — the steady state allocates nothing).
+  std::vector<compress::SparseVector> chunks(n);
   std::vector<compress::SparseVector> gathered;
   std::vector<float> avg(dim);
   std::vector<std::size_t> act;
@@ -60,11 +64,11 @@ sim::RunResult TopkPsgd::run(sim::Engine& engine) {
       // deterministic (lowest-index tie-break), so this parallelizes.
       engine.parallel_for(m, [&](std::size_t i) {
         const std::size_t w = act[i];
-        auto chunk = ef[w].compress(engine.model(w).gradients());
+        ef[w].compress_into(engine.model(w).gradients(), chunks[w]);
         msgs[w].round = static_cast<std::uint32_t>(round);
         msgs[w].origin = static_cast<std::uint32_t>(w);
-        msgs[w].indices = std::move(chunk.indices);
-        msgs[w].values = std::move(chunk.values);
+        msgs[w].indices.swap(chunks[w].indices);
+        msgs[w].values.swap(chunks[w].values);
         frames[w] = sim::pre_encode(msgs[w]);
       });
 

@@ -2,8 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define SAPS_TOPK_X86 1
+#include <immintrin.h>
+#else
+#define SAPS_TOPK_X86 0
+#endif
 
 namespace saps::compress {
 
@@ -16,15 +26,128 @@ std::size_t top_k_count(std::size_t n, double c) {
       1, static_cast<std::size_t>(std::ceil(static_cast<double>(n) / c)));
 }
 
-}  // namespace
+// Below this size the permutation + nth_element path wins (radix histograms
+// have a fixed 2×65536-count footprint); above it the threshold pass is both
+// faster and allocation-free.
+constexpr std::size_t kThresholdMinN = 4096;
 
-void top_k(std::span<const float> x, double c,
-           std::vector<std::uint32_t>& order_scratch, SparseVector& out) {
+// |x| as a monotonic unsigned key: clearing the sign bit of the IEEE-754
+// pattern orders finite floats exactly like fabs (and keys fit 31 bits, so
+// signed epi32 compares in the SIMD scan are order-preserving).
+std::uint32_t abs_key(float v) noexcept {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits & 0x7FFFFFFFu;
+}
+
+/// Exact selection threshold: the k-th largest key plus the number of keys
+/// equal to it that still belong to the top k (the "tie budget").
+struct Threshold {
+  std::uint32_t key = 0;
+  std::size_t ties = 0;
+};
+
+// Two-level radix select over 16-bit digits: one histogram pass over the
+// high halves finds the bucket holding the k-th key, a second pass over the
+// low halves of that bucket pins it exactly.  O(n) and deterministic.
+Threshold find_threshold(const std::uint32_t* keys, std::size_t n,
+                         std::size_t k) {
+  thread_local std::vector<std::uint32_t> hist;
+  hist.assign(1u << 16, 0);
+  for (std::size_t i = 0; i < n; ++i) ++hist[keys[i] >> 16];
+
+  std::size_t greater = 0;  // keys strictly above the current bucket
+  std::uint32_t hi = 0xFFFF;
+  while (greater + hist[hi] < k) greater += hist[hi--];
+
+  hist.assign(1u << 16, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((keys[i] >> 16) == hi) ++hist[keys[i] & 0xFFFFu];
+  }
+  std::uint32_t lo = 0xFFFF;
+  while (greater + hist[lo] < k) greater += hist[lo--];
+
+  // `greater` now counts keys strictly above (hi, lo); the remaining
+  // k - greater slots go to the lowest-index keys AT the threshold.
+  return {(hi << 16) | lo, k - greater};
+}
+
+// Ascending threshold pass: emit every index whose key beats T, and the
+// first `ties` indices equal to T — exactly the nth_element comparator's
+// lower-index-wins tie rule, already in output (sorted-index) order.
+void collect_scalar(std::span<const float> x, const std::uint32_t* keys,
+                    std::size_t begin, std::size_t end, std::uint32_t t,
+                    std::size_t& ties, SparseVector& out) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const bool take = keys[i] > t || (keys[i] == t && ties > 0);
+    if (!take) continue;
+    if (keys[i] == t) --ties;
+    out.indices.push_back(static_cast<std::uint32_t>(i));
+    out.values.push_back(x[i]);
+  }
+}
+
+#if SAPS_TOPK_X86
+// 8 keys per compare; with k ≈ n/c most blocks have no survivor and are
+// skipped on the movemask alone.  Survivor lanes are drained lowest-first
+// (ctz), preserving the ascending order the scalar pass produces.
+__attribute__((target("avx2"))) void collect_avx2(std::span<const float> x,
+                                                  const std::uint32_t* keys,
+                                                  std::size_t n,
+                                                  std::uint32_t t,
+                                                  std::size_t& ties,
+                                                  SparseVector& out) {
+  const __m256i vt = _mm256_set1_epi32(static_cast<int>(t));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    const __m256i ge =
+        _mm256_or_si256(_mm256_cmpgt_epi32(v, vt), _mm256_cmpeq_epi32(v, vt));
+    unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(ge)));
+    while (mask != 0) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      const std::size_t idx = i + lane;
+      if (keys[idx] == t) {
+        if (ties == 0) continue;
+        --ties;
+      }
+      out.indices.push_back(static_cast<std::uint32_t>(idx));
+      out.values.push_back(x[idx]);
+    }
+  }
+  collect_scalar(x, keys, i, n, t, ties, out);
+}
+#endif  // SAPS_TOPK_X86
+
+void top_k_threshold(std::span<const float> x, std::size_t k,
+                     std::vector<std::uint32_t>& key_scratch,
+                     SparseVector& out) {
   const std::size_t n = x.size();
-  const std::size_t k = top_k_count(n, c);
+  key_scratch.resize(n);
+  for (std::size_t i = 0; i < n; ++i) key_scratch[i] = abs_key(x[i]);
 
-  // The ordering scratch persists across calls (ErrorFeedbackTopK compresses
-  // every round), so the selection allocates nothing at steady state.
+  const Threshold th = find_threshold(key_scratch.data(), n, k);
+  out.indices.clear();
+  out.values.clear();
+  out.indices.reserve(k);
+  out.values.reserve(k);
+  std::size_t ties = th.ties;
+#if SAPS_TOPK_X86
+  if (ops::gemm_backend() == ops::GemmBackend::kAvx2) {
+    collect_avx2(x, key_scratch.data(), n, th.key, ties, out);
+    return;
+  }
+#endif
+  collect_scalar(x, key_scratch.data(), 0, n, th.key, ties, out);
+}
+
+void top_k_nth_element(std::span<const float> x, std::size_t k,
+                       std::vector<std::uint32_t>& order_scratch,
+                       SparseVector& out) {
+  const std::size_t n = x.size();
   order_scratch.resize(n);
   std::iota(order_scratch.begin(), order_scratch.end(), 0u);
   std::nth_element(order_scratch.begin(),
@@ -41,6 +164,22 @@ void top_k(std::span<const float> x, double c,
                      order_scratch.begin() + static_cast<std::ptrdiff_t>(k));
   out.values.resize(k);
   for (std::size_t i = 0; i < k; ++i) out.values[i] = x[out.indices[i]];
+}
+
+}  // namespace
+
+void top_k(std::span<const float> x, double c,
+           std::vector<std::uint32_t>& order_scratch, SparseVector& out) {
+  const std::size_t n = x.size();
+  const std::size_t k = top_k_count(n, c);
+
+  // The scratch persists across calls (ErrorFeedbackTopK compresses every
+  // round), so either selection path allocates nothing at steady state.
+  if (n >= kThresholdMinN) {
+    top_k_threshold(x, k, order_scratch, out);
+  } else {
+    top_k_nth_element(x, k, order_scratch, out);
+  }
 }
 
 SparseVector top_k(std::span<const float> x, double c) {
@@ -64,23 +203,28 @@ ErrorFeedbackTopK::ErrorFeedbackTopK(std::size_t n, double c)
   if (c < 1.0) throw std::invalid_argument("ErrorFeedbackTopK: c < 1");
 }
 
-SparseVector ErrorFeedbackTopK::compress(std::span<const float> gradient) {
+void ErrorFeedbackTopK::compress_into(std::span<const float> gradient,
+                                      SparseVector& out) {
   if (gradient.size() != residual_.size()) {
     throw std::invalid_argument("ErrorFeedbackTopK: size mismatch");
   }
   for (std::size_t i = 0; i < residual_.size(); ++i) {
     scratch_[i] = residual_[i] + gradient[i];
   }
-  SparseVector sent;
-  top_k(scratch_, c_, order_, sent);
+  top_k(scratch_, c_, order_, out);
   // residual = accumulated - sent.  The accumulated vector becomes the new
   // residual by swapping buffers (no full-vector copy); only the sent
   // coordinates are cleared.  The old residual buffer becomes next round's
   // scratch and is fully overwritten above.
   std::swap(residual_, scratch_);
-  for (std::size_t i = 0; i < sent.indices.size(); ++i) {
-    residual_[sent.indices[i]] = 0.0f;
+  for (std::size_t i = 0; i < out.indices.size(); ++i) {
+    residual_[out.indices[i]] = 0.0f;
   }
+}
+
+SparseVector ErrorFeedbackTopK::compress(std::span<const float> gradient) {
+  SparseVector sent;
+  compress_into(gradient, sent);
   return sent;
 }
 

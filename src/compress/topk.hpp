@@ -25,9 +25,18 @@ struct SparseVector {
 /// lower index for determinism.
 [[nodiscard]] SparseVector top_k(std::span<const float> x, double c);
 
-/// As above, reusing `order_scratch` for the selection ordering and writing
-/// into `out`'s existing buffers — allocation-free once capacities have
-/// warmed up.  Used by the per-round compression hot path.
+/// As above, reusing `order_scratch` for selection state and writing into
+/// `out`'s existing buffers — allocation-free once capacities have warmed
+/// up.  Used by the per-round compression hot path.
+///
+/// Two selection strategies produce the exact same (index, value) output:
+/// small inputs use nth_element over an index permutation; large inputs
+/// (n >= 4096) find the exact k-th magnitude with a two-level 16-bit radix
+/// histogram over the monotonic |x| bit patterns, then collect survivors in
+/// one ascending threshold pass (vectorized behind the ops::gemm_backend()
+/// dispatch).  The tie budget at the threshold magnitude is consumed in
+/// ascending index order — identical to the comparator's lower-index-wins
+/// rule.
 void top_k(std::span<const float> x, double c,
            std::vector<std::uint32_t>& order_scratch, SparseVector& out);
 
@@ -41,6 +50,11 @@ class ErrorFeedbackTopK {
   ErrorFeedbackTopK(std::size_t n, double c);
 
   [[nodiscard]] SparseVector compress(std::span<const float> gradient);
+
+  /// As compress, writing into `out`'s existing buffers — allocation-free
+  /// once capacities have warmed up (the per-round hot path).
+  void compress_into(std::span<const float> gradient, SparseVector& out);
+
   [[nodiscard]] std::span<const float> residual() const noexcept {
     return residual_;
   }

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "compress/quantize.hpp"
+
 namespace saps::net {
 
 void ByteWriter::u32(std::uint32_t v) {
@@ -254,8 +256,7 @@ std::uint32_t FullModelMsg::peek_rank(std::span<const std::uint8_t> bytes) {
 
 std::size_t QuantGradMsg::bits_per_coord() const noexcept {
   // Symbols are the signed levels {-s..s}; 2s+1 of them.
-  const double symbols = 2.0 * static_cast<double>(levels) + 1.0;
-  return static_cast<std::size_t>(std::ceil(std::log2(symbols)));
+  return compress::level_bits(levels);
 }
 
 double QuantGradMsg::wire_bytes() const noexcept {
@@ -276,24 +277,9 @@ std::vector<std::uint8_t> QuantGradMsg::encode() const {
   w.u32(origin);
   w.f32(norm);
   w.u32(static_cast<std::uint32_t>(quantized.size()));
-  // Bit-pack offset codes (level + s ∈ [0, 2s]), LSB-first within each byte.
-  const std::size_t bits = bits_per_coord();
-  std::uint32_t acc = 0;
-  std::size_t filled = 0;
-  for (const std::int8_t q : quantized) {
-    const int offset = static_cast<int>(q) + static_cast<int>(levels);
-    if (offset < 0 || offset > 2 * static_cast<int>(levels)) {
-      throw std::invalid_argument("QuantGradMsg: level out of range");
-    }
-    acc |= static_cast<std::uint32_t>(offset) << filled;
-    filled += bits;
-    while (filled >= 8) {
-      w.u8(static_cast<std::uint8_t>(acc & 0xFF));
-      acc >>= 8;
-      filled -= 8;
-    }
-  }
-  if (filled > 0) w.u8(static_cast<std::uint8_t>(acc & 0xFF));
+  // Bit-pack offset codes (level + s ∈ [0, 2s]), LSB-first within each byte;
+  // compress::pack_levels owns the stream (SIMD fast path, byte-identical).
+  compress::pack_levels(quantized, levels, w.raw());
   return w.take();
 }
 
@@ -308,30 +294,12 @@ QuantGradMsg QuantGradMsg::decode(std::span<const std::uint8_t> bytes) {
   m.origin = r.u32();
   m.norm = r.f32();
   const std::uint32_t count = r.u32();
-  const std::size_t bits = m.bits_per_coord();
-  // Packed stream: count coords at `bits` bits each, whole bytes.
-  if (count > 0 && (count * bits + 7) / 8 > r.remaining()) {
+  // Packed stream: count coords at bits_per_coord() bits each, whole bytes.
+  if (count > 0 && compress::packed_bytes(count, m.levels) > r.remaining()) {
     throw std::out_of_range("QuantGradMsg: declared count exceeds payload");
   }
   m.quantized.resize(count);
-  std::uint32_t acc = 0;
-  std::size_t filled = 0;
-  const std::uint32_t mask = (1u << bits) - 1u;
-  for (auto& q : m.quantized) {
-    while (filled < bits) {
-      acc |= static_cast<std::uint32_t>(r.u8()) << filled;
-      filled += 8;
-    }
-    const int offset = static_cast<int>(acc & mask);
-    acc >>= bits;
-    filled -= bits;
-    const int level = offset - static_cast<int>(m.levels);
-    if (level < -static_cast<int>(m.levels) ||
-        level > static_cast<int>(m.levels)) {
-      throw std::invalid_argument("QuantGradMsg: level out of range");
-    }
-    q = static_cast<std::int8_t>(level);
-  }
+  compress::unpack_levels(r.rest(), m.levels, m.quantized);
   return m;
 }
 

@@ -41,6 +41,10 @@ class ByteWriter {
   }
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
 
+  /// Mutable underlying buffer, for appenders that own their byte layout
+  /// (compress::pack_levels).  Appending keeps all previously written bytes.
+  [[nodiscard]] std::vector<std::uint8_t>& raw() noexcept { return buf_; }
+
  private:
   std::vector<std::uint8_t> buf_;
 };
@@ -62,6 +66,12 @@ class ByteReader {
     return data_.size() - pos_;
   }
   [[nodiscard]] bool done() const noexcept { return remaining() == 0; }
+
+  /// The unread tail, for decoders that own their byte layout
+  /// (compress::unpack_levels).  Does not advance the cursor.
+  [[nodiscard]] std::span<const std::uint8_t> rest() const noexcept {
+    return data_.subspan(pos_);
+  }
 
  private:
   void need(std::size_t n) const;

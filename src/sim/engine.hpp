@@ -116,6 +116,10 @@ class Engine {
   Engine(SimConfig config, const data::Dataset& train,
          const data::Dataset& test, const ModelFactory& factory,
          std::optional<net::BandwidthMatrix> bandwidth);
+  /// Unregisters this engine's pool from ops::set_gemm_pool (only if the
+  /// global still points at it, so sequentially constructed engines never
+  /// clobber each other).
+  ~Engine();
 
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t workers() const noexcept { return config_.workers; }

@@ -11,12 +11,18 @@
 // path and an AVX2 intrinsics path.
 // Both paths perform the IDENTICAL per-element operation sequence
 // (strictly k-ascending fma into the output element), so results are
-// bit-identical for every backend, every tile size and every thread count.
+// bit-identical for every backend, every tile size and every thread count —
+// including the intra-op parallel path, which partitions C into disjoint
+// macro-panel chunks (each element still owned by exactly one thread).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
+
+namespace saps {
+class ThreadPool;
+}  // namespace saps
 
 namespace saps::ops {
 
@@ -63,8 +69,26 @@ enum class GemmBackend : std::uint8_t {
 /// std::invalid_argument when the backend is unavailable on this machine.
 void set_gemm_backend(GemmBackend backend);
 
-/// The resolved backend the next GEMM call will use (never kAuto).
+/// The resolved backend the next GEMM call will use (never kAuto).  With the
+/// explicit backend left at kAuto, the `SAPS_GEMM_BACKEND=avx2|portable`
+/// environment variable (read once, logged at INFO) overrides the CPU-feature
+/// resolution — the CI hook for forcing portable-path coverage on AVX2
+/// hosts.  An explicit set_gemm_backend() always wins over the environment.
 [[nodiscard]] GemmBackend gemm_backend() noexcept;
+
+/// Registers a pool for intra-op GEMM parallelism: large calls partition
+/// their macro-panels (N-panels first, M-panels when N is narrow) across the
+/// pool's threads with per-thread pack buffers.  Results are bit-identical
+/// to the serial path for every pool size — each C element is still one
+/// strictly k-ascending fma chain computed by exactly one thread.  Calls
+/// made FROM a pool worker (the engine's per-worker hot loops) or below the
+/// parallel work threshold run serially, so nullptr / no-pool / zero-thread
+/// configurations are untouched.  Not thread-safe against concurrent GEMMs;
+/// intended for engine startup/teardown and tests.
+void set_gemm_pool(ThreadPool* pool) noexcept;
+
+/// The currently registered intra-op pool (nullptr = serial).
+[[nodiscard]] ThreadPool* gemm_pool() noexcept;
 
 /// Fused epilogue applied to C after the final k panel of a non-accumulating
 /// GEMM: optional bias (broadcast along a row or a column of C) followed by

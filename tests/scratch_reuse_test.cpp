@@ -5,11 +5,16 @@
 // this binary; each test warms its path up, then measures a tight window.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <numeric>
 #include <vector>
 
+#include "compress/quantize.hpp"
 #include "compress/topk.hpp"
 #include "nn/conv2d.hpp"
 #include "tensor/ops.hpp"
@@ -102,6 +107,83 @@ TEST(TopK, WorkspaceOverloadIsAllocationFreeAndEquivalent) {
   EXPECT_EQ(allocations() - before, 0u);
   EXPECT_EQ(out.indices, want.indices);
   EXPECT_EQ(out.values, want.values);
+}
+
+TEST(ErrorFeedbackTopK, CompressIntoIsAllocationFreeAfterWarmup) {
+  const std::size_t n = 65536;  // threshold-pass selection path
+  compress::ErrorFeedbackTopK ef(n, 100.0);
+  const auto grad = random_vec(n, 31);
+  compress::SparseVector out;
+  for (int warm = 0; warm < 3; ++warm) ef.compress_into(grad, out);
+
+  const std::size_t before = allocations();
+  for (int i = 0; i < 5; ++i) ef.compress_into(grad, out);
+  EXPECT_EQ(allocations() - before, 0u);
+  EXPECT_GT(out.nnz(), 0u);
+}
+
+TEST(TopK, ThresholdPathIsAllocationFreeAndMatchesSortReference) {
+  // n=8192 engages the radix threshold-pass selection; the reference is a
+  // full stable selection sort by (|x| desc, index asc) — the documented
+  // ordering contract shared by both strategies.
+  const std::size_t n = 8192;
+  const auto x = random_vec(n, 37);
+  std::vector<std::uint32_t> ref(n);
+  std::iota(ref.begin(), ref.end(), 0u);
+  std::sort(ref.begin(), ref.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const float fa = std::fabs(x[a]), fb = std::fabs(x[b]);
+    return fa > fb || (fa == fb && a < b);
+  });
+  const std::size_t k = n / 64;
+  ref.resize(k);
+  std::sort(ref.begin(), ref.end());
+
+  std::vector<std::uint32_t> scratch;
+  compress::SparseVector out;
+  compress::top_k(x, 64.0, scratch, out);  // warm the buffers
+  const std::size_t before = allocations();
+  compress::top_k(x, 64.0, scratch, out);
+  EXPECT_EQ(allocations() - before, 0u);
+  ASSERT_EQ(out.indices, ref);
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(out.values[i], x[out.indices[i]]);
+  }
+}
+
+TEST(Qsgd, IntoOverloadsAreAllocationFreeAfterWarmup) {
+  const std::size_t n = 16384;
+  const auto x = random_vec(n, 41);
+  Rng rng(43);
+  compress::QsgdEncoded enc;
+  std::vector<float> dec;
+  for (int warm = 0; warm < 3; ++warm) {
+    compress::qsgd_encode(x, 8, rng, enc);
+    compress::qsgd_decode(enc, dec);
+  }
+  const std::size_t before = allocations();
+  for (int i = 0; i < 5; ++i) {
+    compress::qsgd_encode(x, 8, rng, enc);
+    compress::qsgd_decode(enc, dec);
+  }
+  EXPECT_EQ(allocations() - before, 0u);
+}
+
+TEST(PackedLevels, PackIntoWarmBufferIsAllocationFree) {
+  const std::size_t n = 16384;
+  Rng rng(47);
+  std::vector<std::int8_t> q(n);
+  for (auto& v : q) {
+    v = static_cast<std::int8_t>(static_cast<int>(rng() % 9) - 4);
+  }
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::int8_t> back(n);
+  compress::pack_levels(q, 4, bytes);  // warm the byte buffer
+  const std::size_t before = allocations();
+  bytes.clear();
+  compress::pack_levels(q, 4, bytes);
+  compress::unpack_levels(bytes, 4, back);
+  EXPECT_EQ(allocations() - before, 0u);
+  EXPECT_EQ(back, q);
 }
 
 TEST(Conv2d, BackwardReusesColumnScratchAfterWarmup) {

@@ -18,6 +18,7 @@
 #include "net/bandwidth.hpp"
 #include "nn/models.hpp"
 #include "sim/engine.hpp"
+#include "tensor/ops.hpp"
 #include "test_util.hpp"
 
 namespace saps {
@@ -187,6 +188,48 @@ TEST(ThreadInvariance, SparseFedAvgBitIdenticalAcrossThreadCounts) {
                                 .upload_compression = 5.0});
       },
       /*with_bandwidth=*/false);
+}
+
+// The kernel backend (AVX2 vs portable) joins the cross-product: GEMM,
+// quantization, and top-k selection all dispatch on it, and every
+// combination of backend × thread count must produce the same run.
+template <typename MakeAlgo>
+void check_backend_invariance(MakeAlgo make_algo) {
+  std::unique_ptr<RunSnapshot> base;
+  for (const auto be :
+       {ops::GemmBackend::kAvx2, ops::GemmBackend::kPortable}) {
+    if (!ops::gemm_backend_available(be)) continue;
+    SCOPED_TRACE(be == ops::GemmBackend::kAvx2 ? "backend=avx2"
+                                               : "backend=portable");
+    ops::set_gemm_backend(be);
+    for (const auto threads : kThreadCounts) {
+      auto algo = make_algo();
+      auto snap = run_with_threads(*algo, threads, false);
+      if (!base) {
+        base = std::make_unique<RunSnapshot>(std::move(snap));
+        EXPECT_GT(base->result.final().accuracy, 0.5);
+      } else {
+        expect_identical(*base, snap, threads);
+      }
+    }
+  }
+  ops::set_gemm_backend(ops::GemmBackend::kAuto);
+}
+
+TEST(ThreadInvariance, QsgdBitIdenticalAcrossBackendsAndThreads) {
+  // Covers the SIMD quantize/dequantize and bit-pack/unpack fast paths
+  // against their portable twins, under every thread count.
+  check_backend_invariance([] {
+    return std::make_unique<algos::QsgdPsgd>(algos::QsgdConfig{.levels = 4});
+  });
+}
+
+TEST(ThreadInvariance, TopkBitIdenticalAcrossBackendsAndThreads) {
+  // Covers the vectorized threshold-pass top-k against the scalar collect.
+  check_backend_invariance([] {
+    return std::make_unique<algos::TopkPsgd>(
+        algos::TopkConfig{.compression = 10.0});
+  });
 }
 
 TEST(ThreadInvariance, EvalPointBitIdenticalAcrossThreadCounts) {
