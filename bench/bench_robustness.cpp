@@ -20,16 +20,27 @@
 // trimming and medians reduce to the plain midpoint — attack tolerance
 // there comes from gossip averaging, not the merge rule.
 //
+// On top of the classic grid, --grid=adaptive (or the default all) runs the
+// ADAPTIVE adversary grid on the two protocol shapes (fedavg, saps): 20%
+// model-replacement, a 3-worker collusion ring, and an attenuated
+// ("adaptive") model-replacement, each against the receiver-side defenses —
+// clip-norm (probed from the clean run's model norm), the trimmed mean, and
+// SAPS's attack-aware reputation selection.  Every attacked run also scores
+// detection precision/recall from the observe-only reputation monitor.
+//
 // --json=PATH writes a google-benchmark-compatible report (names
-// BM_Robustness/<algo>/<attack>/<aggregation>, items_per_second = final
-// accuracy — deterministic, so the CI gate compares like with like) for
-// tools/check_kernel_regression.py --filter '^BM_Robustness'.
+// BM_Robustness/<algo>/<attack>/<aggregation-or-defense>, items_per_second
+// = final accuracy — deterministic, so the CI gate compares like with like)
+// for tools/check_kernel_regression.py --filter '^BM_Robustness'.
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "algos/fedavg.hpp"
+#include "core/saps.hpp"
 #include "scenario/cli.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
@@ -68,6 +79,54 @@ std::string half_partition(std::size_t workers) {
   return groups + "@2-6";
 }
 
+// --- adaptive adversary grid -------------------------------------------------
+
+struct AdaptiveAttack {
+  std::string name;
+  std::string byzantine;               // --byzantine value (empty = clean)
+  std::string collude_group;           // --collude-group value, or empty
+  double adapt = 0.0;                  // --adapt-attack attenuation budget
+  std::vector<std::size_t> attackers;  // ground truth for detection metrics
+};
+
+// ~20% of the population runs a boosted model-replacement from round 1.
+AdaptiveAttack model_replace_attack(std::size_t workers) {
+  AdaptiveAttack atk{.name = "model-replace"};
+  const std::size_t n = std::max<std::size_t>(2, workers / 5);
+  for (std::size_t w = 0; w < n; ++w) {
+    if (w > 0) atk.byzantine += ',';
+    atk.byzantine += std::to_string(w) + "@1:model-replacement";
+    atk.attackers.push_back(w);
+  }
+  return atk;
+}
+
+// Three colluders share a per-round malicious direction; the ring only
+// fires with all three live (quorum 3).
+AdaptiveAttack collusion_attack() {
+  return {.name = "collusion",
+          .byzantine = "0@1:collusion,1@1:collusion,2@1:collusion",
+          .collude_group = "0.1.2:3",
+          .attackers = {0, 1, 2}};
+}
+
+const saps::core::ReputationMonitor* monitor_of(
+    const saps::algos::Algorithm* algo) {
+  if (const auto* f = dynamic_cast<const saps::algos::FedAvg*>(algo)) {
+    return f->reputation();
+  }
+  if (const auto* s = dynamic_cast<const saps::core::SapsPsgd*>(algo)) {
+    return s->reputation();
+  }
+  return nullptr;
+}
+
+double l2_norm(const std::vector<float>& v) {
+  double acc = 0.0;
+  for (const float x : v) acc += static_cast<double>(x) * x;
+  return std::sqrt(acc);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -78,6 +137,10 @@ int main(int argc, char** argv) {
                  "(names BM_Robustness/<algo>/<attack>/<aggregation>, "
                  "items_per_second = final accuracy) for "
                  "tools/check_kernel_regression.py");
+  flags.describe("grid",
+                 "which sweep to run: classic (attack x aggregation over all "
+                 "algorithms), adaptive (adaptive adversaries x defenses on "
+                 "fedavg/saps), or all (default)");
   saps::exit_on_help_or_unknown(flags, argv[0]);
   auto spec = saps::scenario::scenario_from_flags_or_exit(flags);
   auto sinks = saps::scenario::sinks_from_flags_or_exit(flags);
@@ -92,8 +155,15 @@ int main(int argc, char** argv) {
   if (!spec.provided("epochs")) spec.epochs = 2;
   if (!spec.provided("fedavg-frac")) spec.set("fedavg-frac", "1.0");
   if (!spec.provided("fedavg-steps")) spec.set("fedavg-steps", "1");
-  if (!spec.provided("trim-frac")) spec.set("trim-frac", "0.2");
+  const bool user_trim = spec.provided("trim-frac");
+  if (!user_trim) spec.set("trim-frac", "0.2");
   const std::string json_path = flags.get_string("json", "");
+  const std::string grid = flags.get_string("grid", "all");
+  if (grid != "classic" && grid != "adaptive" && grid != "all") {
+    std::cerr << "--grid must be classic, adaptive, or all (got '" << grid
+              << "')\n";
+    return 2;
+  }
   if (spec.workers < 2) {
     std::cerr << "bench_robustness needs at least 2 workers\n";
     return 2;
@@ -108,73 +178,211 @@ int main(int argc, char** argv) {
   struct Row {
     std::string algo, attack, agg;
     double accuracy, loss, worker_mb;
+    double precision = -1.0, recall = -1.0;  // detection metrics; -1 = n/a
   };
   std::vector<Row> rows;
   bool first_run = true;
-  for (const auto& attack : kAttacks) {
-    for (const auto* agg : kAggregations) {
-      auto s = spec;
-      if (attack.byzantine != nullptr) s.set("byzantine", attack.byzantine);
-      if (attack.partition) s.set("net-partition", half_partition(s.workers));
-      s.set("aggregation", agg);
-      saps::scenario::Runner runner(s, workload);
-      for (const auto& algo : s.effective_algorithms()) {
-        const auto rec = runner.run(algo, first_run ? &sinks : nullptr);
-        first_run = false;
-        const auto& fin = rec.result.final();
-        rows.push_back({rec.name, attack.name, agg, fin.accuracy, fin.loss,
-                        rec.traffic_mb});
-      }
-    }
-  }
-
-  saps::Table table(
-      {"algorithm", "attack", "aggregation", "accuracy", "loss", "worker_mb"});
-  for (const auto& r : rows) {
-    table.add_row({r.algo, r.attack, r.agg, saps::Table::num(r.accuracy, 4),
-                   saps::Table::num(r.loss, 4),
-                   saps::Table::num(r.worker_mb, 3)});
-  }
-  std::cout << table.to_aligned() << "\n";
-
-  // Recovery summary: how much of the accuracy a sign-flip attacker destroys
-  // does each robust rule win back?  recovery = (defended - attacked) /
-  // (clean - attacked), clamped to the attacks that actually degrade.
-  const auto find = [&rows](const std::string& algo, const char* attack,
-                            const char* agg) -> const Row* {
+  // recovery = (defended - attacked) / (clean - attacked).
+  const auto find = [&rows](const std::string& algo, const std::string& attack,
+                            const std::string& agg) -> const Row* {
     for (const auto& r : rows) {
       if (r.algo == algo && r.attack == attack && r.agg == agg) return &r;
     }
     return nullptr;
   };
-  std::cout << "sign-flip recovery (fraction of lost accuracy won back; "
-               "dense aggregation is where\nrobust rules shine — see the "
-               "sparse-update caveat in docs/ARCHITECTURE.md):\n";
-  std::vector<std::string> display_names;
-  for (const auto& r : rows) {
-    if (std::find(display_names.begin(), display_names.end(), r.algo) ==
-        display_names.end()) {
-      display_names.push_back(r.algo);
-    }
-  }
-  for (const auto& algo : display_names) {
-    const Row* clean = find(algo, "none", "plain");
-    const Row* attacked = find(algo, "sign-flip", "plain");
-    if (clean == nullptr || attacked == nullptr) continue;
-    const double lost = clean->accuracy - attacked->accuracy;
-    std::cout << "  " << algo << ": lost=" << saps::Table::num(lost, 4);
-    for (const char* agg : {"trimmed", "median"}) {
-      const Row* defended = find(algo, "sign-flip", agg);
-      if (defended == nullptr) continue;
-      std::cout << "  " << agg << "=";
-      if (lost > 1e-9) {
-        std::cout << saps::Table::num(
-            (defended->accuracy - attacked->accuracy) / lost, 2);
-      } else {
-        std::cout << "n/a";
+
+  if (grid != "adaptive") {
+    for (const auto& attack : kAttacks) {
+      for (const auto* agg : kAggregations) {
+        auto s = spec;
+        if (attack.byzantine != nullptr) s.set("byzantine", attack.byzantine);
+        if (attack.partition) {
+          s.set("net-partition", half_partition(s.workers));
+        }
+        s.set("aggregation", agg);
+        saps::scenario::Runner runner(s, workload);
+        for (const auto& algo : s.effective_algorithms()) {
+          const auto rec = runner.run(algo, first_run ? &sinks : nullptr);
+          first_run = false;
+          const auto& fin = rec.result.final();
+          rows.push_back({rec.name, attack.name, agg, fin.accuracy, fin.loss,
+                          rec.traffic_mb});
+        }
       }
     }
-    std::cout << "\n";
+
+    saps::Table table({"algorithm", "attack", "aggregation", "accuracy",
+                       "loss", "worker_mb"});
+    for (const auto& r : rows) {
+      table.add_row({r.algo, r.attack, r.agg, saps::Table::num(r.accuracy, 4),
+                     saps::Table::num(r.loss, 4),
+                     saps::Table::num(r.worker_mb, 3)});
+    }
+    std::cout << table.to_aligned() << "\n";
+
+    // Recovery summary: how much of the accuracy a sign-flip attacker
+    // destroys does each robust rule win back?
+    std::cout << "sign-flip recovery (fraction of lost accuracy won back; "
+                 "dense aggregation is where\nrobust rules shine — see the "
+                 "sparse-update caveat in docs/ARCHITECTURE.md):\n";
+    std::vector<std::string> display_names;
+    for (const auto& r : rows) {
+      if (std::find(display_names.begin(), display_names.end(), r.algo) ==
+          display_names.end()) {
+        display_names.push_back(r.algo);
+      }
+    }
+    for (const auto& algo : display_names) {
+      const Row* clean = find(algo, "none", "plain");
+      const Row* attacked = find(algo, "sign-flip", "plain");
+      if (clean == nullptr || attacked == nullptr) continue;
+      const double lost = clean->accuracy - attacked->accuracy;
+      std::cout << "  " << algo << ": lost=" << saps::Table::num(lost, 4);
+      for (const char* agg : {"trimmed", "median"}) {
+        const Row* defended = find(algo, "sign-flip", agg);
+        if (defended == nullptr) continue;
+        std::cout << "  " << agg << "=";
+        if (lost > 1e-9) {
+          std::cout << saps::Table::num(
+              (defended->accuracy - attacked->accuracy) / lost, 2);
+        } else {
+          std::cout << "n/a";
+        }
+      }
+      std::cout << "\n";
+    }
+  }
+
+  // --- adaptive adversary grid: attacks x receiver-side defenses ------------
+  const std::size_t adaptive_first_row = rows.size();
+  std::vector<std::string> adaptive_names;  // display names, insertion order
+  if (grid != "classic") {
+    std::vector<std::string> keys;
+    for (const auto& k : spec.effective_algorithms()) {
+      if (k == "fedavg" || k == "saps") keys.push_back(k);
+    }
+    if (spec.workers < 8) {
+      std::cout << "(adaptive grid skipped: needs workers >= 8 so a 20% "
+                   "model-replacement squad and a\n 3-worker collusion ring "
+                   "both leave an honest majority)\n";
+      keys.clear();
+    }
+    std::vector<AdaptiveAttack> attacks{model_replace_attack(spec.workers),
+                                        collusion_attack()};
+    {
+      // The "adaptive" attacker attenuates its model-replacement so each
+      // frame stays within 50% relative L2 of the honest update.
+      auto adaptive = model_replace_attack(spec.workers);
+      adaptive.name = "adaptive";
+      adaptive.adapt = 0.5;
+      attacks.push_back(std::move(adaptive));
+    }
+    for (const auto& key : keys) {
+      // Clean reference: also probes the model norm the clip defense uses
+      // (clip every delivered frame to the clean run's final parameter L2 —
+      // honest uploads pass, a boosted substitution shrinks to honest size).
+      auto clean_spec = spec;
+      clean_spec.set("reputation-decay", "0.5");
+      saps::scenario::Runner clean_runner(clean_spec, workload);
+      const auto clean_rec =
+          clean_runner.run(key, first_run ? &sinks : nullptr);
+      first_run = false;
+      const std::string display = clean_rec.name;
+      adaptive_names.push_back(display);
+      const auto& clean_fin = clean_rec.result.final();
+      rows.push_back({display, "none", "none", clean_fin.accuracy,
+                      clean_fin.loss, clean_rec.traffic_mb});
+      const double clip = l2_norm(clean_rec.final_params);
+
+      std::vector<std::string> defenses{"none", "clip", "trimmed"};
+      if (key == "saps") defenses.push_back("reputation");
+      for (const auto& attack : attacks) {
+        for (const auto& defense : defenses) {
+          auto s = spec;
+          s.set("reputation-decay", "0.5");  // observe-only unless selected on
+          s.set("byzantine", attack.byzantine);
+          if (!attack.collude_group.empty()) {
+            s.set("collude-group", attack.collude_group);
+          }
+          if (attack.adapt > 0.0) {
+            s.set("adapt-attack", saps::scenario::format_double(attack.adapt));
+          }
+          if (defense == "clip") {
+            s.set("clip-norm", saps::scenario::format_double(clip));
+          } else if (defense == "trimmed") {
+            s.set("aggregation", "trimmed");
+            // A 20% attacker squad needs a deeper trim than the classic
+            // grid's single-attacker default (0.2 of 8 sheds only one tail).
+            if (!user_trim) s.set("trim-frac", "0.3");
+          } else if (defense == "reputation") {
+            s.set("saps-strategy", "reputation");
+          }
+          saps::scenario::Runner runner(s, workload);
+          const auto rec = runner.run(key);
+          const auto& fin = rec.result.final();
+          Row row{display, attack.name, defense, fin.accuracy, fin.loss,
+                  rec.traffic_mb};
+          if (const auto* monitor = monitor_of(rec.algorithm.get())) {
+            const auto suspects = monitor->suspects();
+            std::size_t hits = 0;
+            for (const auto w : suspects) {
+              if (std::find(attack.attackers.begin(), attack.attackers.end(),
+                            w) != attack.attackers.end()) {
+                ++hits;
+              }
+            }
+            row.precision = suspects.empty()
+                                ? 0.0
+                                : static_cast<double>(hits) /
+                                      static_cast<double>(suspects.size());
+            row.recall = static_cast<double>(hits) /
+                         static_cast<double>(attack.attackers.size());
+          }
+          rows.push_back(std::move(row));
+        }
+      }
+    }
+
+    if (!adaptive_names.empty()) {
+      std::cout << "=== Adaptive adversaries (attackers adapt, receivers "
+                   "defend) ===\n";
+      saps::Table table({"algorithm", "attack", "defense", "accuracy", "loss",
+                         "det_precision", "det_recall"});
+      for (std::size_t i = adaptive_first_row; i < rows.size(); ++i) {
+        const auto& r = rows[i];
+        table.add_row({r.algo, r.attack, r.agg, saps::Table::num(r.accuracy, 4),
+                       saps::Table::num(r.loss, 4),
+                       r.precision < 0 ? "n/a" : saps::Table::num(r.precision, 2),
+                       r.recall < 0 ? "n/a" : saps::Table::num(r.recall, 2)});
+      }
+      std::cout << table.to_aligned() << "\n";
+
+      std::cout << "adaptive-attack recovery (fraction of lost accuracy each "
+                   "defense wins back):\n";
+      for (const auto& algo : adaptive_names) {
+        const Row* clean = find(algo, "none", "none");
+        if (clean == nullptr) continue;
+        for (const char* attack : {"model-replace", "collusion", "adaptive"}) {
+          const Row* attacked = find(algo, attack, "none");
+          if (attacked == nullptr) continue;
+          const double lost = clean->accuracy - attacked->accuracy;
+          std::cout << "  " << algo << "/" << attack
+                    << ": lost=" << saps::Table::num(lost, 4);
+          for (const char* defense : {"clip", "trimmed", "reputation"}) {
+            const Row* defended = find(algo, attack, defense);
+            if (defended == nullptr) continue;
+            std::cout << "  " << defense << "=";
+            if (lost > 1e-9) {
+              std::cout << saps::Table::num(
+                  (defended->accuracy - attacked->accuracy) / lost, 2);
+            } else {
+              std::cout << "n/a";
+            }
+          }
+          std::cout << "\n";
+        }
+      }
+    }
   }
 
   if (!json_path.empty()) {
@@ -191,8 +399,14 @@ int main(int argc, char** argv) {
           << ",\"items_per_second\":"
           << saps::scenario::format_double(r.accuracy)
           << ",\"final_loss\":" << saps::scenario::format_double(r.loss)
-          << ",\"worker_mb\":" << saps::scenario::format_double(r.worker_mb)
-          << "}";
+          << ",\"worker_mb\":" << saps::scenario::format_double(r.worker_mb);
+      if (r.precision >= 0.0) {
+        out << ",\"detection_precision\":"
+            << saps::scenario::format_double(r.precision)
+            << ",\"detection_recall\":"
+            << saps::scenario::format_double(r.recall);
+      }
+      out << "}";
     }
     out << "\n]}\n";
   }

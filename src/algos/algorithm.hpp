@@ -22,6 +22,10 @@ struct Dynamics {
   std::function<void(std::size_t round, sim::Engine& engine)> on_round;
   compress::MergeRule merge = compress::MergeRule::kMean;
   double trim_frac = 0.2;
+  /// Attack-aware reputation scoring: > 0 runs a core::ReputationMonitor
+  /// with this per-round decay (server-side, observe-only, for detection
+  /// metrics); 0 keeps the run monitor-free.
+  double reputation_decay = 0.0;
 
   [[nodiscard]] bool robust() const noexcept {
     return merge != compress::MergeRule::kMean;

@@ -39,6 +39,16 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
   sim::RunResult result;
   result.algorithm = name();
 
+  // Server-side reputation scoring: every received upload is compared
+  // against the round's global model (observer = the server's lane, n).
+  // Observe-only — detection metrics never perturb the aggregate.
+  reputation_.reset();
+  if (dyn_.reputation_decay > 0.0) {
+    core::ReputationConfig rep;
+    rep.decay = dyn_.reputation_decay;
+    reputation_.emplace(n, rep);
+  }
+
   // The global model starts as the common initialization.
   std::vector<float> global(engine.params(0).begin(), engine.params(0).end());
   result.history.push_back(engine.eval_point(0, 0.0, global));
@@ -214,6 +224,17 @@ sim::RunResult FedAvg::run(sim::Engine& engine) {
     received.clear();
     for (const auto w : part) {
       if (got_up[w]) received.push_back(w);
+    }
+
+    if (reputation_) {
+      // Score each upload against the pre-aggregation global model, in
+      // `part` (chosen) order, then fold — one serial pass per round.
+      const std::vector<float> ref =
+          sparse_up ? compress::extract_masked(global, mask) : global;
+      for (const auto w : received) {
+        reputation_->observe(n, w, uploads[w], ref);
+      }
+      reputation_->end_round();
     }
 
     // Server aggregation over the received uploads (all of them on the

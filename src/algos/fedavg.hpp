@@ -5,7 +5,10 @@
 // subset of parameters, c = 100 in the paper).
 #pragma once
 
+#include <optional>
+
 #include "algos/algorithm.hpp"
+#include "core/reputation.hpp"
 
 namespace saps::algos {
 
@@ -31,9 +34,17 @@ class FedAvg final : public Algorithm {
   }
   sim::RunResult run(sim::Engine& engine) override;
 
+  /// The last run's server-side reputation monitor (observe-only — it never
+  /// changes the aggregate; bench_robustness reads its suspect list for
+  /// detection precision/recall), or nullptr when reputation_decay was 0.
+  [[nodiscard]] const core::ReputationMonitor* reputation() const noexcept {
+    return reputation_ ? &*reputation_ : nullptr;
+  }
+
  private:
   FedAvgConfig config_;
   Dynamics dyn_;
+  std::optional<core::ReputationMonitor> reputation_;
 };
 
 }  // namespace saps::algos

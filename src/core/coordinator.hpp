@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 
 #include "gossip/generator.hpp"
@@ -19,8 +20,15 @@
 namespace saps::core {
 
 enum class SelectionStrategy {
-  kAdaptiveBandwidth,  // the paper's Algorithm 3
-  kRandomMatch,        // "RandomChoose" baseline of Fig. 5
+  kAdaptiveBandwidth,   // the paper's Algorithm 3
+  kRandomMatch,         // "RandomChoose" baseline of Fig. 5
+  // Attack-aware selection: peers are down-weighted by the reputation
+  // monitor's trust (suspects excluded outright).  With a bandwidth matrix
+  // this rides Algorithm 3 — edge weights become B_ij * jitter * trust_i *
+  // trust_j, preserving the bandwidth objective among trusted peers;
+  // without one the coordinator runs a trust-weighted jittered matching on
+  // the complete active graph.
+  kAdaptiveReputation,
 };
 
 /// Control-plane wire sizes.  The (W_t, t, s) notification is a peer id +
@@ -68,6 +76,14 @@ class Coordinator {
   void set_active(std::size_t worker, bool active);
   [[nodiscard]] bool active(std::size_t worker) const;
 
+  /// Installs the trust source for kAdaptiveReputation: returns a selection
+  /// weight in [0, 1] per worker, where exactly 0 excludes the worker from
+  /// matching this round.  Queried serially at begin_round.  Required when
+  /// the strategy is kAdaptiveReputation.
+  void set_trust_provider(std::function<double(std::size_t)> provider) {
+    trust_provider_ = std::move(provider);
+  }
+
   /// Bottleneck bandwidth of a round's matching (Fig. 5 metric); 0 when no
   /// bandwidth matrix is present.
   [[nodiscard]] double bottleneck_bandwidth(
@@ -81,13 +97,20 @@ class Coordinator {
   [[nodiscard]] std::size_t rounds_issued() const noexcept { return round_; }
 
  private:
+  /// Trust-weighted jittered matching over the complete active graph — the
+  /// reputation strategy's fallback when there is no bandwidth to adapt to.
+  [[nodiscard]] gossip::GossipMatrix reputation_match();
+  void refresh_trust();
+
   std::size_t workers_;
   CoordinatorConfig config_;
   std::optional<net::BandwidthMatrix> bandwidth_;
   std::optional<gossip::GossipGenerator> generator_;   // adaptive path
   std::optional<gossip::RandomMatchSelector> random_;  // random path
+  std::function<double(std::size_t)> trust_provider_;
   std::vector<std::uint8_t> active_;
   Rng seed_rng_;
+  Rng trust_rng_;  // jitter stream of the no-bandwidth reputation matching
   std::size_t round_ = 0;
   double control_bytes_ = 0.0;
 };

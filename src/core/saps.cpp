@@ -12,6 +12,11 @@ SapsPsgd::SapsPsgd(SapsConfig config) : config_(std::move(config)) {
   if (config_.compression < 1.0) {
     throw std::invalid_argument("SapsPsgd: compression < 1");
   }
+  if (config_.strategy == SelectionStrategy::kAdaptiveReputation &&
+      config_.reputation_decay <= 0.0) {
+    throw std::invalid_argument(
+        "SapsPsgd: saps-strategy=reputation needs reputation-decay > 0");
+  }
 }
 
 sim::RunResult SapsPsgd::run(sim::Engine& engine) {
@@ -31,10 +36,26 @@ sim::RunResult SapsPsgd::run(sim::Engine& engine) {
   auto& fabric = engine.fabric();
   const std::size_t coord_node = engine.server_node();
 
+  // Attack-aware scoring: workers observe their matched peer's masked
+  // update every round; with kAdaptiveReputation the resulting trust also
+  // drives the coordinator's matching (suspects are excluded).
+  reputation_.reset();
+  if (config_.reputation_decay > 0.0) {
+    ReputationConfig rep;
+    rep.decay = config_.reputation_decay;
+    reputation_.emplace(n, rep);
+  }
+  if (config_.strategy == SelectionStrategy::kAdaptiveReputation) {
+    coordinator.set_trust_provider([this](std::size_t w) {
+      return reputation_->suspected(w) ? 0.0 : reputation_->trust(w);
+    });
+  }
+
   std::vector<SapsWorker> workers;
   workers.reserve(n);
   for (std::size_t w = 0; w < n; ++w) {
     workers.emplace_back(engine, w, config_.compression);
+    if (reputation_) workers.back().set_reputation(&*reputation_);
   }
 
   selection_bandwidth_.clear();
@@ -110,6 +131,9 @@ sim::RunResult SapsPsgd::run(sim::Engine& engine) {
         workers[j].receive_and_merge(fabric, mask);
       });
       fabric.end_round();
+      // Fold this round's staged anomaly observations (fixed observer
+      // order — serial, after the parallel exchange).
+      if (reputation_) reputation_->end_round();
 
       // Line 11: ROUND_END notifications back over the control plane.
       for (std::size_t w = 0; w < n; ++w) {
@@ -202,17 +226,22 @@ void register_saps(Registry& r) {
             {.name = "saps-strategy",
              .type = ParamType::kString,
              .default_value = "adaptive",
-             .help = "SAPS peer selection: adaptive (Algorithm 3) or random "
-                     "(the RandomChoose baseline)",
-             .choices = {"adaptive", "random"}}},
+             .help = "SAPS peer selection: adaptive (Algorithm 3), random "
+                     "(the RandomChoose baseline), or reputation "
+                     "(attack-aware; needs reputation-decay > 0)",
+             .choices = {"adaptive", "random", "reputation"}}},
        .make = [](const ParamSet& p, const AlgoBuildContext& ctx) {
          core::SapsConfig cfg;
          cfg.compression = p.get_double("saps-c");
          cfg.bandwidth_threshold = p.get_double("bthres");
          cfg.t_thres = static_cast<std::size_t>(p.get_int("tthres"));
-         cfg.strategy = p.get_string("saps-strategy") == "random"
+         const auto strategy = p.get_string("saps-strategy");
+         cfg.strategy = strategy == "random"
                             ? core::SelectionStrategy::kRandomMatch
+                        : strategy == "reputation"
+                            ? core::SelectionStrategy::kAdaptiveReputation
                             : core::SelectionStrategy::kAdaptiveBandwidth;
+         cfg.reputation_decay = ctx.reputation_decay;
          if (!ctx.failures.empty()) {
            // Dropout/rejoin schedule: a worker leaves at drop_round and
            // rejoins at rejoin_round; BOTH the coordinator and the engine

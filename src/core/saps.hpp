@@ -7,9 +7,11 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 
 #include "algos/algorithm.hpp"
 #include "core/coordinator.hpp"
+#include "core/reputation.hpp"
 #include "core/worker.hpp"
 
 namespace saps::core {
@@ -19,6 +21,11 @@ struct SapsConfig {
   SelectionStrategy strategy = SelectionStrategy::kAdaptiveBandwidth;
   double bandwidth_threshold = 0.0;  // B_thres; 0 = median auto
   std::size_t t_thres = 10;          // T_thres RC window
+  // Attack-aware reputation scoring: > 0 runs a ReputationMonitor with this
+  // per-round decay (workers observe their matched peer's masked update).
+  // Required (and fed into the matching) when the strategy is
+  // kAdaptiveReputation; observe-only otherwise.  0 disables the monitor.
+  double reputation_decay = 0.0;
   // Optional federated-dynamics hook, called before every round with the
   // round index; use engine/coordinator set_active to drop or rejoin
   // workers (both must be kept in sync — see SapsPsgd::run).
@@ -30,11 +37,22 @@ class SapsPsgd final : public algos::Algorithm {
   explicit SapsPsgd(SapsConfig config = {});
 
   [[nodiscard]] const char* name() const noexcept override {
-    return config_.strategy == SelectionStrategy::kRandomMatch
-               ? "SAPS-PSGD(random)"
-               : "SAPS-PSGD";
+    switch (config_.strategy) {
+      case SelectionStrategy::kRandomMatch:
+        return "SAPS-PSGD(random)";
+      case SelectionStrategy::kAdaptiveReputation:
+        return "SAPS-PSGD(reputation)";
+      default:
+        return "SAPS-PSGD";
+    }
   }
   sim::RunResult run(sim::Engine& engine) override;
+
+  /// The last run's reputation monitor (detection metrics), or nullptr when
+  /// reputation_decay was 0.
+  [[nodiscard]] const ReputationMonitor* reputation() const noexcept {
+    return reputation_ ? &*reputation_ : nullptr;
+  }
 
   /// Per-round bottleneck bandwidth of the selections made during the last
   /// run (Fig. 5 series); empty if the engine had no bandwidth matrix.
@@ -48,6 +66,7 @@ class SapsPsgd final : public algos::Algorithm {
  private:
   SapsConfig config_;
   std::vector<double> selection_bandwidth_;
+  std::optional<ReputationMonitor> reputation_;
   double control_bytes_ = 0.0;
 };
 

@@ -58,6 +58,9 @@ void SapsWorker::receive_and_merge(sim::Fabric& fabric,
     if (msg.mask_seed != mask_seed_ || msg.round != round_) {
       throw std::logic_error("SapsWorker: peer model from a different round");
     }
+    if (reputation_ != nullptr) {
+      reputation_->observe(rank_, peer_, msg.values, sparsified_model(mask));
+    }
     merge_peer(mask, msg.values);
     return;
   }
@@ -72,7 +75,13 @@ void SapsWorker::receive_and_merge(sim::Fabric& fabric,
       peer_model = std::move(msg);
     }
   }
-  if (peer_model) merge_peer(mask, peer_model->values);
+  if (peer_model) {
+    if (reputation_ != nullptr) {
+      reputation_->observe(rank_, peer_, peer_model->values,
+                           sparsified_model(mask));
+    }
+    merge_peer(mask, peer_model->values);
+  }
 }
 
 std::vector<float> SapsWorker::sparsified_model(

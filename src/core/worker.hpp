@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "compress/mask.hpp"
+#include "core/reputation.hpp"
 #include "net/wire.hpp"
 #include "sim/engine.hpp"
 
@@ -60,6 +61,14 @@ class SapsWorker {
     return compress::masked_wire_bytes(mask_ones);
   }
 
+  /// Attack-aware scoring: when set, receive_and_merge stages one anomaly
+  /// observation of the peer (received masked values vs. this worker's own
+  /// sparsified model) into the monitor's lane for this rank before
+  /// merging.  The observation is read-only, so results are unchanged.
+  void set_reputation(ReputationMonitor* monitor) noexcept {
+    reputation_ = monitor;
+  }
+
  private:
   sim::Engine* engine_;
   std::size_t rank_;
@@ -67,6 +76,7 @@ class SapsWorker {
   std::size_t peer_ = 0;
   std::uint64_t mask_seed_ = 0;
   std::uint32_t round_ = 0;
+  ReputationMonitor* reputation_ = nullptr;
 };
 
 }  // namespace saps::core

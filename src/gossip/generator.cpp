@@ -31,7 +31,8 @@ GossipGenerator::GossipGenerator(const net::BandwidthMatrix& bandwidth,
       rng_(derive_seed(config.seed, 0x905517)),
       b_star_(bandwidth.size()),
       last_used_(bandwidth.size() * bandwidth.size(), -1),
-      active_(bandwidth.size(), 1) {
+      active_(bandwidth.size(), 1),
+      trust_(bandwidth.size(), 1.0) {
   if (t_thres_ == 0) throw std::invalid_argument("GossipGenerator: T_thres==0");
   const std::size_t n = bandwidth.size();
   for (std::size_t i = 0; i < n; ++i) {
@@ -61,6 +62,16 @@ std::size_t GossipGenerator::active_count() const noexcept {
   return c;
 }
 
+void GossipGenerator::set_trust(std::size_t worker, double trust) {
+  if (worker >= trust_.size()) {
+    throw std::out_of_range("GossipGenerator::set_trust");
+  }
+  if (trust < 0.0 || trust > 1.0) {
+    throw std::invalid_argument("GossipGenerator::set_trust: out of [0, 1]");
+  }
+  trust_[worker] = trust;
+}
+
 graph::Matching GossipGenerator::weight_biased_match(
     const graph::AdjMatrix& e) {
   const std::size_t n = e.size();
@@ -68,7 +79,9 @@ graph::Matching GossipGenerator::weight_biased_match(
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       if (!e.get(i, j)) continue;
-      const double w = bandwidth_->get(i, j) * rng_.uniform(0.7, 1.3);
+      // Trust defaults to 1.0, so the trust-free weights are bit-identical.
+      const double w =
+          bandwidth_->get(i, j) * rng_.uniform(0.7, 1.3) * trust_[i] * trust_[j];
       weight[i * n + j] = w;
       weight[j * n + i] = w;
     }
@@ -135,6 +148,18 @@ void GossipGenerator::mask_inactive(graph::AdjMatrix& g) const {
   }
 }
 
+void GossipGenerator::mask_distrusted(graph::AdjMatrix& g) const {
+  // Suspected peers (trust exactly 0) are isolated: no candidate edge may
+  // touch them, in neither the weighted phase nor the leftover completion.
+  const std::size_t n = g.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (trust_[v] > 0.0) continue;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (u != v) g.set(v, u, false);
+    }
+  }
+}
+
 GossipMatrix GossipGenerator::generate(std::size_t t) {
   const std::size_t n = bandwidth_->size();
 
@@ -162,6 +187,7 @@ GossipMatrix GossipGenerator::generate(std::size_t t) {
   // Lines 2-4: pick the candidate edge set E.
   graph::AdjMatrix e = rc_connected ? b_star_ : cross_component_graph(rc);
   mask_inactive(e);
+  mask_distrusted(e);
 
   // Line 5: RandomlyMaxMatch on E (bandwidth-biased, see weight_biased_match).
   graph::Matching match = weight_biased_match(e);
@@ -176,6 +202,7 @@ GossipMatrix GossipGenerator::generate(std::size_t t) {
   if (matched < active_count() - (active_count() % 2)) {
     auto leftover = unmatched_graph(match);
     mask_inactive(leftover);
+    mask_distrusted(leftover);
     const graph::Matching extra = graph::randomly_max_matching(leftover, rng_);
     for (std::size_t v = 0; v < n; ++v) {
       if (extra.partner[v] != graph::Matching::kUnmatched) {

@@ -55,6 +55,14 @@ class GossipGenerator {
   [[nodiscard]] bool active(std::size_t worker) const;
   [[nodiscard]] std::size_t active_count() const noexcept;
 
+  /// Attack-aware down-weighting (SelectionStrategy::kAdaptiveReputation):
+  /// the matching weight of edge (i, j) becomes B_ij * jitter * trust_i *
+  /// trust_j, preserving the bandwidth objective among trusted peers, and a
+  /// trust of exactly 0 excludes the worker from every candidate edge set.
+  /// The default trust of 1.0 leaves the matching bit-identical to the
+  /// trust-free generator.
+  void set_trust(std::size_t worker, double trust);
+
   [[nodiscard]] double bandwidth_threshold() const noexcept { return b_thres_; }
   [[nodiscard]] const graph::AdjMatrix& filtered_graph() const noexcept {
     return b_star_;
@@ -79,6 +87,7 @@ class GossipGenerator {
   [[nodiscard]] graph::AdjMatrix unmatched_graph(
       const graph::Matching& match) const;
   void mask_inactive(graph::AdjMatrix& g) const;
+  void mask_distrusted(graph::AdjMatrix& g) const;
 
   const net::BandwidthMatrix* bandwidth_;
   double b_thres_;
@@ -87,6 +96,7 @@ class GossipGenerator {
   graph::AdjMatrix b_star_;              // threshold-filtered bandwidth graph
   std::vector<std::int64_t> last_used_;  // R, flattened; -1 = never
   std::vector<std::uint8_t> active_;
+  std::vector<double> trust_;            // 1.0 = neutral, 0.0 = excluded
 };
 
 /// Median of the positive off-diagonal bandwidths — the auto B_thres.

@@ -145,6 +145,7 @@ algos::Dynamics make_dynamics(const AlgoBuildContext& ctx) {
   algos::Dynamics dyn;
   dyn.merge = ctx.merge;
   dyn.trim_frac = ctx.trim_frac;
+  dyn.reputation_decay = ctx.reputation_decay;
   if (!ctx.failures.empty()) {
     dyn.on_round = [failures = ctx.failures](std::size_t round,
                                              sim::Engine& engine) {

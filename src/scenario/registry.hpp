@@ -50,6 +50,11 @@ struct AlgoBuildContext {
   // kMean keeps every algorithm's legacy float path verbatim.
   compress::MergeRule merge = compress::MergeRule::kMean;
   double trim_frac = 0.2;
+  // Attack-aware reputation scoring (the spec's `reputation-decay=` knob):
+  // > 0 enables a ReputationMonitor in the algorithms that support one
+  // (SAPS workers score their matched peer; the FedAvg family scores
+  // uploads server-side, observe-only).  0 keeps every run monitor-free.
+  double reputation_decay = 0.0;
 };
 
 /// Builds the algos::Dynamics value a factory hands its algorithm: the

@@ -70,6 +70,10 @@ sim::SimConfig Runner::sim_config() const {
   cfg.faults.delay_seconds = spec_.delay_seconds;
   cfg.faults.byzantine = spec_.byzantine;
   cfg.faults.partitions = spec_.net_partition;
+  cfg.faults.collude_group = spec_.collude_group;
+  cfg.faults.collude_min = spec_.collude_min;
+  cfg.faults.adapt_attack = spec_.adapt_attack;
+  cfg.faults.clip_norm = spec_.clip_norm;
   return cfg;
 }
 
@@ -102,6 +106,7 @@ RunRecord Runner::run(const std::string& algo_key, SinkList* sinks) {
   ctx.failures = spec_.failures;
   ctx.merge = compress::parse_merge_rule(spec_.aggregation);
   ctx.trim_frac = spec_.trim_frac;
+  ctx.reputation_decay = spec_.reputation_decay;
   auto algorithm =
       entry.make(resolve_entry_params(entry.params, spec_.params), ctx);
 

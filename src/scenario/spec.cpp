@@ -138,6 +138,16 @@ void assign_core(ScenarioSpec& s, const ParamDesc& d,
   } else if (k == "byzantine") {
     s.byzantine_text = canonical;
     s.byzantine.clear();
+  } else if (k == "collude-group") {
+    s.collude_group_text = canonical;
+    s.collude_group.clear();
+    s.collude_min = 2;
+  } else if (k == "adapt-attack") {
+    s.adapt_attack = parse_double(k, canonical);
+  } else if (k == "clip-norm") {
+    s.clip_norm = parse_double(k, canonical);
+  } else if (k == "reputation-decay") {
+    s.reputation_decay = parse_double(k, canonical);
   } else if (k == "net-partition") {
     s.net_partition_text = canonical;
     s.net_partition.clear();
@@ -231,9 +241,12 @@ sim::ByzantineMode parse_byzantine_mode(const std::string& name) {
   if (name == "sign-flip") return sim::ByzantineMode::kSignFlip;
   if (name == "scaled-noise") return sim::ByzantineMode::kScaledNoise;
   if (name == "silent") return sim::ByzantineMode::kSilent;
+  if (name == "model-replacement") return sim::ByzantineMode::kModelReplacement;
+  if (name == "collusion") return sim::ByzantineMode::kCollusion;
   throw std::invalid_argument(
-      "--byzantine mode must be sign-flip|scaled-noise|silent, got '" + name +
-      "'");
+      "--byzantine mode must be "
+      "sign-flip|scaled-noise|silent|model-replacement|collusion, got '" +
+      name + "'");
 }
 
 const char* byzantine_mode_name(sim::ByzantineMode mode) {
@@ -244,6 +257,10 @@ const char* byzantine_mode_name(sim::ByzantineMode mode) {
       return "scaled-noise";
     case sim::ByzantineMode::kSilent:
       return "silent";
+    case sim::ByzantineMode::kModelReplacement:
+      return "model-replacement";
+    case sim::ByzantineMode::kCollusion:
+      return "collusion";
   }
   return "sign-flip";
 }
@@ -267,6 +284,34 @@ std::vector<sim::ByzantineEvent> parse_byzantine(const std::string& text) {
     out.push_back(e);
   }
   return out;
+}
+
+// Parses "W.W.W[:K]" into (members, min_live); K defaults to 2.  Bounds and
+// duplicate checks happen in finalize_spec against the resolved population.
+void parse_collude_group(const std::string& text,
+                         std::vector<std::size_t>& members,
+                         std::size_t& min_live) {
+  members.clear();
+  min_live = 2;
+  const auto colon = text.find(':');
+  if (colon != std::string::npos) {
+    min_live = static_cast<std::size_t>(
+        parse_int("collude-group", text.substr(colon + 1)));
+  }
+  for (const auto& m : split(text.substr(0, colon), '.')) {
+    if (m.empty()) continue;
+    members.push_back(static_cast<std::size_t>(parse_int("collude-group", m)));
+  }
+  if (members.empty()) {
+    throw std::invalid_argument(
+        "--collude-group expects 'W.W.W[:K]' with at least one worker, got '" +
+        text + "'");
+  }
+  if (min_live < 1 || min_live > members.size()) {
+    throw std::invalid_argument(
+        "--collude-group minimum K must be in [1, group size = " +
+        std::to_string(members.size()) + "], got " + std::to_string(min_live));
+  }
 }
 
 std::vector<sim::PartitionEvent> parse_net_partition(const std::string& text) {
@@ -565,8 +610,39 @@ const std::vector<ParamDesc>& core_spec_params() {
        .type = kString,
        .default_value = "",
        .help = "adversarial workers 'W@R[-R2]:mode[,...]': worker W applies "
-               "`mode` (sign-flip|scaled-noise|silent) to every frame it "
-               "sends during fabric rounds [R, R2) (omit -R2 = forever)"},
+               "`mode` (sign-flip|scaled-noise|silent|model-replacement|"
+               "collusion) to every frame it sends during fabric rounds "
+               "[R, R2) (omit -R2 = forever); collusion needs collude-group"},
+      {.name = "collude-group",
+       .type = kString,
+       .default_value = "",
+       .help = "colluding workers 'W.W.W[:K]': byzantine=...:collusion "
+               "members share one malicious direction per round and fire "
+               "only when at least K of them are live (default K = 2)"},
+      {.name = "adapt-attack",
+       .type = kDouble,
+       .default_value = "0",
+       .min_value = 0,
+       .max_value = kInf,
+       .help = "adaptive attack attenuation: byzantine transforms keep their "
+               "relative L2 perturbation under this budget to evade norm "
+               "defenses (0 = unconstrained; requires byzantine events)"},
+      {.name = "clip-norm",
+       .type = kDouble,
+       .default_value = "0",
+       .min_value = 0,
+       .max_value = kInf,
+       .help = "receiver-side defense: delivered data frames are rescaled to "
+               "L2 norm <= this bound (0 = off; works under every "
+               "algorithm; charged bytes are unchanged)"},
+      {.name = "reputation-decay",
+       .type = kDouble,
+       .default_value = "0",
+       .min_value = 0,
+       .max_value = 1,
+       .help = "attack-aware reputation scoring: > 0 runs the anomaly "
+               "monitor with this per-round decay (SAPS peers / the FedAvg "
+               "server); required by saps-strategy=reputation (0 = off)"},
       {.name = "net-partition",
        .type = kString,
        .default_value = "",
@@ -638,6 +714,9 @@ bool ScenarioSpec::equivalent(const ScenarioSpec& o) const {
          fault_seed == o.fault_seed && drop_prob == o.drop_prob &&
          dup_prob == o.dup_prob && delay_prob == o.delay_prob &&
          delay_seconds == o.delay_seconds && byzantine == o.byzantine &&
+         collude_group == o.collude_group && collude_min == o.collude_min &&
+         adapt_attack == o.adapt_attack && clip_norm == o.clip_norm &&
+         reputation_decay == o.reputation_decay &&
          net_partition == o.net_partition && aggregation == o.aggregation &&
          trim_frac == o.trim_frac && params == o.params;
 }
@@ -767,6 +846,79 @@ void finalize_spec(ScenarioSpec& spec) {
                                   std::to_string(spec.population) + " exist");
     }
   }
+  // A byzantine window and a failures= dropout window for the SAME worker
+  // must not overlap: an away worker sends nothing, so the attack would
+  // silently not fire for part of its window.  The two grammars count
+  // different clocks (fabric data rounds vs algorithm rounds), so this
+  // compares the raw numeric windows — conservative by design.
+  const auto windows_overlap = [](std::size_t a_from, std::size_t a_to,
+                                  std::size_t b_from, std::size_t b_to) {
+    const auto a_end = a_to == 0 ? static_cast<std::size_t>(-1) : a_to;
+    const auto b_end = b_to == 0 ? static_cast<std::size_t>(-1) : b_to;
+    return a_from < b_end && b_from < a_end;
+  };
+  for (const auto& b : spec.byzantine) {
+    for (const auto& f : spec.failures) {
+      if (b.worker == f.worker &&
+          windows_overlap(b.from_round, b.to_round, f.drop_round,
+                          f.rejoin_round)) {
+        throw std::invalid_argument(
+            "--byzantine and --failures both schedule worker " +
+            std::to_string(b.worker) +
+            " over overlapping round windows; an away worker sends nothing, "
+            "so separate the windows or pick one knob");
+      }
+    }
+  }
+  if (!spec.collude_group_text.empty()) {
+    parse_collude_group(spec.collude_group_text, spec.collude_group,
+                        spec.collude_min);
+    spec.collude_group_text.clear();
+  }
+  {
+    std::set<std::size_t> members;
+    for (const auto w : spec.collude_group) {
+      if (w >= spec.population) {
+        throw std::invalid_argument("--collude-group names worker " +
+                                    std::to_string(w) + " but only " +
+                                    std::to_string(spec.population) +
+                                    " exist");
+      }
+      if (!members.insert(w).second) {
+        throw std::invalid_argument("--collude-group lists worker " +
+                                    std::to_string(w) + " twice");
+      }
+    }
+    bool any_collusion = false;
+    for (const auto& e : spec.byzantine) {
+      if (e.mode != sim::ByzantineMode::kCollusion) continue;
+      any_collusion = true;
+      if (!members.contains(e.worker)) {
+        throw std::invalid_argument(
+            "--byzantine schedules worker " + std::to_string(e.worker) +
+            " as :collusion but --collude-group does not list it");
+      }
+    }
+    if (!any_collusion && !spec.collude_group.empty()) {
+      throw std::invalid_argument(
+          "--collude-group is set but no --byzantine event uses :collusion");
+    }
+  }
+  if (spec.adapt_attack > 0.0 && spec.byzantine.empty()) {
+    throw std::invalid_argument(
+        "--adapt-attack > 0 needs --byzantine events to attenuate");
+  }
+  if (spec.reputation_decay >= 1.0) {
+    throw std::invalid_argument(
+        "--reputation-decay must be in [0, 1); 1 would never forget");
+  }
+  if (spec.params.has("saps-strategy") &&
+      spec.params.raw("saps-strategy") == "reputation" &&
+      spec.reputation_decay <= 0.0) {
+    throw std::invalid_argument(
+        "saps-strategy=reputation needs --reputation-decay > 0 to score "
+        "peers");
+  }
   if (!spec.net_partition_text.empty()) {
     spec.net_partition = parse_net_partition(spec.net_partition_text);
     spec.net_partition_text.clear();
@@ -886,6 +1038,18 @@ std::string format_byzantine(const std::vector<sim::ByzantineEvent>& events) {
   return join(tokens, ',');
 }
 
+std::string format_collude_group(const std::vector<std::size_t>& members,
+                                 std::size_t min_live) {
+  std::vector<std::string> tokens;
+  for (const auto w : members) {
+    tokens.push_back(format_int(static_cast<std::int64_t>(w)));
+  }
+  std::string out = join(tokens, '.');
+  out += ':';
+  out += format_int(static_cast<std::int64_t>(min_live));
+  return out;
+}
+
 std::string format_net_partition(
     const std::vector<sim::PartitionEvent>& events) {
   std::vector<std::string> tokens;
@@ -968,6 +1132,14 @@ std::string to_spec_text(const ScenarioSpec& s) {
   if (!s.byzantine.empty()) {
     oss << "byzantine=" << format_byzantine(s.byzantine) << "\n";
   }
+  if (!s.collude_group.empty()) {
+    oss << "collude-group=" << format_collude_group(s.collude_group,
+                                                    s.collude_min)
+        << "\n";
+  }
+  oss << "adapt-attack=" << format_double(s.adapt_attack) << "\n";
+  oss << "clip-norm=" << format_double(s.clip_norm) << "\n";
+  oss << "reputation-decay=" << format_double(s.reputation_decay) << "\n";
   if (!s.net_partition.empty()) {
     oss << "net-partition=" << format_net_partition(s.net_partition) << "\n";
   }

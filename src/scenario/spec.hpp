@@ -79,6 +79,20 @@ struct ScenarioSpec {
   double delay_seconds = 0.0;
   std::vector<sim::ByzantineEvent> byzantine;
   std::vector<sim::PartitionEvent> net_partition;
+  // Adaptive adversaries: the colluding group for `:collusion` events
+  // ("W.W.W[:K]", K = min co-selected members, default 2), and the
+  // attenuation budget that keeps every byzantine transform's relative L2
+  // perturbation under adapt_attack (0 = unconstrained).
+  std::vector<std::size_t> collude_group;
+  std::size_t collude_min = 2;
+  double adapt_attack = 0.0;
+
+  // Defenses.  clip-norm: receiver-side L2 clip on every delivered data
+  // frame (0 = off; works under all seven algorithms).  reputation-decay:
+  // > 0 runs the attack-aware ReputationMonitor (SAPS peers / the FedAvg
+  // server score received updates); required by saps-strategy=reputation.
+  double clip_norm = 0.0;
+  double reputation_decay = 0.0;
 
   // Robust aggregation (compress::MergeRule; 'plain' = each algorithm's
   // legacy mean path, bit-transparent by construction).
@@ -112,6 +126,7 @@ struct ScenarioSpec {
   std::string failures_text;
   std::string byzantine_text;
   std::string net_partition_text;
+  std::string collude_group_text;
   std::set<std::string> provided_;
 };
 
@@ -146,6 +161,10 @@ void finalize_spec(ScenarioSpec& spec);
     const std::vector<sim::ByzantineEvent>& events);
 [[nodiscard]] std::string format_net_partition(
     const std::vector<sim::PartitionEvent>& events);
+
+/// Formats spec.collude_group back to its grammar ("W.W.W:K").
+[[nodiscard]] std::string format_collude_group(
+    const std::vector<std::size_t>& members, std::size_t min_live);
 
 /// Full CLI pipeline: defaults → preset → --spec file → flags → finalize.
 /// Throws std::invalid_argument (benches wrap via scenario_from_flags_or_exit

@@ -155,6 +155,25 @@ Engine::Engine(SimConfig config, const data::Dataset& train,
     frozen_.resize(config_.workers);
   }
 
+  if (auto* faulty = dynamic_cast<FaultyFabric*>(fabric_.get())) {
+    // Adaptive-adversary hooks: the model-replacement boost targets the
+    // actual aggregation fan-in (cohort size, == workers outside population
+    // mode), and the collusion gate counts group members that are both
+    // resident in the replica pool and active this round.  The probe is
+    // only invoked from FaultyFabric::begin_round (serial), so it reads
+    // engine state that round setup has already fixed.
+    faulty->set_aggregation_fanin(cohort_size_);
+    faulty->set_colluder_liveness_probe([this] {
+      std::size_t live = 0;
+      for (const auto w : config_.faults.collude_group) {
+        if (w < config_.workers && slot_of_[w] != kNoSlot && active_[w] != 0) {
+          ++live;
+        }
+      }
+      return live;
+    });
+  }
+
   if (config_.threads > 0) {
     pool_ = std::make_unique<ThreadPool>(config_.threads);
     // Intra-op GEMM parallelism rides the same pool: calls made from the

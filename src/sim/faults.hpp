@@ -24,6 +24,17 @@ enum class ByzantineMode : std::uint8_t {
   kSignFlip,     // negate every value in the payload
   kScaledNoise,  // replace values with large seeded noise (10x signal RMS)
   kSilent,       // straggle silently: frames vanish without being charged
+  // Boosted substitution (Bagdasaryan et al.): submit the negated update
+  // amplified by the estimated aggregation fan-in m, i.e. v -> (1 - 2m) * v,
+  // so a single attacker steers an m-way mean toward its target.  The fabric
+  // learns m from the engine (cohort size) at construction time.
+  kModelReplacement,
+  // Coordinated group attack: every colluder pushes the SAME seeded
+  // malicious direction (a per-round stream shared by the group), and the
+  // group only attacks in rounds where at least FaultSpec::collude_min of
+  // its members are live (resident and active) — otherwise it lies low and
+  // behaves honestly.
+  kCollusion,
 };
 
 // Worker `worker` behaves adversarially for fabric rounds
@@ -57,6 +68,22 @@ struct FaultSpec {
   std::uint64_t fault_seed = 0;
   std::vector<ByzantineEvent> byzantine;
   std::vector<PartitionEvent> partitions;
+  // Members of the (single) colluding group for kCollusion events, and the
+  // minimum number of group members that must be live in a round for the
+  // group to attack.  Scenario validation guarantees every kCollusion event
+  // names a group member.
+  std::vector<std::size_t> collude_group;
+  std::size_t collude_min = 2;
+  // Adaptive attacker: when > 0, every byzantine float transform is blended
+  // back toward the honest payload so the relative L2 perturbation stays
+  // <= adapt_attack (the attacker attenuates itself to duck a norm/cosine
+  // detector).  Quantized frames clamp their norm inflation to 1 + adapt.
+  double adapt_attack = 0.0;
+  // Receiver-side norm-clipping defense: any delivered data frame whose
+  // float payload has L2 norm above clip_norm is rescaled to clip_norm
+  // (QuantGrad frames clamp their carried norm).  Size-preserving, so the
+  // charge is unchanged.  0 disables.
+  double clip_norm = 0.0;
   // Tests set this to pin the zero-knob wrapper bit-identical to the plain
   // fabric: the wrapper is installed even though no fault can ever fire.
   bool force_wrapper = false;
@@ -66,7 +93,7 @@ struct FaultSpec {
   [[nodiscard]] bool enabled() const noexcept {
     return drop_prob > 0.0 || dup_prob > 0.0 ||
            (delay_prob > 0.0 && delay_seconds > 0.0) || !byzantine.empty() ||
-           !partitions.empty();
+           !partitions.empty() || clip_norm > 0.0;
   }
 };
 

@@ -43,54 +43,174 @@ void scaled_noise(std::span<float> v, Rng& rng) {
   }
 }
 
+// Everything one adversarial rewrite needs beyond the payload itself.
+struct AttackParams {
+  ByzantineMode mode = ByzantineMode::kSignFlip;
+  double boost = 1.0;  // kModelReplacement fan-in estimate m
+  double adapt = 0.0;  // relative L2 budget, 0 = unconstrained
+  std::uint64_t shared_seed = 0;  // kCollusion per-round direction stream
+};
+
+// Blends the attacked span back toward the honest values so the relative
+// L2 perturbation ||v - honest|| / ||honest|| stays <= theta.
+void attenuate(std::span<float> v, std::span<const float> honest,
+               double theta) {
+  double dd = 0.0;
+  double hh = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double d = static_cast<double>(v[i]) - honest[i];
+    dd += d * d;
+    hh += static_cast<double>(honest[i]) * honest[i];
+  }
+  const double delta_norm = std::sqrt(dd);
+  const double budget = theta * std::sqrt(hh);
+  if (delta_norm <= budget || delta_norm == 0.0) return;
+  const float lambda = static_cast<float>(budget / delta_norm);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = honest[i] + lambda * (v[i] - honest[i]);
+  }
+}
+
+void attack_values(std::span<float> v, const AttackParams& p, Rng& rng) {
+  std::vector<float> honest;
+  if (p.adapt > 0.0) honest.assign(v.begin(), v.end());
+  switch (p.mode) {
+    case ByzantineMode::kSignFlip:
+      flip_sign(v);
+      break;
+    case ByzantineMode::kScaledNoise:
+      scaled_noise(v, rng);
+      break;
+    case ByzantineMode::kModelReplacement: {
+      // Substitute m * (-v) for the honest contribution inside an m-way
+      // mean: the wire update becomes v + m * (-v - v) = (1 - 2m) v.
+      const float a = 1.0f - 2.0f * static_cast<float>(p.boost);
+      for (auto& x : v) x *= a;
+      break;
+    }
+    case ByzantineMode::kCollusion: {
+      // Every colluder re-seeds the SAME per-round stream, so coordinate j
+      // of every colluder's payload carries the same direction sample —
+      // coordinated poison that a mean cannot cancel.  Magnitude follows
+      // the sender's own signal RMS (size- and scale-preserving charge).
+      Rng shared(p.shared_seed);
+      const float sigma = 10.0f * rms(v);
+      for (auto& x : v) x = sigma * (2.0f * shared.next_float() - 1.0f);
+      break;
+    }
+    case ByzantineMode::kSilent:
+      break;  // handled before any payload reaches the transform
+  }
+  if (p.adapt > 0.0) attenuate(v, honest, p.adapt);
+}
+
+// Quantized frames cannot be blended coordinate-wise, so the adaptive
+// budget clamps the norm inflation factor instead.
+float quant_norm_scale(double raw_scale, double adapt) {
+  if (adapt > 0.0) raw_scale = std::min(raw_scale, 1.0 + adapt);
+  return static_cast<float>(raw_scale);
+}
+
 // Size-preserving adversarial rewrite of one encoded data frame.  Returns
 // the original payload untouched for frame types with no float payload to
 // attack (control frames never reach here anyway).
 std::vector<std::uint8_t> transform_payload(std::vector<std::uint8_t> payload,
-                                            ByzantineMode mode, Rng& rng) {
+                                            const AttackParams& p, Rng& rng) {
   switch (net::peek_type(payload)) {
     case net::MsgType::kMaskedModel: {
       auto msg = net::MaskedModelMsg::decode(payload);
-      if (mode == ByzantineMode::kSignFlip) {
-        flip_sign(msg.values);
-      } else {
-        scaled_noise(msg.values, rng);
-      }
+      attack_values(msg.values, p, rng);
       return msg.encode();
     }
     case net::MsgType::kSparseDelta: {
       auto msg = net::SparseDeltaMsg::decode(payload);
-      if (mode == ByzantineMode::kSignFlip) {
-        flip_sign(msg.values);
-      } else {
-        scaled_noise(msg.values, rng);
-      }
+      attack_values(msg.values, p, rng);
       return msg.encode();
     }
     case net::MsgType::kFullModel: {
       auto msg = net::FullModelMsg::decode(payload);
-      if (mode == ByzantineMode::kSignFlip) {
-        flip_sign(msg.params);
-      } else {
-        scaled_noise(msg.params, rng);
-      }
+      attack_values(msg.params, p, rng);
       return msg.encode();
     }
     case net::MsgType::kQuantGrad: {
       auto msg = net::QuantGradMsg::decode(payload);
-      if (mode == ByzantineMode::kSignFlip) {
-        for (auto& q : msg.quantized) q = static_cast<std::int8_t>(-q);
-      } else {
-        // Random levels at an inflated norm: same (levels, count) pair, so
-        // the bit-packed size — and therefore the charge — is unchanged.
-        const auto span = 2u * msg.levels + 1u;
-        for (auto& q : msg.quantized) {
-          q = static_cast<std::int8_t>(static_cast<int>(rng.next_below(span)) -
-                                       static_cast<int>(msg.levels));
+      switch (p.mode) {
+        case ByzantineMode::kSignFlip:
+          for (auto& q : msg.quantized) q = static_cast<std::int8_t>(-q);
+          break;
+        case ByzantineMode::kModelReplacement:
+          for (auto& q : msg.quantized) q = static_cast<std::int8_t>(-q);
+          msg.norm *= quant_norm_scale(2.0 * p.boost - 1.0, p.adapt);
+          break;
+        default: {
+          // Random levels at an inflated norm: same (levels, count) pair,
+          // so the bit-packed size — and therefore the charge — is
+          // unchanged.  Collusion draws the levels from the shared stream.
+          Rng shared(p.shared_seed);
+          Rng& source =
+              p.mode == ByzantineMode::kCollusion ? shared : rng;
+          const auto span = 2u * msg.levels + 1u;
+          for (auto& q : msg.quantized) {
+            q = static_cast<std::int8_t>(
+                static_cast<int>(source.next_below(span)) -
+                static_cast<int>(msg.levels));
+          }
+          msg.norm *= quant_norm_scale(10.0, p.adapt);
+          break;
         }
-        msg.norm *= 10.0f;
       }
       return msg.encode();
+    }
+    default:
+      return payload;
+  }
+}
+
+// L2 norm of the float payload carried by one encoded data frame, and the
+// in-place rescale used by the clip-norm defense.  Both are deterministic
+// (no RNG) and size-preserving.
+double payload_l2(std::span<const float> v) {
+  double sum = 0.0;
+  for (const float x : v) sum += static_cast<double>(x) * x;
+  return std::sqrt(sum);
+}
+
+bool clip_span(std::span<float> v, double clip) {
+  const double norm = payload_l2(v);
+  if (norm <= clip || norm == 0.0) return false;
+  const float s = static_cast<float>(clip / norm);
+  for (auto& x : v) x *= s;
+  return true;
+}
+
+std::vector<std::uint8_t> clip_payload(std::vector<std::uint8_t> payload,
+                                       double clip, bool& clipped) {
+  clipped = false;
+  switch (net::peek_type(payload)) {
+    case net::MsgType::kMaskedModel: {
+      auto msg = net::MaskedModelMsg::decode(payload);
+      clipped = clip_span(msg.values, clip);
+      return clipped ? msg.encode() : payload;
+    }
+    case net::MsgType::kSparseDelta: {
+      auto msg = net::SparseDeltaMsg::decode(payload);
+      clipped = clip_span(msg.values, clip);
+      return clipped ? msg.encode() : payload;
+    }
+    case net::MsgType::kFullModel: {
+      auto msg = net::FullModelMsg::decode(payload);
+      clipped = clip_span(msg.params, clip);
+      return clipped ? msg.encode() : payload;
+    }
+    case net::MsgType::kQuantGrad: {
+      auto msg = net::QuantGradMsg::decode(payload);
+      // The carried norm IS the payload scale for quantized frames.
+      if (msg.norm > clip) {
+        msg.norm = static_cast<float>(clip);
+        clipped = true;
+        return msg.encode();
+      }
+      return payload;
     }
     default:
       return payload;
@@ -102,6 +222,7 @@ std::vector<std::uint8_t> transform_payload(std::vector<std::uint8_t> payload,
 FaultyFabric::FaultyFabric(net::LinkModel link, FaultSpec spec)
     : Fabric(std::move(link)),
       spec_(std::move(spec)),
+      fanin_estimate_(nodes() > 0 ? nodes() - 1 : 0),
       counter_(nodes(), 0),
       tallies_(nodes()) {
   partition_group_.reserve(spec_.partitions.size());
@@ -120,6 +241,11 @@ void FaultyFabric::begin_round() {
   Fabric::begin_round();
   ++round_;
   std::fill(counter_.begin(), counter_.end(), 0);
+  // Serial per-round snapshot: parallel post() calls all read one value, so
+  // the collusion gate is a pure function of the round like every other
+  // fault decision.  Without a probe the whole group counts as live.
+  colluders_live_ = colluder_liveness_ ? colluder_liveness_()
+                                       : spec_.collude_group.size();
 }
 
 FaultyFabric::Tally FaultyFabric::tally() const {
@@ -131,6 +257,7 @@ FaultyFabric::Tally FaultyFabric::tally() const {
     total.transformed += t.transformed;
     total.silenced += t.silenced;
     total.partitioned += t.partitioned;
+    total.clipped += t.clipped;
   }
   return total;
 }
@@ -161,6 +288,12 @@ void FaultyFabric::post(std::size_t src, std::size_t dst, double charged,
   const std::uint64_t k = counter_[src]++;
 
   const auto* byz = byzantine_event(src);
+  if (byz != nullptr && byz->mode == ByzantineMode::kCollusion &&
+      colluders_live_ < spec_.collude_min) {
+    // The collusion gate is closed: too few group members are co-selected
+    // this round, so the colluder lies low and behaves honestly.
+    byz = nullptr;
+  }
   if (byz != nullptr && byz->mode == ByzantineMode::kSilent) {
     // Silent straggler: the frame is never sent, so nothing is charged.
     ++tallies_[src].silenced;
@@ -198,8 +331,25 @@ void FaultyFabric::post(std::size_t src, std::size_t dst, double charged,
     // byzantine window never shifts drop/dup/delay schedules.
     Rng noise(derive_seed(derive_seed(spec_.fault_seed, kFaultSalt + 1, src),
                           round_, k, dst));
-    payload = transform_payload(std::move(payload), byz->mode, noise);
+    AttackParams params;
+    params.mode = byz->mode;
+    params.boost = static_cast<double>(std::max<std::size_t>(
+        fanin_estimate_, 1));
+    params.adapt = spec_.adapt_attack;
+    // The direction stream is shared by the whole group: no src/k/dst tags,
+    // so every colluder's frame carries the same per-round direction.
+    params.shared_seed =
+        derive_seed(derive_seed(spec_.fault_seed, kFaultSalt + 2), round_);
+    payload = transform_payload(std::move(payload), params, noise);
     ++tallies_[src].transformed;
+  }
+
+  if (spec_.clip_norm > 0.0) {
+    // Receiver-side defense: applied after the adversarial rewrite, to
+    // honest and byzantine frames alike, before any duplication.
+    bool clipped = false;
+    payload = clip_payload(std::move(payload), spec_.clip_norm, clipped);
+    if (clipped) ++tallies_[src].clipped;
   }
 
   const bool duplicate = u_dup < spec_.dup_prob;

@@ -21,12 +21,23 @@
 //    frame equals the honest frame's charge; silent stragglers send nothing
 //    and are charged nothing.
 //
+// Adaptive adversaries (docs/ARCHITECTURE.md, "Adaptive adversaries &
+// attack-aware selection"): model-replacement boosts the negated update by
+// the engine-provided aggregation fan-in; collusion events share one
+// per-round direction stream and fire only when >= collude_min group
+// members are live (the liveness snapshot is taken serially at
+// begin_round); adapt_attack attenuates every transform to a relative L2
+// budget.  clip_norm is the matching receiver-side defense: it rescales
+// any delivered float payload to the clip, honest or not, after the
+// adversarial rewrite — also size-preserving.
+//
 // The control plane (send_control) bypasses post by design: coordinator
 // control traffic models a reliable side channel and is never faulted.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/fabric.hpp"
@@ -59,8 +70,25 @@ class FaultyFabric final : public Fabric {
     std::size_t transformed = 0;
     std::size_t silenced = 0;
     std::size_t partitioned = 0;
+    std::size_t clipped = 0;
   };
   [[nodiscard]] Tally tally() const;
+
+  /// Estimated aggregation fan-in m for kModelReplacement boosting
+  /// (v -> (1 - 2m) v).  The engine sets this to the cohort size right
+  /// after fabric construction (serial); defaults to nodes() - 1.
+  void set_aggregation_fanin(std::size_t fanin) noexcept {
+    fanin_estimate_ = fanin;
+  }
+
+  /// Installs the colluder-liveness probe: returns how many members of
+  /// spec.collude_group are live (resident AND active) this round.  Called
+  /// once per begin_round (serial), never from parallel sends, so the
+  /// per-frame decision stays a pure per-round function.  Without a probe
+  /// all colluders count as live.
+  void set_colluder_liveness_probe(std::function<std::size_t()> probe) {
+    colluder_liveness_ = std::move(probe);
+  }
 
  protected:
   void post(std::size_t src, std::size_t dst, double charged,
@@ -75,6 +103,11 @@ class FaultyFabric final : public Fabric {
 
   FaultSpec spec_;
   std::size_t round_ = 0;
+  std::size_t fanin_estimate_ = 0;
+  std::function<std::size_t()> colluder_liveness_;
+  // Snapshot of the colluder-liveness count, taken serially in
+  // begin_round() so parallel post() calls read a fixed per-round value.
+  std::size_t colluders_live_ = 0;
   // Per-source send counters and tallies: sources are owned by disjoint
   // parallel tasks (the fabric's concurrency contract), so per-source slots
   // need no synchronization.

@@ -9,7 +9,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <memory>
 #include <mutex>
 #include <optional>
 #include <queue>
@@ -24,10 +23,25 @@ struct Envelope {
 
 class Transport {
  public:
-  /// `endpoints` mailboxes, addressed 0..endpoints-1.
+  /// `endpoints` addressable mailboxes, 0..endpoints-1.  Mailboxes are
+  /// allocated lazily on first send/recv touch, so a wide transport whose
+  /// traffic only hits a few endpoints (e.g. a pooled-replica cohort run)
+  /// pays for the endpoints it uses.  Delivery order is untouched: each
+  /// mailbox is still a strict per-endpoint FIFO, and allocation happens-
+  /// before any message lands in the box it guards.
   explicit Transport(std::size_t endpoints);
+  ~Transport();
 
-  [[nodiscard]] std::size_t endpoints() const noexcept { return boxes_.size(); }
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  [[nodiscard]] std::size_t endpoints() const noexcept {
+    return slots_.size();
+  }
+
+  /// Mailboxes materialized so far (lazy-allocation observability; at most
+  /// endpoints()).  Thread-safe.
+  [[nodiscard]] std::size_t allocated_mailboxes() const noexcept;
 
   /// Copies `payload` into `to`'s mailbox.  Thread-safe.  Throws on a bad
   /// address or if the transport is shut down.
@@ -54,9 +68,15 @@ class Transport {
     std::queue<Envelope> queue;
   };
 
+  /// Returns `id`'s mailbox, allocating it on first touch (double-checked:
+  /// lock-free once materialized).  Throws on a bad address.
   [[nodiscard]] Mailbox& box(std::size_t id);
+  /// The mailbox if already materialized, else nullptr (never allocates).
+  [[nodiscard]] Mailbox* peek(std::size_t id) const;
 
-  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  // Lazily-filled slots; a published pointer is immutable until ~Transport.
+  std::vector<std::atomic<Mailbox*>> slots_;
+  std::mutex alloc_mutex_;
   mutable std::mutex stats_mutex_;
   double total_bytes_ = 0.0;
   std::atomic<bool> down_{false};

@@ -10,6 +10,8 @@
 // byzantine workers send nothing) and the zero-knob transparency guarantee.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -99,6 +101,7 @@ void expect_same_tally(const sim::FaultyFabric::Tally& a,
   EXPECT_EQ(a.transformed, b.transformed);
   EXPECT_EQ(a.silenced, b.silenced);
   EXPECT_EQ(a.partitioned, b.partitioned);
+  EXPECT_EQ(a.clipped, b.clipped);
 }
 
 // A spec that fires every probabilistic injection plus a byzantine window
@@ -118,9 +121,28 @@ sim::FaultSpec chaos_spec() {
   return faults;
 }
 
+// The chaos spec extended with every adaptive-adversary knob: a boosted
+// model-replacement window, a two-member colluding pair, the attenuation
+// budget, and the clip-norm defense — the worst case for cross-thread
+// agreement of the NEW decision/transform streams.
+sim::FaultSpec adaptive_chaos_spec() {
+  auto faults = chaos_spec();
+  faults.byzantine = {{.worker = 3, .from_round = 2, .to_round = 0,
+                       .mode = sim::ByzantineMode::kModelReplacement},
+                      {.worker = 1, .from_round = 1, .to_round = 0,
+                       .mode = sim::ByzantineMode::kCollusion},
+                      {.worker = 5, .from_round = 1, .to_round = 0,
+                       .mode = sim::ByzantineMode::kCollusion}};
+  faults.collude_group = {1, 5};
+  faults.collude_min = 2;
+  faults.adapt_attack = 0.5;
+  faults.clip_norm = 1.0;
+  return faults;
+}
+
 template <typename MakeAlgo>
-void check_faulted_invariance(MakeAlgo make_algo) {
-  const auto faults = chaos_spec();
+void check_faulted_invariance(MakeAlgo make_algo,
+                              const sim::FaultSpec& faults = chaos_spec()) {
   std::unique_ptr<RunSnapshot> base;
   for (const auto threads : kThreadCounts) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
@@ -308,6 +330,178 @@ TEST(FaultInjection, PartitionChargesCutFramesAndHealsOnSchedule) {
             baseline.result.final().worker_mb);
   // The run completes after healing and still learns.
   EXPECT_GT(split.result.final().accuracy, 0.5);
+}
+
+TEST(FaultInjection, SapsAdaptiveChaosRunBitIdenticalAcrossThreadsAndReruns) {
+  check_faulted_invariance(
+      [] {
+        return std::make_unique<core::SapsPsgd>(
+            core::SapsConfig{.compression = 10.0});
+      },
+      adaptive_chaos_spec());
+}
+
+TEST(FaultInjection, DPsgdAdaptiveChaosRunBitIdenticalAcrossThreadsAndReruns) {
+  check_faulted_invariance([] { return std::make_unique<algos::DPsgd>(); },
+                           adaptive_chaos_spec());
+}
+
+TEST(FaultInjection, CollusionFiresOnQuorumAndLiesLowBelowIt) {
+  // Two colluders with a quorum of 2: both are co-selected every round, so
+  // the shared-direction attack fires.
+  sim::FaultSpec quorum;
+  quorum.fault_seed = 5;
+  quorum.byzantine = {{.worker = 1, .from_round = 1, .to_round = 0,
+                       .mode = sim::ByzantineMode::kCollusion},
+                      {.worker = 5, .from_round = 1, .to_round = 0,
+                       .mode = sim::ByzantineMode::kCollusion}};
+  quorum.collude_group = {1, 5};
+  quorum.collude_min = 2;
+  algos::DPsgd quorum_algo;
+  const auto fired = run_faulted(quorum_algo, 0, quorum);
+  EXPECT_GT(fired.tally.transformed, 0u);
+
+  // Same schedule but an unreachable quorum of 3: the colluders lie low and
+  // the run is BIT-identical to a fault-free one — the closed gate leaves
+  // every payload and every decision stream untouched.
+  auto low = quorum;
+  low.collude_min = 3;
+  algos::DPsgd low_algo;
+  const auto gated = run_faulted(low_algo, 0, low);
+  EXPECT_EQ(gated.tally.transformed, 0u);
+  algos::DPsgd clean_algo;
+  const auto clean = run_faulted(clean_algo, 0, sim::FaultSpec{});
+  expect_identical(clean, gated);
+}
+
+TEST(FaultInjection, AttackerScheduleInvariantUnderDefenseChoice) {
+  // Receiver-side defenses must not perturb the attacker's schedule: the
+  // fault decision streams are keyed only by (seed, round, src, k, dst), and
+  // neither a robust merge rule nor clip-norm changes the traffic pattern.
+  sim::FaultSpec attack;
+  attack.fault_seed = 5;
+  attack.drop_prob = 0.1;
+  attack.byzantine = {{.worker = 1, .from_round = 1, .to_round = 0,
+                       .mode = sim::ByzantineMode::kModelReplacement},
+                      {.worker = 4, .from_round = 2, .to_round = 0,
+                       .mode = sim::ByzantineMode::kSilent}};
+  const algos::FedAvgConfig fed{.fraction = 1.0, .local_epochs = 1,
+                                .local_steps = 1};
+
+  algos::FedAvg plain_algo(fed);
+  const auto undefended = run_faulted(plain_algo, 0, attack);
+  EXPECT_GT(undefended.tally.transformed, 0u);
+  EXPECT_GT(undefended.tally.silenced, 0u);
+
+  algos::Dynamics robust;
+  robust.merge = compress::MergeRule::kTrimmedMean;
+  robust.trim_frac = 0.3;
+  algos::FedAvg trimmed_algo(fed, std::move(robust));
+  const auto trimmed = run_faulted(trimmed_algo, 0, attack);
+  expect_same_tally(undefended.tally, trimmed.tally);
+
+  auto clipped_attack = attack;
+  clipped_attack.clip_norm = 1.0;  // aggressive: every data frame clips
+  algos::FedAvg clip_algo(fed);
+  const auto clipped = run_faulted(clip_algo, 0, clipped_attack);
+  EXPECT_EQ(undefended.tally.transformed, clipped.tally.transformed);
+  EXPECT_EQ(undefended.tally.silenced, clipped.tally.silenced);
+  EXPECT_EQ(undefended.tally.dropped, clipped.tally.dropped);
+  EXPECT_GT(clipped.tally.clipped, 0u);
+}
+
+TEST(FaultInjection, ModelReplacementDegradesAndDefensesRecover) {
+  // 2 of 8 workers (25%, past the acceptance bar's 20%) replace their
+  // uploads with the boosted substitution (1 - 2m)·v, m = the server fan-in.
+  sim::FaultSpec attack;
+  attack.fault_seed = 5;
+  attack.byzantine = {{.worker = 1, .from_round = 1, .to_round = 0,
+                       .mode = sim::ByzantineMode::kModelReplacement},
+                      {.worker = 6, .from_round = 1, .to_round = 0,
+                       .mode = sim::ByzantineMode::kModelReplacement}};
+  const algos::FedAvgConfig fed{.fraction = 1.0, .local_epochs = 1,
+                                .local_steps = 1};
+
+  algos::FedAvg clean_algo(fed);
+  const auto clean = run_faulted(clean_algo, 0, sim::FaultSpec{});
+  algos::FedAvg plain_algo(fed);
+  const auto attacked = run_faulted(plain_algo, 0, attack);
+  EXPECT_GT(attacked.tally.transformed, 0u);
+
+  const double clean_acc = clean.result.final().accuracy;
+  const double attacked_acc = attacked.result.final().accuracy;
+  EXPECT_LT(attacked_acc, clean_acc);
+
+  // Defense 1: a trimmed mean shedding floor(0.3·8) = 2 per tail — exactly
+  // the attackers' contributions at every coordinate.
+  algos::Dynamics robust;
+  robust.merge = compress::MergeRule::kTrimmedMean;
+  robust.trim_frac = 0.3;
+  algos::FedAvg trimmed_algo(fed, std::move(robust));
+  const auto trimmed = run_faulted(trimmed_algo, 0, attack);
+  const double trimmed_acc = trimmed.result.final().accuracy;
+  EXPECT_GE(trimmed_acc, attacked_acc + 0.5 * (clean_acc - attacked_acc));
+
+  // Defense 2: clip-norm at 2x the clean run's largest model norm leaves
+  // honest uploads alone and rescales the boosted substitutions back to the
+  // honest scale.
+  double max_norm = 0.0;
+  for (const auto& p : clean.params) {
+    double sum = 0.0;
+    for (const float x : p) sum += static_cast<double>(x) * x;
+    max_norm = std::max(max_norm, std::sqrt(sum));
+  }
+  auto clip_attack = attack;
+  clip_attack.clip_norm = 2.0 * max_norm;
+  algos::FedAvg clip_algo(fed);
+  const auto clipped = run_faulted(clip_algo, 0, clip_attack);
+  EXPECT_GT(clipped.tally.clipped, 0u);
+  const double clipped_acc = clipped.result.final().accuracy;
+  EXPECT_GT(clipped_acc, attacked_acc);
+}
+
+TEST(FaultInjection, SapsCollusionDegradesAndReputationSelectionRecovers) {
+  // 3 of 8 SAPS workers collude: their masked frames carry one shared
+  // 10x-RMS direction per round, which pairwise averaging cannot cancel.
+  sim::FaultSpec attack;
+  attack.fault_seed = 5;
+  attack.byzantine = {{.worker = 1, .from_round = 1, .to_round = 0,
+                       .mode = sim::ByzantineMode::kCollusion},
+                      {.worker = 4, .from_round = 1, .to_round = 0,
+                       .mode = sim::ByzantineMode::kCollusion},
+                      {.worker = 6, .from_round = 1, .to_round = 0,
+                       .mode = sim::ByzantineMode::kCollusion}};
+  attack.collude_group = {1, 4, 6};
+  attack.collude_min = 2;
+  const core::SapsConfig saps{.compression = 10.0};
+
+  core::SapsPsgd clean_algo(saps);
+  const auto clean = run_faulted(clean_algo, 0, sim::FaultSpec{});
+  core::SapsPsgd plain_algo(saps);
+  const auto attacked = run_faulted(plain_algo, 0, attack);
+  EXPECT_GT(attacked.tally.transformed, 0u);
+
+  const double clean_acc = clean.result.final().accuracy;
+  const double attacked_acc = attacked.result.final().accuracy;
+  EXPECT_LT(attacked_acc, clean_acc);
+
+  // Attack-aware peer selection: reputation scoring flags the colluders
+  // within a round or two, and the matching then isolates them.
+  auto defended_cfg = saps;
+  defended_cfg.strategy = core::SelectionStrategy::kAdaptiveReputation;
+  defended_cfg.reputation_decay = 0.5;
+  core::SapsPsgd defended_algo(defended_cfg);
+  const auto defended = run_faulted(defended_algo, 0, attack);
+  const double defended_acc = defended.result.final().accuracy;
+  EXPECT_GE(defended_acc, attacked_acc + 0.5 * (clean_acc - attacked_acc));
+
+  // Detection: every colluder flagged, no honest worker flagged.
+  const auto* monitor = defended_algo.reputation();
+  ASSERT_NE(monitor, nullptr);
+  for (std::size_t w = 0; w < 8; ++w) {
+    const bool colluder = w == 1 || w == 4 || w == 6;
+    EXPECT_EQ(monitor->suspected(w), colluder) << "worker " << w;
+  }
 }
 
 TEST(FaultInjection, SignFlipAttackDegradesAndRobustAggregationRecovers) {

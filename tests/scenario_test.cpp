@@ -389,6 +389,98 @@ TEST(ScenarioSpec, FaultKnobCombinationsAreValidated) {
       "workers=2\npopulation=100\ncohort=4\nfailures=0@2-8,1@3-9"));
 }
 
+TEST(ScenarioSpec, AdaptiveAttackKnobsRoundTripLosslessly) {
+  ScenarioSpec spec;
+  spec.set("workers", "8");
+  spec.set("byzantine",
+           "2@3:model-replacement,1@1:collusion,4@1:collusion,6@2-9:collusion");
+  spec.set("collude-group", "1.4.6");  // K defaults to 2, printed canonical
+  spec.set("adapt-attack", "0.5");
+  spec.set("clip-norm", "12.5");
+  spec.set("reputation-decay", "0.9");
+  scenario::finalize_spec(spec);
+
+  ASSERT_EQ(spec.byzantine.size(), 4u);
+  EXPECT_EQ(spec.byzantine[0].mode, sim::ByzantineMode::kModelReplacement);
+  EXPECT_EQ(spec.byzantine[1].mode, sim::ByzantineMode::kCollusion);
+  EXPECT_EQ(spec.collude_group, (std::vector<std::size_t>{1, 4, 6}));
+  EXPECT_EQ(spec.collude_min, 2u);
+  EXPECT_EQ(spec.adapt_attack, 0.5);
+  EXPECT_EQ(spec.clip_norm, 12.5);
+  EXPECT_EQ(spec.reputation_decay, 0.9);
+
+  const auto text = scenario::to_spec_text(spec);
+  EXPECT_NE(text.find("collude-group=1.4.6:2"), std::string::npos) << text;
+  const auto reparsed = scenario::parse_spec_text(text);
+  EXPECT_TRUE(spec.equivalent(reparsed)) << text;
+  EXPECT_EQ(text, scenario::to_spec_text(reparsed));
+
+  // An explicit quorum K survives the round trip too.
+  ScenarioSpec quorum;
+  quorum.set("workers", "8");
+  quorum.set("byzantine", "1@1:collusion,4@1:collusion,6@1:collusion");
+  quorum.set("collude-group", "1.4.6:3");
+  scenario::finalize_spec(quorum);
+  EXPECT_EQ(quorum.collude_min, 3u);
+  const auto qtext = scenario::to_spec_text(quorum);
+  EXPECT_TRUE(quorum.equivalent(scenario::parse_spec_text(qtext))) << qtext;
+}
+
+TEST(ScenarioSpec, AdaptiveAttackKnobCombinationsAreValidated) {
+  // :collusion events need a collude-group that lists the worker...
+  EXPECT_THROW(
+      scenario::parse_spec_text("workers=4\nbyzantine=1@1:collusion"),
+      std::invalid_argument);
+  EXPECT_THROW(scenario::parse_spec_text(
+                   "workers=4\nbyzantine=1@1:collusion,2@1:collusion\n"
+                   "collude-group=1.3"),
+               std::invalid_argument);
+  // ...and a collude-group without any collusion event is dead weight.
+  EXPECT_THROW(scenario::parse_spec_text(
+                   "workers=4\nbyzantine=1@1:sign-flip\ncollude-group=1.2"),
+               std::invalid_argument);
+  // Group members validate against the population, once each.
+  EXPECT_THROW(scenario::parse_spec_text(
+                   "workers=4\nbyzantine=1@1:collusion\ncollude-group=1.9"),
+               std::invalid_argument);
+  EXPECT_THROW(scenario::parse_spec_text(
+                   "workers=4\nbyzantine=1@1:collusion\ncollude-group=1.1"),
+               std::invalid_argument);
+  // The quorum K must be in [1, group size].
+  EXPECT_THROW(scenario::parse_spec_text(
+                   "workers=4\nbyzantine=1@1:collusion\ncollude-group=1.2:5"),
+               std::invalid_argument);
+  // Attenuation without an attack to attenuate is a silent no-op — rejected.
+  EXPECT_THROW(scenario::parse_spec_text("workers=4\nadapt-attack=0.5"),
+               std::invalid_argument);
+  // reputation-decay = 1 never forgets; the monitor requires [0, 1).
+  EXPECT_THROW(scenario::parse_spec_text("workers=4\nreputation-decay=1"),
+               std::invalid_argument);
+  // Attack-aware selection needs the monitor that feeds it.
+  EXPECT_THROW(
+      scenario::parse_spec_text("workers=4\nsaps-strategy=reputation"),
+      std::invalid_argument);
+  EXPECT_NO_THROW(scenario::parse_spec_text(
+      "workers=4\nsaps-strategy=reputation\nreputation-decay=0.9"));
+  // A worker cannot be scheduled byzantine while a failures= window has it
+  // away — the two knobs name the same worker over overlapping windows.
+  EXPECT_THROW(scenario::parse_spec_text(
+                   "workers=4\nbyzantine=1@2-6:sign-flip\nfailures=1@4-8"),
+               std::invalid_argument);
+  try {
+    (void)scenario::parse_spec_text(
+        "workers=4\nbyzantine=1@2-6:sign-flip\nfailures=1@4-8");
+    FAIL() << "overlap should throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("byzantine"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("failures"), std::string::npos) << msg;
+  }
+  // Disjoint windows for the same worker are fine.
+  EXPECT_NO_THROW(scenario::parse_spec_text(
+      "workers=4\nbyzantine=1@2-4:sign-flip\nfailures=1@6-8"));
+}
+
 TEST(ScenarioSpec, PopulationKeysResolveAndRoundTrip) {
   ScenarioSpec spec;
   spec.set("workers", "4");

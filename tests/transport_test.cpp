@@ -63,6 +63,41 @@ TEST(Transport, BlockingRecvDeliversCrossThread) {
   EXPECT_EQ(got->payload[0], 42);
 }
 
+TEST(Transport, MailboxesAllocateLazilyOnFirstTouch) {
+  // A population-scale transport sizes its endpoint table to thousands of
+  // slots, but only the sampled cohort ever exchanges frames — untouched
+  // endpoints must not pay for a mailbox.
+  Transport t(1000);
+  EXPECT_EQ(t.endpoints(), 1000u);
+  EXPECT_EQ(t.allocated_mailboxes(), 0u);
+
+  t.send(3, 7, {1, 2});          // materializes destination 7 only
+  EXPECT_EQ(t.allocated_mailboxes(), 1u);
+  t.send(3, 7, {3});             // reuses the existing mailbox
+  EXPECT_EQ(t.allocated_mailboxes(), 1u);
+
+  // try_recv on a never-touched endpoint peeks without allocating.
+  EXPECT_FALSE(t.try_recv(999).has_value());
+  EXPECT_EQ(t.allocated_mailboxes(), 1u);
+
+  // Delivery order through a lazily-created mailbox is still FIFO.
+  const auto a = t.recv(7);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->payload, (std::vector<std::uint8_t>{1, 2}));
+  const auto b = t.recv(7);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->payload, (std::vector<std::uint8_t>{3}));
+
+  // A blocking recv materializes its own mailbox (the waiter must have a
+  // condition variable to park on) and shutdown still finds and wakes it.
+  std::optional<Envelope> got = Envelope{};  // sentinel non-null
+  std::thread receiver([&] { got = t.recv(500); });
+  while (t.allocated_mailboxes() < 2) std::this_thread::yield();
+  t.shutdown();
+  receiver.join();
+  EXPECT_FALSE(got.has_value());
+}
+
 TEST(Transport, ThreadedSapsRoundMatchesSequential) {
   // 4 workers, 1 coordinator (endpoint 4).  The coordinator broadcasts
   // NotifyMsg (peer + seed); each worker extracts its masked values, sends a
