@@ -2,26 +2,49 @@
 // SAPS-PSGD tolerates aggressive random-mask sparsification (c = 100), while
 // DCD-PSGD degrades beyond c = 4 and fails to converge at c ≈ 100+ because
 // its compression error feeds back into the public-copy dynamics.
+//
+// Each figure family is one sweep suite (scenario/sweep.hpp): the built-in
+// grids below reproduce the classic three tables, and `--spec` with
+// `sweep.` lines (e.g. bench/specs/ablation_sweep.spec) runs ANY grid
+// through the same path.  `--suite-threads=N` runs points in parallel with
+// bit-identical output.
 #include <iostream>
+#include <vector>
 
 #include "scenario/cli.hpp"
-#include "scenario/runner.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
 namespace {
 
-// One sweep point: override a single registry parameter and rerun.
-saps::scenario::RunRecord run_with(const saps::scenario::ScenarioSpec& spec,
-                                   const saps::scenario::Workload& workload,
-                                   const std::string& param,
-                                   const std::string& value,
-                                   const std::string& algo,
-                                   saps::scenario::SinkList& sinks) {
-  auto s = spec;
-  s.set(param, value);
-  saps::scenario::Runner runner(s, workload);
-  return runner.run(algo, &sinks);
+constexpr const char* kSapsSweep =
+    "algorithm=saps\n"
+    "sweep.saps-c=4,10,100,1000\n";
+constexpr const char* kDcdSweep =
+    "algorithm=dcd\n"
+    "sweep.dcd-c=4,20,100\n";
+constexpr const char* kQsgdSweep =
+    "algorithm=qsgd\n"
+    "sweep.qsgd-levels=1,4,16\n";
+
+void print_points(const std::vector<saps::scenario::SuitePointResult>& points) {
+  saps::Table table({"point", "algorithm", "final_accuracy_pct", "traffic_mb"});
+  for (const auto& pt : points) {
+    for (const auto& run : pt.runs) {
+      table.add_row({pt.label, run.name,
+                     saps::Table::num(run.result.final().accuracy * 100, 2),
+                     saps::Table::num(run.traffic_mb, 4)});
+    }
+  }
+  std::cout << table.to_aligned();
+}
+
+std::vector<saps::scenario::SuitePointResult> run_suite(
+    const saps::Flags& flags, const char* fallback,
+    saps::scenario::SuiteOptions options) {
+  auto sweep = saps::scenario::sweep_from_flags_or_exit(flags, fallback);
+  saps::scenario::SuiteRunner runner(std::move(sweep), options);
+  return runner.run();
 }
 
 }  // namespace
@@ -29,55 +52,38 @@ saps::scenario::RunRecord run_with(const saps::scenario::ScenarioSpec& spec,
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
   saps::scenario::describe_scenario_flags(flags);
+  saps::scenario::describe_suite_flags(flags);
   saps::exit_on_help_or_unknown(flags, argv[0]);
-  auto spec = saps::scenario::scenario_from_flags_or_exit(flags);
   auto sinks = saps::scenario::sinks_from_flags_or_exit(flags);
+  auto options = saps::scenario::suite_options_from_flags(flags);
+  options.sinks = &sinks;
+  saps::scenario::Telemetry telemetry;
+  options.telemetry = &telemetry;
 
-  saps::scenario::Runner base(spec);
-  const auto& workload = base.workload();
+  if (flags.has("spec")) {
+    // A user grid: run it as-is, one table.
+    const auto points = run_suite(flags, "", options);
+    std::cout << "=== Sweep suite (" << points.size() << " points) ===\n";
+    print_points(points);
+    return 0;
+  }
 
   std::cout << "=== Ablation: compression ratio c vs final accuracy and "
-               "traffic (" << workload.display_name << ", " << spec.workers
-            << " workers) ===\n\n";
+               "traffic ===\n\n";
 
   std::cout << "SAPS-PSGD (seeded random mask, values-only wire format):\n";
-  saps::Table saps_table({"c", "final_accuracy_pct", "traffic_mb"});
-  for (const double c : {4.0, 10.0, 100.0, 1000.0}) {
-    const auto run = run_with(spec, workload, "saps-c",
-                              saps::scenario::format_double(c), "saps", sinks);
-    saps_table.add_row({saps::Table::num(c, 0),
-                        saps::Table::num(run.result.final().accuracy * 100, 2),
-                        saps::Table::num(run.traffic_mb, 4)});
-  }
-  std::cout << saps_table.to_aligned() << "\n";
+  print_points(run_suite(flags, kSapsSweep, options));
 
-  std::cout << "DCD-PSGD (top-k difference compression on the ring):\n";
-  saps::Table dcd_table({"c", "final_accuracy_pct", "traffic_mb"});
-  for (const double c : {4.0, 20.0, 100.0}) {
-    const auto run = run_with(spec, workload, "dcd-c",
-                              saps::scenario::format_double(c), "dcd", sinks);
-    dcd_table.add_row({saps::Table::num(c, 0),
-                       saps::Table::num(run.result.final().accuracy * 100, 2),
-                       saps::Table::num(run.traffic_mb, 4)});
-  }
-  std::cout << dcd_table.to_aligned()
-            << "\n(paper: DCD loses accuracy for c > 4 and does not converge "
+  std::cout << "\nDCD-PSGD (top-k difference compression on the ring):\n";
+  print_points(run_suite(flags, kDcdSweep, options));
+  std::cout << "(paper: DCD loses accuracy for c > 4 and does not converge "
                "at c = 100/1000, while SAPS holds at c = 100)\n\n";
 
   // Quantization family (related work): compression is capped near 32x
   // (1-bit), versus the 100-1000x sparsification reaches above.
   std::cout << "QSGD-PSGD (stochastic quantization, all-gather):\n";
-  saps::Table qsgd_table({"levels", "final_accuracy_pct", "traffic_mb"});
-  for (const long long levels : {1LL, 4LL, 16LL}) {
-    const auto run = run_with(spec, workload, "qsgd-levels",
-                              std::to_string(levels), "qsgd", sinks);
-    qsgd_table.add_row(
-        {saps::Table::num(levels),
-         saps::Table::num(run.result.final().accuracy * 100, 2),
-         saps::Table::num(run.traffic_mb, 4)});
-  }
-  std::cout << qsgd_table.to_aligned()
-            << "\n(even 1-level QSGD moves more bytes than SAPS at c = 100 — "
+  print_points(run_suite(flags, kQsgdSweep, options));
+  std::cout << "(even 1-level QSGD moves more bytes than SAPS at c = 100 — "
                "the paper's case for sparsification over quantization)\n";
   return 0;
 }

@@ -8,16 +8,23 @@
 //       on the empirical ρ = λ₂(E[WᵀW]) (Assumption 3);
 //   (4) pure-gossip consensus rate vs the Lemma 2 contraction factor
 //       (q + pρ²) for several sparsification ratios c.
+//
+// Ablations 1-2 are sweep suites over REAL training runs (scenario/sweep):
+// the selected-link quality is read back from the engine's per-round
+// bottleneck record (SapsPsgd::selection_bandwidth), so the numbers reflect
+// the matrices the training loop actually used — swap the grid with --spec.
+// Ablations 3-4 stay analytic (no training; rho estimation is O(n^3)).
 #include <cmath>
 #include <functional>
 #include <iostream>
 
 #include "compress/mask.hpp"
+#include "core/saps.hpp"
 #include "gossip/generator.hpp"
 #include "gossip/peer_selection.hpp"
 #include "graph/spectral.hpp"
 #include "net/bandwidth.hpp"
-#include "scenario/params.hpp"
+#include "scenario/cli.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -27,12 +34,50 @@ namespace {
 
 using saps::gossip::GossipMatrix;
 
-double mean_bottleneck(saps::gossip::GossipGenerator& gen, std::size_t rounds) {
-  saps::RunningStat stat;
-  for (std::size_t t = 0; t < rounds; ++t) {
-    stat.add(gen.bottleneck_bandwidth(gen.generate(t)));
+constexpr const char* kTthresSweep =
+    "workload=mnist\n"
+    "algorithm=saps\n"
+    "bandwidth=uniform\n"
+    "sweep.tthres=1,2,5,10,20,50\n";
+constexpr const char* kBthresSweep =
+    "workload=mnist\n"
+    "algorithm=saps\n"
+    "bandwidth=uniform\n"
+    "sweep.bthres=0.001,1,2,3,4\n";
+
+/// Mean of the engine's per-round bottleneck-bandwidth record; NaN when the
+/// run was not SAPS or had no bandwidth matrix.
+double mean_selection_bandwidth(const saps::scenario::RunRecord& run) {
+  const auto* engine =
+      dynamic_cast<const saps::core::SapsPsgd*>(run.algorithm.get());
+  if (engine == nullptr || engine->selection_bandwidth().empty()) {
+    return std::nan("");
   }
+  saps::RunningStat stat;
+  for (const double bw : engine->selection_bandwidth()) stat.add(bw);
   return stat.mean();
+}
+
+void print_suite(const std::vector<saps::scenario::SuitePointResult>& points) {
+  saps::Table table({"point", "algorithm", "mean_bottleneck_MBps",
+                     "final_accuracy_pct"});
+  for (const auto& pt : points) {
+    for (const auto& run : pt.runs) {
+      const double mb = mean_selection_bandwidth(run);
+      table.add_row({pt.label, run.name,
+                     std::isnan(mb) ? "n/a" : saps::Table::num(mb, 3),
+                     saps::Table::num(run.result.final().accuracy * 100, 2)});
+    }
+  }
+  std::cout << table.to_aligned();
+}
+
+std::vector<saps::scenario::SuitePointResult> run_suite(
+    const saps::Flags& flags, const char* fallback,
+    saps::scenario::SuiteOptions options) {
+  auto sweep = saps::scenario::sweep_from_flags_or_exit(flags, fallback);
+  saps::scenario::SuiteRunner runner(std::move(sweep), options);
+  return runner.run();
 }
 
 double estimate_rho(const std::function<GossipMatrix(std::size_t)>& sel,
@@ -54,69 +99,44 @@ double estimate_rho(const std::function<GossipMatrix(std::size_t)>& sel,
 
 }  // namespace
 
-namespace {
-
-const std::vector<saps::scenario::ParamDesc>& bench_params() {
-  using enum saps::scenario::ParamType;
-  static const std::vector<saps::scenario::ParamDesc> descs = {
-      {.name = "workers",
-       .type = kInt,
-       .default_value = "32",
-       .min_value = 2,
-       .max_value = 4096,
-       .help = "worker count (default 32)"},
-      {.name = "rounds",
-       .type = kInt,
-       .default_value = "400",
-       .min_value = 1,
-       .max_value = 1e9,
-       .help = "gossip rounds per sweep point (default 400)"},
-      {.name = "seed",
-       .type = kUint,
-       .default_value = "23",
-       .help = "RNG seed (default 23)"}};
-  return descs;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
-  saps::scenario::describe_params(flags, bench_params());
+  saps::scenario::describe_scenario_flags(flags);
+  saps::scenario::describe_suite_flags(flags);
+  flags.describe("gossip-rounds",
+                 "analytic-ablation gossip rounds (ablations 3-4 only; "
+                 "default 400)");
   saps::exit_on_help_or_unknown(flags, argv[0]);
-  const auto p = saps::scenario::resolve_params_or_exit(flags, bench_params());
-  const auto workers = static_cast<std::size_t>(p.get_int("workers"));
-  const auto rounds = static_cast<std::size_t>(p.get_int("rounds"));
-  const auto seed = p.get_uint("seed");
-  const auto bw = saps::net::random_uniform_bandwidth(workers, seed);
+  auto sinks = saps::scenario::sinks_from_flags_or_exit(flags);
+  auto options = saps::scenario::suite_options_from_flags(flags);
+  options.sinks = &sinks;
+  saps::scenario::Telemetry telemetry;
+  options.telemetry = &telemetry;
+  const auto rounds =
+      static_cast<std::size_t>(flags.get_int("gossip-rounds", 400));
+  const auto seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 1));
 
-  // (1) T_thres sweep.
+  if (flags.has("spec")) {
+    // A user grid replaces the two built-in training ablations.
+    const auto points = run_suite(flags, "", options);
+    std::cout << "=== Sweep suite (" << points.size() << " points) ===\n";
+    print_suite(points);
+    return 0;
+  }
+
+  // (1) T_thres sweep: train at each window, read back the bandwidth the
+  // adaptive selector actually achieved.
   std::cout
       << "=== Ablation 1: T_thres (RC window) vs selected bandwidth ===\n";
-  saps::Table t1({"t_thres", "mean_bottleneck_MBps"});
-  for (const std::size_t tt : {1, 2, 5, 10, 20, 50}) {
-    saps::gossip::GossipGenerator gen(bw, {.t_thres = tt, .seed = seed});
-    t1.add_row({saps::Table::num(static_cast<long long>(tt)),
-                saps::Table::num(mean_bottleneck(gen, rounds), 3)});
-  }
-  std::cout << t1.to_aligned() << "\n";
+  print_suite(run_suite(flags, kTthresSweep, options));
+  std::cout << "\n";
 
-  // (2) B_thres sweep (as a fraction of the max link speed).
+  // (2) B_thres sweep (absolute MBps; uniform links are U(0, 5] so 0.001
+  // keeps every edge and 4 keeps only the top fifth of links).
   std::cout << "=== Ablation 2: B_thres filter vs selected bandwidth ===\n";
-  saps::Table t2({"b_thres_MBps", "filtered_edges", "mean_bottleneck_MBps"});
-  for (const double frac : {0.0, 0.2, 0.4, 0.6, 0.8}) {
-    const double thres = frac * bw.max_value();
-    saps::gossip::GeneratorConfig cfg{.bandwidth_threshold = thres,
-                                      .t_thres = 10,
-                                      .seed = seed};
-    if (thres == 0.0) cfg.bandwidth_threshold = 1e-9;  // disable auto-median
-    saps::gossip::GossipGenerator gen(bw, cfg);
-    t2.add_row({saps::Table::num(thres, 2),
-                saps::Table::num(static_cast<long long>(
-                    gen.filtered_graph().edge_count())),
-                saps::Table::num(mean_bottleneck(gen, rounds), 3)});
-  }
-  std::cout << t2.to_aligned() << "\n";
+  print_suite(run_suite(flags, kBthresSweep, options));
+  std::cout << "\n";
 
   // (3) Matching strategies: bandwidth and ρ.
   std::cout << "=== Ablation 3: matching strategy vs bandwidth and rho ===\n";
@@ -126,10 +146,13 @@ int main(int argc, char** argv) {
   {
     saps::gossip::GossipGenerator gen(bw_small, {.t_thres = 10, .seed = seed});
     saps::gossip::GossipGenerator gen2(bw_small, {.t_thres = 10, .seed = seed});
-    const double mb = mean_bottleneck(gen, rounds);
+    saps::RunningStat stat;
+    for (std::size_t t = 0; t < rounds; ++t) {
+      stat.add(gen.bottleneck_bandwidth(gen.generate(t)));
+    }
     const double rho = estimate_rho(
         [&](std::size_t t) { return gen2.generate(t); }, n_small, 300);
-    t3.add_row({"adaptive (paper)", saps::Table::num(mb, 3),
+    t3.add_row({"adaptive (paper)", saps::Table::num(stat.mean(), 3),
                 saps::Table::num(rho, 4)});
   }
   {

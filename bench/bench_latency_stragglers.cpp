@@ -5,6 +5,11 @@
 // plane") and reports how each algorithm's communication time inflates
 // relative to the instantaneous-link, uniform-compute baseline.
 //
+// The grid is a sweep suite (scenario/sweep): the built-in fallback is
+// {0, 1ms, 10ms} latency x {0, 50ms} jitter; any other grid is one --spec
+// file away, and --suite-threads=N runs the points in parallel with
+// bit-identical output.
+//
 // Shape to observe: chatty multi-hop protocols (TopK/QSGD ring all-gathers
 // run n-1 latency-bound rounds per step) degrade fastest as latency grows,
 // while SAPS-PSGD's single pairwise exchange per round stays close to its
@@ -13,6 +18,9 @@
 // time-varying / high-latency links in Sparse-Push (Aketi et al. 2021) and
 // device heterogeneity in "Get More for Less" (Dhasade et al. 2023).
 #include <iostream>
+#include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "scenario/cli.hpp"
@@ -20,73 +28,56 @@
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+constexpr const char* kFallbackSweep =
+    "bandwidth=uniform\n"
+    "sweep.latency=0,0.001,0.01\n"
+    "sweep.compute-jitter=0,0.05\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   saps::Flags flags(argc, argv);
   saps::scenario::describe_scenario_flags(flags);
-  flags.describe("sweep",
-                 "comma-free sweep preset: 0 = {0, 1ms, 10ms} latency x "
-                 "{0, 50ms} jitter (default); any other value runs only the "
-                 "--latency/--compute-jitter pair given on the command line");
+  saps::scenario::describe_suite_flags(flags);
   saps::exit_on_help_or_unknown(flags, argv[0]);
-  auto spec = saps::scenario::scenario_from_flags_or_exit(flags);
   auto sinks = saps::scenario::sinks_from_flags_or_exit(flags);
-  const bool preset = flags.get_int("sweep", 0) == 0;
-  if (!spec.provided("bandwidth")) spec.bandwidth = "uniform";
+  auto sweep = saps::scenario::sweep_from_flags_or_exit(flags, kFallbackSweep);
+  auto options = saps::scenario::suite_options_from_flags(flags);
+  options.sinks = &sinks;
+  saps::scenario::Telemetry telemetry;
+  options.telemetry = &telemetry;
 
-  struct Scenario {
-    double latency, jitter;
-  };
-  std::vector<Scenario> scenarios;
-  if (preset) {
-    for (const double latency : {0.0, 1e-3, 1e-2}) {
-      for (const double jitter : {0.0, 5e-2}) {
-        scenarios.push_back({latency, jitter});
-      }
-    }
-  } else {
-    scenarios.push_back({spec.latency, spec.compute_jitter});
-  }
-
-  // Datasets/model factory depend only on the workload knobs, not on the
-  // timing knobs — build the workload once and share it across scenarios.
-  saps::scenario::Runner base(spec);
-  const auto& workload = base.workload();
-  std::cout << "=== Latency / straggler sweep (" << workload.display_name
+  // Baseline (instantaneous links, uniform compute) for the inflation
+  // column: the first grid point's spec with every timing knob zeroed.
+  auto base_spec = sweep.point(0);
+  base_spec.latency = 0.0;
+  base_spec.compute_base = 0.0;
+  base_spec.compute_jitter = 0.0;
+  std::map<std::string, double> ideal;
+  saps::scenario::Runner base(base_spec);
+  std::cout << "=== Latency / straggler sweep ("
+            << base.workload().display_name
             << "): communication time [s] by scenario ===\n";
-
-  const auto run_at = [&](double latency, double jitter) {
-    auto s = spec;
-    s.latency = latency;
-    s.compute_jitter = jitter;
-    saps::scenario::Runner runner(s, workload);
-    return runner.run_all(&sinks);
-  };
-
-  // Baseline (instantaneous links, uniform compute) for the inflation column.
-  std::vector<double> baseline;
-  {
-    auto s = spec;
-    s.latency = 0.0;
-    s.compute_base = 0.0;
-    s.compute_jitter = 0.0;
-    saps::scenario::Runner runner(s, workload);
-    for (const auto& r : runner.run_all(&sinks)) {
-      baseline.push_back(r.comm_seconds);
-    }
+  for (const auto& r : base.run_all(&sinks)) {
+    ideal[r.name] = r.comm_seconds;
   }
+
+  saps::scenario::SuiteRunner runner(std::move(sweep), options);
+  const auto points = runner.run();
 
   saps::Table table({"latency_s", "jitter_s", "algorithm", "comm_seconds",
                      "vs_ideal", "final_accuracy_pct"});
-  for (const auto& s : scenarios) {
-    const auto runs = run_at(s.latency, s.jitter);
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-      const auto& r = runs[i];
-      const double ideal = baseline[i];
-      table.add_row({saps::Table::num(s.latency, 4),
-                     saps::Table::num(s.jitter, 4), r.name,
+  for (const auto& pt : points) {
+    for (const auto& r : pt.runs) {
+      const auto it = ideal.find(r.name);
+      const double base_s = it == ideal.end() ? 0.0 : it->second;
+      table.add_row({saps::Table::num(pt.spec.latency, 4),
+                     saps::Table::num(pt.spec.compute_jitter, 4), r.name,
                      saps::Table::num(r.comm_seconds, 4),
                      saps::Table::num(
-                         ideal > 0.0 ? r.comm_seconds / ideal : 1.0, 2),
+                         base_s > 0.0 ? r.comm_seconds / base_s : 1.0, 2),
                      saps::Table::num(r.result.final().accuracy * 100.0, 2)});
     }
   }

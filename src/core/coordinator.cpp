@@ -13,6 +13,7 @@ Coordinator::Coordinator(std::size_t workers,
       config_(config),
       bandwidth_(bandwidth),
       active_(workers, 1),
+      active_count_(workers),
       seed_rng_(derive_seed(config.seed, 0xc002d)),
       trust_rng_(derive_seed(config.seed, 0x7e057)) {
   if (workers < 2) throw std::invalid_argument("Coordinator: workers < 2");
@@ -88,11 +89,12 @@ RoundPlan Coordinator::begin_round() {
   } else if (config_.strategy == SelectionStrategy::kAdaptiveReputation) {
     plan.gossip = reputation_match();
   } else {
-    // Random matching over active workers only.
+    // Random matching over active workers only.  The liveness check is the
+    // incrementally maintained count, not a scan: population-scale runs
+    // call begin_round every round with workers_ in the tens of thousands,
+    // and only the cohort-sized pair filter below may cost O(cohort).
     plan.gossip = random_->select(plan.round);
-    std::size_t active_count = 0;
-    for (const auto a : active_) active_count += a;
-    if (active_count != workers_) {
+    if (active_count_ != workers_) {
       // Drop pairs touching inactive workers (they neither train nor talk).
       graph::Matching match;
       match.partner.assign(workers_, graph::Matching::kUnmatched);
@@ -116,7 +118,15 @@ void Coordinator::worker_done(std::size_t worker) {
 
 void Coordinator::set_active(std::size_t worker, bool active) {
   if (worker >= workers_) throw std::out_of_range("Coordinator::set_active");
-  active_[worker] = active ? 1 : 0;
+  const std::uint8_t next = active ? 1 : 0;
+  if (active_[worker] != next) {
+    if (active) {
+      ++active_count_;
+    } else {
+      --active_count_;
+    }
+    active_[worker] = next;
+  }
   if (generator_) generator_->set_active(worker, active);
 }
 

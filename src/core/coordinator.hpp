@@ -75,6 +75,11 @@ class Coordinator {
   /// Federated dynamics: workers joining/leaving mid-training.
   void set_active(std::size_t worker, bool active);
   [[nodiscard]] bool active(std::size_t worker) const;
+  /// Currently active workers, maintained incrementally by set_active — the
+  /// population-scale path asks this every round, so it must not scan.
+  [[nodiscard]] std::size_t active_count() const noexcept {
+    return active_count_;
+  }
 
   /// Installs the trust source for kAdaptiveReputation: returns a selection
   /// weight in [0, 1] per worker, where exactly 0 excludes the worker from
@@ -109,6 +114,7 @@ class Coordinator {
   std::optional<gossip::RandomMatchSelector> random_;  // random path
   std::function<double(std::size_t)> trust_provider_;
   std::vector<std::uint8_t> active_;
+  std::size_t active_count_;  // == sum(active_), updated on flips
   Rng seed_rng_;
   Rng trust_rng_;  // jitter stream of the no-bandwidth reputation matching
   std::size_t round_ = 0;

@@ -1,0 +1,76 @@
+#include "data/cifar_loader.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace saps::data {
+
+namespace {
+
+// One record: a label byte + 32*32*3 pixel bytes, channel-planar (1024 R,
+// 1024 G, 1024 B) — exactly the Dataset's (3, 32, 32) row-major layout.
+constexpr std::size_t kImageBytes = 3 * 32 * 32;
+constexpr std::size_t kRecordBytes = 1 + kImageBytes;
+
+}  // namespace
+
+std::optional<Dataset> load_cifar10_batches(
+    const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  for (const auto& path : paths) {
+    if (!fs::exists(path)) return std::nullopt;
+  }
+
+  std::vector<float> features;
+  std::vector<std::int32_t> labels;
+  std::vector<unsigned char> record(kRecordBytes);
+  for (const auto& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cifar: cannot open '" + path + "'");
+    // The format has no header: the only structural check is that the file
+    // is a whole number of records.
+    const auto size = fs::file_size(path);
+    if (size == 0 || size % kRecordBytes != 0) {
+      throw std::runtime_error(
+          "cifar: '" + path + "' is " + std::to_string(size) +
+          " bytes, not a positive multiple of the " +
+          std::to_string(kRecordBytes) + "-byte record");
+    }
+    const std::size_t n = static_cast<std::size_t>(size) / kRecordBytes;
+    features.reserve(features.size() + n * kImageBytes);
+    labels.reserve(labels.size() + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      in.read(reinterpret_cast<char*>(record.data()),
+              static_cast<std::streamsize>(kRecordBytes));
+      if (!in) throw std::runtime_error("cifar: truncated read in '" + path +
+                                        "'");
+      if (record[0] > 9) {
+        throw std::runtime_error("cifar: '" + path + "' record " +
+                                 std::to_string(i) + " has label " +
+                                 std::to_string(record[0]) +
+                                 " outside [0, 9]");
+      }
+      labels.push_back(static_cast<std::int32_t>(record[0]));
+      for (std::size_t j = 0; j < kImageBytes; ++j) {
+        features.push_back(static_cast<float>(record[1 + j]) / 255.0f);
+      }
+    }
+  }
+  return Dataset({3, 32, 32}, std::move(features), std::move(labels), 10);
+}
+
+std::optional<Dataset> load_cifar10_train(const std::string& dir) {
+  std::vector<std::string> paths;
+  for (int b = 1; b <= 5; ++b) {
+    paths.push_back(dir + "/data_batch_" + std::to_string(b) + ".bin");
+  }
+  return load_cifar10_batches(paths);
+}
+
+std::optional<Dataset> load_cifar10_test(const std::string& dir) {
+  return load_cifar10_batches({dir + "/test_batch.bin"});
+}
+
+}  // namespace saps::data

@@ -1,0 +1,29 @@
+// Loader for the CIFAR-10 binary batches (the cifar-10-binary.tar.gz
+// layout: data_batch_1..5.bin + test_batch.bin, 3073-byte records of one
+// label byte followed by a 32x32 RGB image, channel-planar R,G,B).  Used by
+// the real-cifar workload when the files are present; the benches fall back
+// to the synthetic stand-in otherwise, mirroring the MNIST loader contract.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace saps::data {
+
+/// Loads and concatenates CIFAR-10 binary batch files into a Dataset with
+/// shape (3, 32, 32), pixels scaled to [0, 1].  Returns nullopt if ANY path
+/// does not exist; throws std::runtime_error on malformed content (a file
+/// size that is not a positive multiple of the 3073-byte record, or a label
+/// byte outside [0, 9]).
+[[nodiscard]] std::optional<Dataset> load_cifar10_batches(
+    const std::vector<std::string>& paths);
+
+/// Convenience: the five training batches / the test batch under `dir` with
+/// their canonical names; nullopt when absent.
+[[nodiscard]] std::optional<Dataset> load_cifar10_train(const std::string& dir);
+[[nodiscard]] std::optional<Dataset> load_cifar10_test(const std::string& dir);
+
+}  // namespace saps::data

@@ -1,11 +1,66 @@
 #include "scenario/cli.hpp"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <stdexcept>
 
 #include "util/flags.hpp"
 
 namespace saps::scenario {
+
+namespace {
+
+std::string read_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("--spec: cannot read '" + path + "'");
+  }
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+SweepSpec sweep_from_flags(const Flags& flags,
+                           const std::string& fallback_sweep_text) {
+  const std::string text = flags.has("spec")
+                               ? read_spec_file(flags.get_string("spec", ""))
+                               : fallback_sweep_text;
+  SweepSpec sweep = parse_sweep_text(text);
+
+  // Explicit scenario flags override/extend the base lines.
+  const auto apply_flag = [&](const ParamDesc& d) {
+    if (!flags.has(d.name)) return;
+    for (const auto& axis : sweep.axes) {
+      if (axis.key == d.name) {
+        throw std::invalid_argument(
+            "--" + d.name + " is swept by the suite (sweep." + d.name +
+            "); drop the flag or the axis");
+      }
+    }
+    const std::string raw =
+        flags.get_string(d.name, d.name == "full" ? "true" : "");
+    for (auto& [key, value] : sweep.base) {
+      if (key == d.name) {
+        value = raw;
+        return;
+      }
+    }
+    sweep.base.emplace_back(d.name, raw);
+  };
+  const auto& reg = Registry::instance();
+  for (const auto& d : core_spec_params()) apply_flag(d);
+  for (const auto& d : reg.algorithm_params()) apply_flag(d);
+  for (const auto& d : reg.workload_params(/*paper_only=*/false)) {
+    apply_flag(d);
+  }
+  // Re-parse the merged text: canonicalizes the raw flag values and re-runs
+  // the full per-point validation over the final grid.
+  return parse_sweep_text(to_sweep_text(sweep));
+}
+
+}  // namespace
 
 void describe_scenario_flags(Flags& flags) {
   describe_params(flags, core_spec_params());
@@ -53,6 +108,36 @@ SinkList sinks_from_flags_or_exit(const Flags& flags) {
 std::vector<std::string> workloads_to_run(const ScenarioSpec& spec) {
   if (spec.provided("workload")) return {spec.workload};
   return Registry::instance().workload_keys(/*paper_only=*/true);
+}
+
+void describe_suite_flags(Flags& flags) {
+  flags
+      .describe("suite-threads",
+                "concurrent sweep points (0/1 = serial; results and sink "
+                "bytes are identical for every value)")
+      .describe("progress",
+                "write one progress line per finished sweep point to stderr");
+}
+
+SweepSpec sweep_from_flags_or_exit(const Flags& flags,
+                                   const std::string& fallback_sweep_text) {
+  try {
+    return sweep_from_flags(flags, fallback_sweep_text);
+  } catch (const std::exception& e) {
+    if (!flags.help_requested()) {
+      std::cerr << e.what() << "\n";
+      std::exit(2);
+    }
+    return SweepSpec{};
+  }
+}
+
+SuiteOptions suite_options_from_flags(const Flags& flags) {
+  SuiteOptions options;
+  options.threads =
+      static_cast<std::size_t>(flags.get_int("suite-threads", 0));
+  if (flags.has("progress")) options.progress = &std::cerr;
+  return options;
 }
 
 }  // namespace saps::scenario

@@ -21,6 +21,7 @@
 
 #include "scenario/sinks.hpp"
 #include "scenario/spec.hpp"
+#include "scenario/suite.hpp"
 
 namespace saps {
 class Flags;
@@ -45,5 +46,23 @@ void describe_scenario_flags(Flags& flags);
 /// paper's Table II set when --workload/spec left it at the default.
 [[nodiscard]] std::vector<std::string> workloads_to_run(
     const ScenarioSpec& spec);
+
+/// Registers --help lines for the suite meta-flags (--suite-threads,
+/// --progress) on top of describe_scenario_flags.
+void describe_suite_flags(Flags& flags);
+
+/// The suite's sweep grid: the --spec file's text when given (its `sweep.`
+/// lines are optional — a plain spec file is a one-point suite), else
+/// `fallback_sweep_text`.  Explicitly provided scenario flags then override
+/// or extend the BASE lines, so `--epochs=1` rescales a committed sweep file
+/// without editing it; a flag naming a swept key is rejected (drop the flag
+/// or the axis).  Exit-2 contract, help-aware like scenario_from_flags.
+[[nodiscard]] SweepSpec sweep_from_flags_or_exit(
+    const Flags& flags, const std::string& fallback_sweep_text);
+
+/// SuiteOptions from --suite-threads / --progress (progress lines go to
+/// stderr so stdout tables stay clean).  Sinks/telemetry stay null — wire
+/// those at the call site.
+[[nodiscard]] SuiteOptions suite_options_from_flags(const Flags& flags);
 
 }  // namespace saps::scenario

@@ -516,7 +516,8 @@ const std::vector<ParamDesc>& core_spec_params() {
       {.name = "partition",
        .type = kString,
        .default_value = "iid",
-       .help = "data partition across workers (default iid)",
+       .help = "data partition across workers (default iid; the "
+               "dirichlet:ALPHA shorthand also sets dirichlet-alpha)",
        .choices = {"iid", "shard", "dirichlet"}},
       {.name = "shards-per-worker",
        .type = kInt,
@@ -669,6 +670,15 @@ const std::vector<ParamDesc>& core_spec_params() {
 }
 
 void ScenarioSpec::set(const std::string& key, const std::string& value) {
+  // `partition=dirichlet:ALPHA` shorthand: one value selects the Dirichlet
+  // partition AND its concentration (one sweep axis covers the non-IID
+  // knob).  Expands to the two canonical keys, so to_spec_text stays
+  // lossless.
+  if (key == "partition" && value.starts_with("dirichlet:")) {
+    set("partition", "dirichlet");
+    set("dirichlet-alpha", value.substr(std::string("dirichlet:").size()));
+    return;
+  }
   for (const auto& d : core_spec_params()) {
     if (d.name != key) continue;
     assign_core(*this, d, canonical_value(d, value));

@@ -1,0 +1,322 @@
+#include "scenario/sweep.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace saps::scenario {
+
+namespace {
+
+// Runaway-grid backstop: the product of a few typo'd axes can silently
+// request years of compute; fail fast with the count instead.
+constexpr std::size_t kMaxGridPoints = 4096;
+
+constexpr const char* kSweepPrefix = "sweep.";
+
+std::string trim(std::string s) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  while (!s.empty() && is_space(s.front())) s.erase(s.begin());
+  while (!s.empty() && is_space(s.back())) s.pop_back();
+  return s;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(trim(s.substr(start)));
+      break;
+    }
+    out.push_back(trim(s.substr(start, pos - start)));
+    start = pos + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void fail(std::size_t lineno, const std::string& msg) {
+  throw std::invalid_argument("sweep spec line " + std::to_string(lineno) +
+                              ": " + msg);
+}
+
+/// The descriptor of `key` across the full scenario surface (core spec keys,
+/// every registered algorithm/workload parameter); nullptr when unknown.
+const ParamDesc* find_desc(const std::string& key) {
+  for (const auto& d : core_spec_params()) {
+    if (d.name == key) return &d;
+  }
+  const auto& reg = Registry::instance();
+  // The unions are rebuilt per call; descriptors inside them are temporaries,
+  // so validate against a long-lived static copy instead.
+  static const std::vector<ParamDesc> algo = reg.algorithm_params();
+  static const std::vector<ParamDesc> work =
+      reg.workload_params(/*paper_only=*/false);
+  for (const auto& d : algo) {
+    if (d.name == key) return &d;
+  }
+  for (const auto& d : work) {
+    if (d.name == key) return &d;
+  }
+  return nullptr;
+}
+
+/// canonical_value plus the `partition=dirichlet:alpha` shorthand (which the
+/// plain choice validation would reject; ScenarioSpec::set expands it).
+std::string canonical_for_key(const ParamDesc& desc, const std::string& key,
+                              const std::string& value) {
+  constexpr const char* kDirichlet = "dirichlet:";
+  if (key == "partition" && value.starts_with(kDirichlet)) {
+    const double alpha = parse_double(
+        "partition", value.substr(std::string(kDirichlet).size()));
+    if (alpha <= 0.0) {
+      throw std::invalid_argument(
+          "--partition=dirichlet:ALPHA needs ALPHA > 0");
+    }
+    return kDirichlet + format_double(alpha);
+  }
+  return canonical_value(desc, value);
+}
+
+struct ParsedLine {
+  std::size_t lineno = 0;
+  std::string key;    // without the sweep. prefix
+  std::string value;  // raw right-hand side
+  bool is_axis = false;
+};
+
+std::vector<ParsedLine> scan_lines(const std::string& text) {
+  std::vector<ParsedLine> out;
+  std::istringstream iss(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(iss, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      fail(lineno, "expected key=value, got '" + line + "'");
+    }
+    ParsedLine p;
+    p.lineno = lineno;
+    p.key = trim(line.substr(0, eq));
+    p.value = trim(line.substr(eq + 1));
+    if (p.key.starts_with(kSweepPrefix)) {
+      p.is_axis = true;
+      p.key = trim(p.key.substr(std::string(kSweepPrefix).size()));
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t SweepSpec::point_count() const {
+  std::size_t n = 1;
+  for (const auto& axis : axes) n *= axis.values.size();
+  return n;
+}
+
+std::vector<std::pair<std::string, std::string>> SweepSpec::coordinates(
+    std::size_t index) const {
+  if (index >= point_count()) {
+    throw std::out_of_range("SweepSpec: point " + std::to_string(index) +
+                            " of " + std::to_string(point_count()));
+  }
+  // Row-major odometer: the LAST axis varies fastest.
+  std::vector<std::pair<std::string, std::string>> out(axes.size());
+  std::size_t rem = index;
+  for (std::size_t a = axes.size(); a-- > 0;) {
+    const auto& axis = axes[a];
+    out[a] = {axis.key, axis.values[rem % axis.values.size()]};
+    rem /= axis.values.size();
+  }
+  return out;
+}
+
+std::string SweepSpec::point_text(std::size_t index) const {
+  std::ostringstream oss;
+  for (const auto& [k, v] : base) oss << k << "=" << v << "\n";
+  for (const auto& [k, v] : coordinates(index)) oss << k << "=" << v << "\n";
+  return oss.str();
+}
+
+ScenarioSpec SweepSpec::point(std::size_t index) const {
+  return parse_spec_text(point_text(index));
+}
+
+std::string SweepSpec::point_label(std::size_t index) const {
+  const auto coords = coordinates(index);
+  if (coords.empty()) return "base";
+  std::string out;
+  for (const auto& [k, v] : coords) {
+    if (!out.empty()) out += ' ';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+std::vector<ScenarioSpec> SweepSpec::expand() const {
+  std::vector<ScenarioSpec> out;
+  const std::size_t n = point_count();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(point(i));
+  return out;
+}
+
+bool has_sweep_keys(const std::string& text) {
+  std::istringstream iss(text);
+  std::string line;
+  while (std::getline(iss, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.starts_with(kSweepPrefix) &&
+        line.find('=') != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SweepSpec parse_sweep_text(const std::string& text) {
+  SweepSpec sweep;
+  std::map<std::string, std::size_t> base_line;  // key -> first lineno
+  std::map<std::string, std::size_t> axis_line;
+
+  for (const auto& p : scan_lines(text)) {
+    const auto* desc = find_desc(p.key);
+    if (desc == nullptr) {
+      fail(p.lineno, std::string("unknown ") + (p.is_axis ? "sweep " : "") +
+                         "key '" + p.key + "'");
+    }
+    if (!p.is_axis) {
+      const auto [it, inserted] = base_line.emplace(p.key, p.lineno);
+      if (!inserted) {
+        fail(p.lineno, "duplicate key '" + p.key + "' (first set on line " +
+                           std::to_string(it->second) + ")");
+      }
+      std::string canonical;
+      try {
+        canonical = canonical_for_key(*desc, p.key, p.value);
+      } catch (const std::exception& e) {
+        fail(p.lineno, e.what());
+      }
+      sweep.base.emplace_back(p.key, std::move(canonical));
+      continue;
+    }
+
+    // Axis lines.  `full` is a scale preset that rewrites OTHER defaults
+    // before values apply — as an axis it would silently change the meaning
+    // of every base line; `threads` cannot change results by the
+    // thread-count-invariance contract (and the suite runner pins it).
+    if (p.key == "full") {
+      fail(p.lineno,
+           "'full' is a scale preset, not a sweepable knob; write two sweep "
+           "files");
+    }
+    if (p.key == "threads") {
+      fail(p.lineno,
+           "'threads' never changes results (thread-count invariance) and "
+           "the suite runner pins it per point; not sweepable");
+    }
+    const auto [it, inserted] = axis_line.emplace(p.key, p.lineno);
+    if (!inserted) {
+      fail(p.lineno, "duplicate sweep axis 'sweep." + p.key +
+                         "' (first set on line " + std::to_string(it->second) +
+                         ")");
+    }
+    SweepAxis axis;
+    axis.key = p.key;
+    axis.lineno = p.lineno;
+    std::set<std::string> seen;
+    for (const auto& v : split(p.value, ',')) {
+      if (v.empty()) {
+        fail(p.lineno, "sweep." + p.key + " has an empty value");
+      }
+      std::string canonical;
+      try {
+        canonical = canonical_for_key(*desc, p.key, v);
+      } catch (const std::exception& e) {
+        fail(p.lineno, e.what());
+      }
+      if (!seen.insert(canonical).second) {
+        fail(p.lineno, "sweep." + p.key + " lists value '" + canonical +
+                           "' twice");
+      }
+      axis.values.push_back(std::move(canonical));
+    }
+    if (axis.values.empty()) {
+      fail(p.lineno, "sweep." + p.key + " needs at least one value");
+    }
+    sweep.axes.push_back(std::move(axis));
+  }
+
+  // Cross-line checks: an axis key must not also be a base line, and
+  // sweeping `seed` with an explicitly pinned derived seed would freeze that
+  // derivation across every point — almost certainly not what the grid
+  // means.
+  for (const auto& axis : sweep.axes) {
+    if (const auto it = base_line.find(axis.key); it != base_line.end()) {
+      fail(axis.lineno, "'" + axis.key + "' is both swept and set on line " +
+                            std::to_string(it->second));
+    }
+    if (axis.key == "seed") {
+      for (const char* derived :
+           {"sample-seed", "bandwidth-seed", "fault-seed"}) {
+        if (const auto it = base_line.find(derived); it != base_line.end()) {
+          fail(axis.lineno,
+               std::string("sweeping 'seed' with explicit '") + derived +
+                   "' (line " + std::to_string(it->second) +
+                   ") would freeze the derived seed across every point; "
+                   "drop one");
+        }
+      }
+    }
+  }
+
+  const std::size_t points = sweep.point_count();
+  if (points > kMaxGridPoints) {
+    throw std::invalid_argument(
+        "sweep grid has " + std::to_string(points) + " points; the cap is " +
+        std::to_string(kMaxGridPoints));
+  }
+  // Validate every grid point through the full spec pipeline now, so a bad
+  // axis combination (say workers x latency-matrix) fails before any engine
+  // is built — with the point named.
+  for (std::size_t i = 0; i < points; ++i) {
+    try {
+      (void)sweep.point(i);
+    } catch (const std::exception& e) {
+      throw std::invalid_argument("sweep point " + std::to_string(i) + " (" +
+                                  sweep.point_label(i) + "): " + e.what());
+    }
+  }
+  return sweep;
+}
+
+std::string to_sweep_text(const SweepSpec& sweep) {
+  std::ostringstream oss;
+  for (const auto& [k, v] : sweep.base) oss << k << "=" << v << "\n";
+  for (const auto& axis : sweep.axes) {
+    oss << kSweepPrefix << axis.key << "=";
+    for (std::size_t i = 0; i < axis.values.size(); ++i) {
+      if (i != 0) oss << ",";
+      oss << axis.values[i];
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace saps::scenario

@@ -1,0 +1,154 @@
+// CIFAR-10 binary loader: format validation against crafted batch files, the
+// real-cifar workload's real/synthetic fallback, and an opt-in check against
+// the real dataset (SAPS_CIFAR_DIR), mirroring the MNIST loader contract.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/cifar_loader.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace saps {
+namespace {
+
+constexpr std::size_t kImageBytes = 3 * 32 * 32;
+constexpr std::size_t kRecordBytes = 1 + kImageBytes;
+
+class CifarLoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("saps_cifar_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Writes one record per label: label byte, then pixel bytes
+  /// 0,1,2,...,255,0,1,... so individual planes are easy to predict.
+  void write_batch(const std::filesystem::path& path,
+                   const std::vector<unsigned char>& labels) const {
+    std::ofstream out(path, std::ios::binary);
+    for (const auto label : labels) {
+      out.put(static_cast<char>(label));
+      for (std::size_t j = 0; j < kImageBytes; ++j) {
+        out.put(static_cast<char>(j % 256));
+      }
+    }
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CifarLoaderTest, LoadsAndConcatenatesValidBatches) {
+  const auto a = dir_ / "a.bin", b = dir_ / "b.bin";
+  write_batch(a, {3, 7});
+  write_batch(b, {0});
+  const auto d = data::load_cifar10_batches({a.string(), b.string()});
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->size(), 3u);
+  EXPECT_EQ(d->sample_shape(), (std::vector<std::size_t>{3, 32, 32}));
+  EXPECT_EQ(d->num_classes(), 10u);
+  EXPECT_EQ(d->label(0), 3);
+  EXPECT_EQ(d->label(1), 7);
+  EXPECT_EQ(d->label(2), 0);
+  // Pixels normalized to [0, 1]: byte j%256 at offset j.
+  EXPECT_FLOAT_EQ(d->sample(0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(d->sample(0)[1], 1.0f / 255.0f);
+  EXPECT_FLOAT_EQ(d->sample(0)[255], 1.0f);
+}
+
+TEST_F(CifarLoaderTest, MissingFileReturnsNullopt) {
+  const auto a = dir_ / "a.bin";
+  write_batch(a, {1});
+  EXPECT_FALSE(data::load_cifar10_batches({(dir_ / "nope.bin").string()})
+                   .has_value());
+  // ANY missing path fails the whole load, even if others exist.
+  EXPECT_FALSE(
+      data::load_cifar10_batches({a.string(), (dir_ / "nope.bin").string()})
+          .has_value());
+  EXPECT_FALSE(data::load_cifar10_train(dir_.string()).has_value());
+  EXPECT_FALSE(data::load_cifar10_test(dir_.string()).has_value());
+}
+
+TEST_F(CifarLoaderTest, RejectsNonRecordMultipleSizes) {
+  const auto p = dir_ / "bad.bin";
+  {
+    std::ofstream out(p, std::ios::binary);
+    for (int i = 0; i < 100; ++i) out.put(0);
+  }
+  EXPECT_THROW((void)data::load_cifar10_batches({p.string()}),
+               std::runtime_error);
+  // Empty files are rejected too (zero is not a positive multiple).
+  std::filesystem::resize_file(p, 0);
+  EXPECT_THROW((void)data::load_cifar10_batches({p.string()}),
+               std::runtime_error);
+  // One byte over a whole record count.
+  write_batch(p, {1, 2});
+  std::filesystem::resize_file(p, 2 * kRecordBytes + 1);
+  EXPECT_THROW((void)data::load_cifar10_batches({p.string()}),
+               std::runtime_error);
+}
+
+TEST_F(CifarLoaderTest, RejectsOutOfRangeLabels) {
+  const auto p = dir_ / "label.bin";
+  write_batch(p, {4, 10});
+  EXPECT_THROW((void)data::load_cifar10_batches({p.string()}),
+               std::runtime_error);
+}
+
+TEST_F(CifarLoaderTest, RealCifarWorkloadUsesBatchesWhenPresent) {
+  for (int b = 1; b <= 5; ++b) {
+    write_batch(dir_ / ("data_batch_" + std::to_string(b) + ".bin"),
+                {static_cast<unsigned char>(b - 1), 5});
+  }
+  write_batch(dir_ / "test_batch.bin", {2, 9});
+  scenario::ScenarioSpec spec;
+  spec.set("workload", "real-cifar");
+  spec.set("cifar-dir", dir_.string());
+  scenario::finalize_spec(spec);
+  const auto w = scenario::build_workload(spec);
+  EXPECT_EQ(w.display_name, "CIFAR10-CNN(real)");
+  EXPECT_EQ(w.train.size(), 10u);  // 5 batches x 2 records
+  EXPECT_EQ(w.test.size(), 2u);
+  EXPECT_EQ(w.train.sample_shape(), (std::vector<std::size_t>{3, 32, 32}));
+}
+
+TEST_F(CifarLoaderTest, RealCifarWorkloadFallsBackToSynthetic) {
+  scenario::ScenarioSpec spec;
+  spec.set("workload", "real-cifar");
+  spec.set("cifar-dir", (dir_ / "absent").string());
+  scenario::finalize_spec(spec);
+  const auto w = scenario::build_workload(spec);
+  EXPECT_EQ(w.display_name, "CIFAR10-CNN(synthetic)");
+  EXPECT_NE(w.note.find("not found"), std::string::npos);
+  EXPECT_GT(w.train.size(), 0u);
+}
+
+// Exercises the loader against the real dataset when present (SAPS_CIFAR_DIR
+// or ./data/cifar); skips cleanly otherwise so CI machines without the data
+// stay green.
+TEST(RealCifar, LoadsCanonicalFilesWhenPresent) {
+  const char* env = std::getenv("SAPS_CIFAR_DIR");
+  const std::string dir = env != nullptr ? env : "data/cifar";
+  const auto train = data::load_cifar10_train(dir);
+  if (!train.has_value()) {
+    GTEST_SKIP() << "real CIFAR-10 not found under '" << dir
+                 << "' (set SAPS_CIFAR_DIR to enable)";
+  }
+  const auto test = data::load_cifar10_test(dir);
+  ASSERT_TRUE(test.has_value());
+  EXPECT_EQ(train->size(), 50000u);
+  EXPECT_EQ(test->size(), 10000u);
+  EXPECT_EQ(train->sample_shape(), (std::vector<std::size_t>{3, 32, 32}));
+}
+
+}  // namespace
+}  // namespace saps

@@ -174,6 +174,23 @@ TEST(Partition, DirichletSkewGrowsAsAlphaShrinks) {
   EXPECT_GT(skew(0.05), skew(10.0));
 }
 
+TEST(Partition, DirichletLabelDistributionGolden) {
+  // Pins the exact per-worker label histogram for a fixed (dataset, workers,
+  // alpha, seed) tuple: the dirichlet partitioner feeds the spec's
+  // `partition=dirichlet:ALPHA` path, and a silent reshuffle would move
+  // every non-IID result in the sweep benches.
+  const auto d = make_blobs(60, 4, 4, 0.5, 9);
+  const auto parts = dirichlet_partition(d, 3, 0.5, 42);
+  ASSERT_EQ(parts.size(), 3u);
+  std::vector<std::vector<int>> counts(3, std::vector<int>(4, 0));
+  for (std::size_t w = 0; w < parts.size(); ++w) {
+    for (const auto i : parts[w]) ++counts[w][d.label(i)];
+  }
+  const std::vector<std::vector<int>> golden = {
+      {0, 2, 1, 0}, {6, 12, 10, 14}, {9, 1, 4, 1}};
+  EXPECT_EQ(counts, golden);
+}
+
 TEST(Partition, RejectsBadArguments) {
   const auto d = make_blobs(10, 2, 2, 0.5, 1);
   EXPECT_THROW(iid_partition(d, 0, 1), std::invalid_argument);
